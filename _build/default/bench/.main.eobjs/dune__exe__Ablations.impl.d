@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bench_util Bitmatrix Eppi Eppi_prelude Eppi_protocol Float List Modarith Rng Table

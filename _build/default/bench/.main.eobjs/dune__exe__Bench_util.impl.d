@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Bitmatrix Eppi Eppi_grouping Eppi_prelude Printf Rng

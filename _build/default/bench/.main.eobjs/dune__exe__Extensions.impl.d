@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Bench_util Eppi_circuit Eppi_locator Eppi_mpc Eppi_prelude Eppi_sfdl List Rng Table

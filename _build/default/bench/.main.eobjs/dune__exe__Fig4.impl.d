@@ -1,0 +1,1 @@
+bench/fig4.ml: Bench_util Eppi Eppi_prelude List Printf Rng Table

@@ -1,0 +1,1 @@
+bench/fig5.ml: Bench_util Eppi Eppi_prelude List Rng Table

@@ -1,0 +1,1 @@
+bench/fig6.ml: Array Bench_util Eppi Eppi_circuit Eppi_prelude Eppi_protocol Eppi_sfdl Eppi_simnet List Modarith Rng Table

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Extensions Fig4 Fig5 Fig6 List Micro Printf Search_cost String Sys Table2

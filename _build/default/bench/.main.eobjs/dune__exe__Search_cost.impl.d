@@ -1,0 +1,1 @@
+bench/search_cost.ml: Array Bench_util Eppi Eppi_locator Eppi_prelude Float List Rng Table

@@ -1,0 +1,1 @@
+bench/table2.ml: Array Bench_util Bitmatrix Eppi Eppi_grouping Eppi_prelude Float List Printf Rng Table

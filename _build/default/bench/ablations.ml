@@ -1,0 +1,224 @@
+(* Ablation studies for the two design choices DESIGN.md calls out:
+
+   1. identity mixing on/off under the common-identity attack (validates
+      Section III-C: without mixing the attacker wins with certainty;
+      with mixing her confidence is bounded by 1 - xi);
+   2. the collusion-tolerance knob c: SecSumShare traffic and the
+      CountBelow circuit both grow with c — the price of tolerating more
+      colluders. *)
+
+open Eppi_prelude
+
+let ablation_mixing () =
+  Bench_util.heading "Ablation: identity mixing on/off (common-identity attack)";
+  let m = 50 in
+  let n = 300 in
+  let epsilon = 0.75 in
+  let threshold = Eppi.Policy.sigma_threshold Eppi.Policy.Basic ~epsilon ~m in
+  let table =
+    Table.create ~header:[ "seed"; "conf (mixing off)"; "conf (mixing on)"; "bound 1-xi" ]
+  in
+  let confidences = ref [] in
+  for seed = 1 to 8 do
+    let rng = Rng.create seed in
+    let membership = Bitmatrix.create ~rows:n ~cols:m in
+    for p = 0 to m - 1 do
+      Bitmatrix.set membership ~row:0 ~col:p true
+    done;
+    for j = 1 to n - 1 do
+      Bitmatrix.set membership ~row:j ~col:(Rng.int rng m) true
+    done;
+    let epsilons = Array.make n epsilon in
+    (* Mixing OFF: publish with raw betas, commons at beta = 1, no decoys. *)
+    let betas_off =
+      Array.init n (fun j ->
+          let sigma = float_of_int (Bitmatrix.row_count membership j) /. float_of_int m in
+          Float.min 1.0 (Eppi.Policy.beta Eppi.Policy.Basic ~sigma ~epsilon ~m))
+    in
+    let published_off = Eppi.Publish.publish_matrix (Rng.create (seed * 31)) ~betas:betas_off membership in
+    let off =
+      (Eppi.Attack.common_identity_attack ~membership ~published:published_off
+         ~sigma_threshold:threshold)
+        .confidence
+    in
+    (* Mixing ON: the full construction. *)
+    let r =
+      Eppi.Construct.run (Rng.create (seed * 37)) ~membership ~epsilons ~policy:Eppi.Policy.Basic
+    in
+    let on =
+      (Eppi.Attack.common_identity_attack ~membership
+         ~published:(Eppi.Index.matrix r.index) ~sigma_threshold:threshold)
+        .confidence
+    in
+    confidences := (off, on) :: !confidences;
+    Table.add_row table
+      [
+        Table.cell_int seed;
+        Table.cell_float off;
+        Table.cell_float on;
+        Table.cell_float (1.0 -. r.xi);
+      ]
+  done;
+  Table.print table;
+  let offs = List.map fst !confidences and ons = List.map snd !confidences in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  Bench_util.note "mean confidence: mixing off %.2f vs mixing on %.2f" (mean offs) (mean ons);
+  Bench_util.note
+    "Bernoulli mixing (the paper's Eq. 6) only holds the bound in expectation;";
+  Bench_util.note
+    "the exact-count extension pins the decoy count and holds it per draw:";
+  (* Same scenario under the two mixing modes, per-seed bound check. *)
+  let table2 =
+    Table.create ~header:[ "mode"; "mean conf"; "worst conf"; "seeds over bound" ]
+  in
+  List.iter
+    (fun mode ->
+      let confs =
+        List.init 8 (fun i ->
+            let seed = i + 1 in
+            let rng = Rng.create seed in
+            let membership = Bitmatrix.create ~rows:n ~cols:m in
+            for p = 0 to m - 1 do
+              Bitmatrix.set membership ~row:0 ~col:p true
+            done;
+            for j = 1 to n - 1 do
+              Bitmatrix.set membership ~row:j ~col:(Rng.int rng m) true
+            done;
+            let r =
+              Eppi.Construct.run ~mixing:mode (Rng.create (seed * 37)) ~membership
+                ~epsilons:(Array.make n epsilon) ~policy:Eppi.Policy.Basic
+            in
+            ( (Eppi.Attack.common_identity_attack ~membership
+                 ~published:(Eppi.Index.matrix r.index) ~sigma_threshold:threshold)
+                .confidence,
+              1.0 -. r.xi ))
+      in
+      let values = List.map fst confs in
+      let bound = snd (List.hd confs) in
+      let mean = List.fold_left ( +. ) 0.0 values /. 8.0 in
+      let worst = List.fold_left Float.max 0.0 values in
+      let over = List.length (List.filter (fun v -> v > bound +. 1e-9) values) in
+      Table.add_row table2
+        [
+          Eppi.Mixing.mode_name mode;
+          Table.cell_float mean;
+          Table.cell_float worst;
+          Table.cell_int over;
+        ])
+    [ Eppi.Mixing.Bernoulli; Eppi.Mixing.Exact_count ];
+  Table.print table2
+
+let ablation_collusion () =
+  Bench_util.heading "Ablation: collusion tolerance c (SecSumShare + CountBelow cost)";
+  let m = 30 and n = 50 in
+  let rng = Rng.create 9 in
+  let inputs = Array.init m (fun _ -> Array.init n (fun _ -> Rng.int rng 2)) in
+  let q = Eppi_protocol.Construct.modulus_for m in
+  let table =
+    Table.create
+      ~header:
+        [ "c"; "sss messages"; "sss bytes"; "sss time (s)"; "mpc gates"; "mpc time (s)" ]
+  in
+  List.iter
+    (fun c ->
+      let sss = Eppi_protocol.Secsumshare.run (Rng.create (c * 7)) ~inputs ~c ~q in
+      let thresholds = Array.make n (Modarith.to_int q - 1) in
+      let cb =
+        Eppi_protocol.Countbelow.run (Rng.create (c * 11)) ~shares:sss.coordinator_shares ~q
+          ~thresholds
+      in
+      Table.add_row table
+        [
+          Table.cell_int c;
+          Table.cell_int sss.net.messages_sent;
+          Table.cell_int sss.net.bytes_sent;
+          Table.cell_float sss.net.completion_time;
+          Table.cell_int cb.circuit_stats.size;
+          Table.cell_float cb.time;
+        ])
+    [ 2; 3; 4; 5; 6 ];
+  Table.print table;
+  Bench_util.note
+    "tolerating more colluders costs linearly more traffic and a larger MPC circuit"
+
+let ablation_rebuild () =
+  Bench_util.heading
+    "Ablation: republication breaks privacy (why the index is static)";
+  let m = 500 and frequency = 10 and epsilon = 0.7 in
+  let rng = Rng.create 17 in
+  let membership = Bitmatrix.create ~rows:1 ~cols:m in
+  let chosen = Rng.sample_without_replacement rng ~k:frequency ~n:m in
+  Array.iter (fun p -> Bitmatrix.set membership ~row:0 ~col:p true) chosen;
+  let sigma = float_of_int frequency /. float_of_int m in
+  let beta = Eppi.Policy.beta (Eppi.Policy.Chernoff 0.9) ~sigma ~epsilon ~m in
+  let table =
+    Table.create ~header:[ "rebuilds"; "intersected positives"; "attacker confidence" ]
+  in
+  List.iter
+    (fun k ->
+      let versions =
+        List.init k (fun _ -> Eppi.Publish.publish_matrix rng ~betas:[| beta |] membership)
+      in
+      let conf =
+        Eppi.Attack.intersection_attack ~membership ~published_list:versions ~owner:0
+      in
+      let survivors = int_of_float (Float.round (float_of_int frequency /. conf)) in
+      Table.add_row table
+        [
+          Table.cell_int k;
+          (if conf > 0.0 then Table.cell_int survivors else "-");
+          Table.cell_float conf;
+        ])
+    [ 1; 2; 3; 5; 8 ];
+  Table.print table;
+  Bench_util.note
+    "fresh-noise republication lets an attacker intersect versions; the paper's";
+  Bench_util.note
+    "design keeps the index static, so repetition adds nothing (Section III-C)"
+
+let ablation_colluders () =
+  Bench_util.heading "Ablation: colluding providers vs attacker confidence";
+  let m = 500 and frequency = 10 and epsilon = 0.7 in
+  let rng = Rng.create 19 in
+  let membership = Bitmatrix.create ~rows:1 ~cols:m in
+  let chosen = Rng.sample_without_replacement rng ~k:frequency ~n:m in
+  Array.iter (fun p -> Bitmatrix.set membership ~row:0 ~col:p true) chosen;
+  let sigma = float_of_int frequency /. float_of_int m in
+  let beta = Eppi.Policy.beta (Eppi.Policy.Chernoff 0.9) ~sigma ~epsilon ~m in
+  let table = Table.create ~header:[ "colluders"; "mean confidence"; "bound 1-eps" ] in
+  List.iter
+    (fun k ->
+      (* Colluders are random providers (they mostly hold noise bits);
+         average over fresh publications and colluder draws. *)
+      let trials = 200 in
+      let acc = ref 0.0 in
+      for _ = 1 to trials do
+        let published = Eppi.Publish.publish_matrix rng ~betas:[| beta |] membership in
+        let colluders = Array.to_list (Rng.sample_without_replacement rng ~k ~n:m) in
+        acc :=
+          !acc +. Eppi.Attack.colluding_confidence ~membership ~published ~owner:0 ~colluders
+      done;
+      Table.add_row table
+        [
+          Table.cell_int k;
+          Table.cell_float (!acc /. float_of_int trials);
+          Table.cell_float (1.0 -. epsilon);
+        ])
+    [ 0; 100; 200; 300; 400; 450; 480 ];
+  Table.print table;
+  Bench_util.note
+    "uniformly-random colluders do NOT beat the fp guarantee: discounting a";
+  Bench_util.note
+    "uniform subset preserves the true/noise ratio of the remaining positives";
+  Bench_util.note
+    "(it only dips near-total collusion, when no attackable positives remain).";
+  Bench_util.note
+    "The collusion risk the paper defends against is at CONSTRUCTION time -";
+  Bench_util.note
+    "fewer than c colluders learn nothing of the secure sums (Theorem 4.1)"
+
+let run () =
+  ablation_mixing ();
+  ablation_collusion ();
+  ablation_rebuild ();
+  ablation_colluders ()

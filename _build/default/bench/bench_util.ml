@@ -1,0 +1,38 @@
+(* Shared helpers for the experiment harness. *)
+
+open Eppi_prelude
+
+let heading title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+(* Success ratio of the e-PPI fast path averaged over [samples] estimator
+   runs (the paper samples 20 times and averages). *)
+let eppi_success rng ~policy ~frequency ~epsilon ~m ~samples ~trials =
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    acc :=
+      !acc +. Eppi.Analysis.empirical_success rng ~policy ~frequency ~epsilon ~m ~trials
+  done;
+  !acc /. float_of_int samples
+
+let grouping_success rng ~frequency ~epsilon ~m ~groups ~samples ~trials =
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    acc :=
+      !acc +. Eppi_grouping.Grouping.empirical_success rng ~frequency ~epsilon ~m ~groups ~trials
+  done;
+  !acc /. float_of_int samples
+
+(* A membership matrix with one planted row per requested frequency. *)
+let matrix_of_frequencies rng ~m ~freqs =
+  let membership = Bitmatrix.create ~rows:(Array.length freqs) ~cols:m in
+  Array.iteri
+    (fun j f ->
+      let chosen = Rng.sample_without_replacement rng ~k:f ~n:m in
+      Array.iter (fun p -> Bitmatrix.set membership ~row:j ~col:p true) chosen)
+    freqs;
+  membership

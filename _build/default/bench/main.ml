@@ -1,0 +1,46 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation section, plus the tech-report search-cost experiment,
+   two ablations and a bechamel micro-benchmark suite.
+
+   Run everything:       dune exec bench/main.exe
+   Run a single target:  dune exec bench/main.exe -- fig4a fig6c micro *)
+
+let targets : (string * (unit -> unit)) list =
+  [
+    ("fig4a", Fig4.fig4a);
+    ("fig4b", Fig4.fig4b);
+    ("fig5a", Fig5.fig5a);
+    ("fig5b", Fig5.fig5b);
+    ("fig6a", Fig6.fig6a);
+    ("fig6b", Fig6.fig6b);
+    ("fig6c", Fig6.fig6c);
+    ("table2", Table2.run);
+    ("search_cost", Search_cost.run);
+    ("ablation_mixing", Ablations.ablation_mixing);
+    ("ablation_collusion", Ablations.ablation_collusion);
+    ("ablation_rebuild", Ablations.ablation_rebuild);
+    ("ablation_colluders", Ablations.ablation_colluders);
+    ("anonymity", Extensions.anonymity);
+    ("backends", Extensions.backends);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match requested with
+    | [] -> targets
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name targets with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown target %S; available: %s\n" name
+                  (String.concat ", " (List.map fst targets));
+                exit 2)
+          names
+  in
+  print_endline "e-PPI experiment harness (ICDCS'14 reproduction)";
+  print_endline "see EXPERIMENTS.md for the paper-vs-measured discussion";
+  List.iter (fun (_, f) -> f ()) to_run

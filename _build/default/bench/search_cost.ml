@@ -1,0 +1,112 @@
+(* Search overhead of the Chernoff policy vs epsilon — the experiment the
+   paper's Section V-A2 defers to its technical report: "the high-level
+   privacy preservation of the Chernoff bound policy comes with reasonable
+   search overhead".
+
+   We report, per epsilon: the analytic expected number of providers a
+   QueryPPI returns, and the measured count plus wasted authorized contacts
+   from a full locator-service search. *)
+
+open Eppi_prelude
+
+let m = 2000
+let frequency = 20
+let gamma = 0.9
+
+let run () =
+  Bench_util.heading
+    "Search overhead vs epsilon (tech-report experiment; m=2000, frequency=20)";
+  let table =
+    Table.create
+      ~header:[ "epsilon"; "beta"; "expected providers"; "measured providers"; "wasted contacts" ]
+  in
+  List.iter
+    (fun epsilon ->
+      let sigma = float_of_int frequency /. float_of_int m in
+      let beta = Eppi.Policy.beta (Eppi.Policy.Chernoff gamma) ~sigma ~epsilon ~m in
+      let expected = Eppi.Analysis.expected_query_cost ~beta ~frequency ~m in
+      (* Measured through the locator service with a fully-granted searcher. *)
+      let t = Eppi_locator.Locator.create ~providers:m ~owners:1 in
+      let rng = Rng.create 77 in
+      let chosen = Rng.sample_without_replacement rng ~k:frequency ~n:m in
+      Array.iter
+        (fun p ->
+          Eppi_locator.Locator.delegate t ~owner:0 ~epsilon ~provider:p ~body:"record")
+        chosen;
+      Eppi_locator.Locator.construct_ppi ~seed:7 t ~policy:(Eppi.Policy.Chernoff gamma);
+      for p = 0 to m - 1 do
+        Eppi_locator.Locator.grant t ~provider:p ~searcher:"auditor" ~owner:0
+      done;
+      let outcome = Eppi_locator.Locator.search t ~searcher:"auditor" ~owner:0 in
+      Table.add_row table
+        [
+          Table.cell_float epsilon;
+          Table.cell_float (Float.min beta 1.0);
+          Table.cell_float expected;
+          Table.cell_int outcome.contacted;
+          Table.cell_int outcome.wasted;
+        ])
+    [ 0.1; 0.3; 0.5; 0.7; 0.9 ];
+  Table.print table;
+  Bench_util.note
+    "shape: query cost grows smoothly with epsilon - privacy is paid in contacts";
+
+  (* Second comparison: the per-owner story behind the related-work claim
+     that grouping "lacks per-owner concerns" and "leads to query
+     broadcasting".  In a mixed population where only a few VIPs need high
+     privacy, grouping must size its groups for the STRICTEST requirement —
+     every query pays — while e-PPI prices each identity's own epsilon. *)
+  Bench_util.heading
+    "Per-owner pricing: mixed population, 10 percent VIPs at eps=0.9, rest at eps=0.2";
+  let table2 =
+    Table.create
+      ~header:[ "system"; "mean query cost"; "VIP fp"; "non-VIP fp"; "VIPs protected?" ]
+  in
+  let vips = 10 and others = 90 in
+  let fp_of_cost cost = (cost -. float_of_int frequency) /. cost in
+  (* e-PPI: per-identity beta. *)
+  let eppi_cost eps =
+    let sigma = float_of_int frequency /. float_of_int m in
+    let beta = Eppi.Policy.beta (Eppi.Policy.Chernoff gamma) ~sigma ~epsilon:eps ~m in
+    Eppi.Analysis.expected_query_cost ~beta ~frequency ~m
+  in
+  let eppi_vip = eppi_cost 0.9 and eppi_other = eppi_cost 0.2 in
+  let eppi_mean =
+    ((float_of_int vips *. eppi_vip) +. (float_of_int others *. eppi_other)) /. 100.0
+  in
+  Table.add_row table2
+    [
+      "e-PPI (per-owner beta)";
+      Table.cell_float eppi_mean;
+      Table.cell_float (fp_of_cost eppi_vip);
+      Table.cell_float (fp_of_cost eppi_other);
+      "yes";
+    ];
+  (* Grouping: one group size for everyone.  To give VIPs fp >= 0.9 the
+     group must hold >= f/(1-0.9) = 10f providers; every identity then
+     returns whole groups. *)
+  List.iter
+    (fun (label, groups) ->
+      let group_size = float_of_int m /. float_of_int groups in
+      (* A frequency-20 identity hits about min(f, g) distinct groups. *)
+      let hit =
+        float_of_int groups
+        *. (1.0 -. ((1.0 -. (1.0 /. float_of_int groups)) ** float_of_int frequency))
+      in
+      let cost = hit *. group_size in
+      let fp = fp_of_cost cost in
+      Table.add_row table2
+        [
+          label;
+          Table.cell_float cost;
+          Table.cell_float fp;
+          Table.cell_float fp;
+          (if fp >= 0.9 then "yes" else "no");
+        ])
+    [ ("grouping sized for non-VIPs (g=400)", 400); ("grouping sized for VIPs (g=10)", 10) ];
+  Table.print table2;
+  Bench_util.note
+    "grouping has one knob for the whole network: either the VIPs are exposed";
+  Bench_util.note
+    "(g=400) or every query near-broadcasts (g=10).  e-PPI prices privacy per";
+  Bench_util.note "owner, so the 90%% low-privacy owners stay cheap"

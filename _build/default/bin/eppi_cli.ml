@@ -1,0 +1,340 @@
+(* eppi: the command-line interface to the library.
+
+   Subcommands:
+     generate   synthesize an information-network dataset (CSV)
+     construct  build an e-PPI over a dataset (centralized or secure path)
+     query      look up an owner in a published index
+     evaluate   success ratio and attack confidences of an index
+     inspect    dataset statistics
+
+   Example session:
+     eppi generate --providers 2000 --owners 500 -o net.csv
+     eppi construct -d net.csv --policy chernoff --gamma 0.9 -o index.csv
+     eppi query -i index.csv --owner 42
+     eppi evaluate -d net.csv -i index.csv *)
+
+open Cmdliner
+open Eppi_prelude
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_output path content =
+  match path with
+  | None -> print_string content
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+(* ---- common args ---- *)
+
+let seed_arg =
+  let doc = "Seed for all randomness (deterministic output)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let dataset_arg =
+  let doc = "Dataset CSV produced by $(b,eppi generate)." in
+  Arg.(required & opt (some file) None & info [ "d"; "dataset" ] ~docv:"FILE" ~doc)
+
+let index_arg =
+  let doc = "Published-index CSV produced by $(b,eppi construct)." in
+  Arg.(required & opt (some file) None & info [ "i"; "index" ] ~docv:"FILE" ~doc)
+
+let output_arg =
+  let doc = "Write to $(docv) instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let policy_term =
+  let policy_name =
+    let doc = "Beta policy: $(b,basic), $(b,inc-exp) or $(b,chernoff)." in
+    Arg.(value & opt string "chernoff" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let delta =
+    let doc = "Delta for the inc-exp policy." in
+    Arg.(value & opt float 0.02 & info [ "delta" ] ~docv:"FLOAT" ~doc)
+  in
+  let gamma =
+    let doc = "Target success ratio for the chernoff policy." in
+    Arg.(value & opt float 0.9 & info [ "gamma" ] ~docv:"FLOAT" ~doc)
+  in
+  let build name delta gamma =
+    match name with
+    | "basic" -> Ok Eppi.Policy.Basic
+    | "inc-exp" -> Ok (Eppi.Policy.Inc_exp delta)
+    | "chernoff" -> Ok (Eppi.Policy.Chernoff gamma)
+    | other -> Error (Printf.sprintf "unknown policy %S" other)
+  in
+  Term.(term_result' (const build $ policy_name $ delta $ gamma))
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let providers =
+    Arg.(value & opt int 2500 & info [ "providers" ] ~docv:"INT" ~doc:"Provider count m.")
+  in
+  let owners =
+    Arg.(value & opt int 1000 & info [ "owners" ] ~docv:"INT" ~doc:"Owner/identity count n.")
+  in
+  let common_fraction =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "common-fraction" ] ~docv:"FLOAT"
+          ~doc:"Fraction of owners planted as common (near-ubiquitous) identities.")
+  in
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon" ] ~docv:"FLOAT"
+          ~doc:"Constant privacy degree for every owner (default: uniform random).")
+  in
+  let run seed providers owners common_fraction epsilon output =
+    let rng = Rng.create seed in
+    let profile = { Eppi_dataset.Dataset.default_profile with common_fraction } in
+    let dataset = Eppi_dataset.Dataset.generate ~profile rng ~providers ~owners in
+    let dataset =
+      match epsilon with
+      | Some e -> Eppi_dataset.Dataset.constant_epsilons dataset e
+      | None -> Eppi_dataset.Dataset.uniform_epsilons rng dataset
+    in
+    write_output output (Eppi_dataset.Dataset.to_csv dataset);
+    Printf.eprintf "%s\n" (Eppi_dataset.Dataset.stats_summary dataset)
+  in
+  let term =
+    Term.(const run $ seed_arg $ providers $ owners $ common_fraction $ epsilon $ output_arg)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Synthesize an information-network dataset") term
+
+(* ---- construct ---- *)
+
+let construct_cmd =
+  let secure =
+    Arg.(
+      value & flag
+      & info [ "secure" ]
+          ~doc:
+            "Run the distributed secure construction (SecSumShare + MPC over a simulated \
+             network) instead of the centralized reference path.  Prints protocol metrics.")
+  in
+  let c_arg =
+    Arg.(value & opt int 3 & info [ "c" ] ~docv:"INT" ~doc:"Coordinator count (secure path).")
+  in
+  let run seed dataset_path policy secure c output =
+    let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
+    let rng = Rng.create seed in
+    let index =
+      if secure then begin
+        let r =
+          Eppi_protocol.Construct.run ~c rng ~membership:dataset.membership
+            ~epsilons:dataset.epsilons ~policy
+        in
+        Printf.eprintf
+          "secure construction: %.4fs simulated (secsumshare %.4fs + mpc %.4fs), %d \
+           messages, %d bytes, circuit %d gates, lambda=%.4f\n"
+          r.metrics.total_time r.metrics.secsumshare_time r.metrics.mpc_time
+          r.metrics.messages r.metrics.bytes r.metrics.circuit_stats.size r.lambda;
+        r.index
+      end
+      else begin
+        let r =
+          Eppi.Construct.run rng ~membership:dataset.membership ~epsilons:dataset.epsilons
+            ~policy
+        in
+        let commons =
+          Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 r.common
+        in
+        Printf.eprintf "constructed: %d common identities, lambda=%.4f, xi=%.2f\n" commons
+          r.lambda r.xi;
+        r.index
+      end
+    in
+    write_output output (Eppi.Index.to_csv index)
+  in
+  let term =
+    Term.(const run $ seed_arg $ dataset_arg $ policy_term $ secure $ c_arg $ output_arg)
+  in
+  Cmd.v (Cmd.info "construct" ~doc:"Build an e-PPI over a dataset") term
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let owner =
+    Arg.(required & opt (some int) None & info [ "owner" ] ~docv:"INT" ~doc:"Owner identity.")
+  in
+  let run index_path owner =
+    let index = Eppi.Index.of_csv (read_file index_path) in
+    if owner < 0 || owner >= Eppi.Index.owners index then begin
+      Printf.eprintf "owner %d out of range [0, %d)\n" owner (Eppi.Index.owners index);
+      exit 1
+    end;
+    let providers = Eppi.Index.query index ~owner in
+    Printf.printf "%s\n" (String.concat "," (List.map string_of_int providers))
+  in
+  let term = Term.(const run $ index_arg $ owner) in
+  Cmd.v (Cmd.info "query" ~doc:"QueryPPI: list candidate providers for an owner") term
+
+(* ---- evaluate ---- *)
+
+let evaluate_cmd =
+  let run seed dataset_path index_path =
+    let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
+    let index = Eppi.Index.of_csv (read_file index_path) in
+    let membership = dataset.membership in
+    let published = Eppi.Index.matrix index in
+    let ratio =
+      Eppi.Metrics.success_ratio ~membership ~published ~epsilons:dataset.epsilons
+    in
+    Printf.printf "owners: %d  providers: %d\n" dataset.owners dataset.providers;
+    Printf.printf "success ratio (fp_j >= eps_j): %.4f\n" ratio;
+    let worst = ref 0.0 and total = ref 0.0 in
+    for j = 0 to dataset.owners - 1 do
+      let conf = Eppi.Attack.primary_confidence ~membership ~published ~owner:j in
+      worst := Float.max !worst conf;
+      total := !total +. conf
+    done;
+    Printf.printf "primary attack confidence: mean %.4f, worst %.4f\n"
+      (!total /. float_of_int dataset.owners)
+      !worst;
+    let rng = Rng.create seed in
+    let sampled = Rng.sample_without_replacement rng ~k:(min 5 dataset.owners) ~n:dataset.owners in
+    Array.iter
+      (fun j ->
+        Printf.printf
+          "  owner %d: eps=%.2f freq=%d published=%d fp=%.3f recall=%b\n" j
+          dataset.epsilons.(j)
+          (Eppi_prelude.Bitmatrix.row_count membership j)
+          (Eppi.Index.query_count index ~owner:j)
+          (Eppi.Metrics.false_positive_rate ~membership ~published ~owner:j)
+          (Eppi.Index.recall_ok ~membership index ~owner:j))
+      sampled
+  in
+  let term = Term.(const run $ seed_arg $ dataset_arg $ index_arg) in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Measure privacy metrics of a published index against its dataset")
+    term
+
+(* ---- attack ---- *)
+
+let attack_cmd =
+  let colluders =
+    Arg.(
+      value & opt int 0
+      & info [ "colluders" ] ~docv:"INT"
+          ~doc:"Number of colluding providers (chosen at random) for the collusion analysis.")
+  in
+  let sigma_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "sigma-threshold" ] ~docv:"FLOAT"
+          ~doc:"Frequency fraction above which an identity counts as common.")
+  in
+  let run seed dataset_path index_path colluders sigma_threshold =
+    let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
+    let index = Eppi.Index.of_csv (read_file index_path) in
+    let membership = dataset.membership in
+    let published = Eppi.Index.matrix index in
+    let rng = Rng.create seed in
+    (* Primary attack over all owners. *)
+    let confidences =
+      Array.init dataset.owners (fun j ->
+          Eppi.Attack.primary_confidence ~membership ~published ~owner:j)
+    in
+    let s = Stats.summary confidences in
+    Format.printf "primary attack confidence: %a@." Stats.pp_summary s;
+    (* Common-identity attack. *)
+    let common =
+      Eppi.Attack.common_identity_attack ~membership ~published ~sigma_threshold
+    in
+    Printf.printf
+      "common-identity attack (sigma' = %.2f): %d suspects, %d truly common, confidence %.4f\n"
+      sigma_threshold (List.length common.suspected) common.truly_common common.confidence;
+    (* Collusion refinement on the worst owner. *)
+    if colluders > 0 then begin
+      let worst = ref 0 in
+      Array.iteri (fun j c -> if c > confidences.(!worst) then worst := j) confidences;
+      let chosen =
+        Array.to_list (Rng.sample_without_replacement rng ~k:colluders ~n:dataset.providers)
+      in
+      Printf.printf
+        "with %d random colluders, confidence against the most exposed owner (%d): %.4f\n"
+        colluders !worst
+        (Eppi.Attack.colluding_confidence ~membership ~published ~owner:!worst
+           ~colluders:chosen)
+    end
+  in
+  let term = Term.(const run $ seed_arg $ dataset_arg $ index_arg $ colluders $ sigma_threshold) in
+  Cmd.v (Cmd.info "attack" ~doc:"Run the threat-model attacks against a published index") term
+
+(* ---- link ---- *)
+
+let link_cmd =
+  let persons =
+    Arg.(value & opt int 200 & info [ "persons" ] ~docv:"INT" ~doc:"Ground-truth patients.")
+  in
+  let providers =
+    Arg.(value & opt int 20 & info [ "providers" ] ~docv:"INT" ~doc:"Hospitals.")
+  in
+  let bloom =
+    Arg.(
+      value & flag
+      & info [ "bloom" ]
+          ~doc:"Use privacy-preserving Bloom-filter field encodings instead of plaintext.")
+  in
+  let run seed persons providers bloom output =
+    let rng = Rng.create seed in
+    let registrations =
+      Eppi_linkage.Demographic.population rng ~persons ~providers ~max_registrations:4
+    in
+    let config =
+      if bloom then
+        {
+          Eppi_linkage.Linkage.mode =
+            Eppi_linkage.Linkage.Bloom { Eppi_linkage.Bloom.default_params with bits = 256 };
+          match_threshold = 0.82;
+        }
+      else Eppi_linkage.Linkage.default_config
+    in
+    let linked = Eppi_linkage.Linkage.link config registrations in
+    let quality = Eppi_linkage.Linkage.evaluate linked registrations in
+    Printf.eprintf
+      "%d registrations -> %d entities (truth %d); precision %.3f recall %.3f f1 %.3f\n"
+      (Array.length registrations) linked.entities persons quality.precision quality.recall
+      quality.f1;
+    (* Emit a dataset CSV so the result chains into `eppi construct`. *)
+    let membership = Eppi_linkage.Linkage.to_membership linked registrations ~providers in
+    let dataset =
+      {
+        Eppi_dataset.Dataset.providers;
+        owners = linked.entities;
+        membership;
+        epsilons = Array.make linked.entities 0.5;
+      }
+    in
+    write_output output (Eppi_dataset.Dataset.to_csv dataset)
+  in
+  let term = Term.(const run $ seed_arg $ persons $ providers $ bloom $ output_arg) in
+  Cmd.v
+    (Cmd.info "link"
+       ~doc:
+         "Generate a messy multi-provider patient population, link it (optionally \
+          privacy-preservingly), and emit the linked dataset for `construct`")
+    term
+
+(* ---- inspect ---- *)
+
+let inspect_cmd =
+  let run dataset_path =
+    let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
+    print_endline (Eppi_dataset.Dataset.stats_summary dataset)
+  in
+  let term = Term.(const run $ dataset_arg) in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print dataset statistics") term
+
+let () =
+  let doc = "e-PPI: locator service with personalized privacy preservation" in
+  let info = Cmd.info "eppi" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; construct_cmd; query_cmd; evaluate_cmd; attack_cmd; link_cmd; inspect_cmd ]))

@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Array Bitmatrix Eppi Eppi_grouping Eppi_prelude Float List Printf Rng

@@ -1,0 +1,1 @@
+examples/federated_linkage.ml: Array Bitmatrix Bloom Demographic Eppi Eppi_linkage Eppi_prelude Format Linkage Printf Rng

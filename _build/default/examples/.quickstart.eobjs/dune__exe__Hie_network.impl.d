@@ -1,0 +1,1 @@
+examples/hie_network.ml: Array Eppi Eppi_locator List Locator Option Printf String

@@ -1,0 +1,1 @@
+examples/hie_network.mli:

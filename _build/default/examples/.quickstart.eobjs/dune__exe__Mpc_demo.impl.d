@@ -1,0 +1,1 @@
+examples/mpc_demo.ml: Array Bitmatrix Eppi Eppi_circuit Eppi_mpc Eppi_prelude Eppi_protocol Eppi_secretshare Eppi_sfdl Format List Modarith Printf Rng String

@@ -1,0 +1,1 @@
+examples/mpc_demo.mli:

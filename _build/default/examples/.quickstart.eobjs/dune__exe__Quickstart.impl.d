@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitmatrix Eppi Eppi_prelude List Printf Rng String

@@ -1,0 +1,1 @@
+examples/sfdl_playground.ml: Compile Eppi_circuit Eppi_mpc Eppi_prelude Eppi_sfdl Format Interp List Printf Programs Rng String

@@ -1,0 +1,1 @@
+examples/sfdl_playground.mli:

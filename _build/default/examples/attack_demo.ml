@@ -1,0 +1,93 @@
+(* The common-identity attack (paper Section II-B) demonstrated against a
+   conventional frequency-revealing PPI, against SS-PPI's construction-time
+   leak, and against ε-PPI's identity mixing.
+
+   Run with: dune exec examples/attack_demo.exe *)
+
+open Eppi_prelude
+
+let m = 50 (* providers *)
+let rare_owners = 300
+
+(* One ubiquitous owner (at every provider) among a tail of rare owners. *)
+let build_membership rng =
+  let membership = Bitmatrix.create ~rows:(rare_owners + 1) ~cols:m in
+  for p = 0 to m - 1 do
+    Bitmatrix.set membership ~row:0 ~col:p true
+  done;
+  for j = 1 to rare_owners do
+    Bitmatrix.set membership ~row:j ~col:(Rng.int rng m) true
+  done;
+  membership
+
+let () =
+  print_endline "=== Common-identity attack demo ===\n";
+  let rng = Rng.create 99 in
+  let membership = build_membership rng in
+  let epsilon = 0.75 in
+  let epsilons = Array.make (rare_owners + 1) epsilon in
+  let threshold = Eppi.Policy.sigma_threshold Eppi.Policy.Basic ~epsilon ~m in
+  Printf.printf
+    "network: %d providers, %d owners; owner 0 is common (records everywhere)\n\
+     all owners request epsilon = %.2f; common threshold sigma' = %.2f\n\n"
+    m (rare_owners + 1) epsilon threshold;
+
+  (* 1. Conventional PPI that publishes per-provider bits without mixing:
+     the attacker reads apparent frequencies straight off the index. *)
+  print_endline "[1] conventional PPI (no mixing: betas from Eq. 3, commons published as-is)";
+  let betas =
+    Array.init (rare_owners + 1) (fun j ->
+        let sigma = float_of_int (Bitmatrix.row_count membership j) /. float_of_int m in
+        Float.min 1.0 (Eppi.Policy.beta Eppi.Policy.Basic ~sigma ~epsilon ~m))
+  in
+  let published_plain = Eppi.Publish.publish_matrix (Rng.create 1) ~betas membership in
+  let attack =
+    Eppi.Attack.common_identity_attack ~membership ~published:published_plain
+      ~sigma_threshold:threshold
+  in
+  Printf.printf "    suspects: %d, truly common: %d -> attacker confidence %.2f  (%s)\n\n"
+    (List.length attack.suspected) attack.truly_common attack.confidence
+    (Eppi.Attack.level_name
+       (Eppi.Attack.classify ~guarantee:None ~worst_confidence:attack.confidence ~epsilon));
+
+  (* 2. SS-PPI: the construction itself leaks true frequencies to colluding
+     providers - the attacker needs no index analysis at all. *)
+  print_endline "[2] SS-PPI (true frequencies leaked during construction)";
+  let ss_conf =
+    Eppi_grouping.Grouping.ss_ppi_common_attack_confidence ~membership ~sigma_threshold:threshold
+  in
+  Printf.printf "    attacker confidence %.2f  (%s)\n\n" ss_conf
+    (Eppi.Attack.level_name
+       (Eppi.Attack.classify ~guarantee:None ~worst_confidence:ss_conf ~epsilon));
+
+  (* 3. e-PPI with identity mixing: decoy rows published at full frequency
+     make apparently-common identities ambiguous. *)
+  print_endline "[3] e-PPI (identity mixing, Eqs. 6-7)";
+  let r =
+    Eppi.Construct.run (Rng.create 2) ~membership ~epsilons ~policy:(Eppi.Policy.Chernoff 0.9)
+  in
+  let attack_eppi =
+    Eppi.Attack.common_identity_attack ~membership
+      ~published:(Eppi.Index.matrix r.index) ~sigma_threshold:threshold
+  in
+  let mixed_count = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 r.mixed in
+  Printf.printf "    lambda = %.4f -> %d decoy identities published as common\n" r.lambda
+    mixed_count;
+  Printf.printf "    suspects: %d, truly common: %d -> attacker confidence %.2f  (%s)\n"
+    (List.length attack_eppi.suspected) attack_eppi.truly_common attack_eppi.confidence
+    (Eppi.Attack.level_name
+       (Eppi.Attack.classify ~guarantee:(Some (1.0 -. r.xi))
+          ~worst_confidence:attack_eppi.confidence ~epsilon));
+  Printf.printf
+    "    guarantee: confidence <= 1 - xi = %.2f in expectation over the mixing draws\n\n"
+    (1.0 -. r.xi);
+
+  (* Primary attack comparison on a rare owner, for completeness. *)
+  print_endline "[bonus] primary attack on a rare owner under e-PPI";
+  let owner = 5 in
+  let conf =
+    Eppi.Attack.simulate_primary (Rng.create 3) ~membership
+      ~published:(Eppi.Index.matrix r.index) ~owner ~trials:20_000
+  in
+  Printf.printf "    empirical confidence %.3f vs bound %.3f (Chernoff holds w.p. >= 0.9)\n" conf
+    (1.0 -. epsilon)

@@ -1,0 +1,64 @@
+(* Federated patient search = record linkage + e-PPI (paper Section VI-B).
+
+   Hospitals register the same patient under messy demographics.  A
+   privacy-preserving record-linkage pass (Bloom-filter field encodings, as
+   in the Master-Patient-Index line of work the paper cites) clusters the
+   registrations into patient identities, and the resulting
+   identity-to-provider membership is exactly what ConstructPPI indexes.
+
+   Run with: dune exec examples/federated_linkage.exe *)
+
+open Eppi_prelude
+open Eppi_linkage
+
+let () =
+  print_endline "=== Federated linkage + e-PPI demo ===\n";
+  let providers = 12 in
+  let rng = Rng.create 2026 in
+  let registrations =
+    Demographic.population rng ~persons:100 ~providers ~max_registrations:4
+  in
+  Printf.printf "%d registrations across %d hospitals (100 true patients, with typos)\n"
+    (Array.length registrations) providers;
+  (match registrations.(0) with
+  | { record; provider; _ } ->
+      Format.printf "  e.g. hospital %d registered: %a@." provider Demographic.pp record);
+
+  (* Privacy-preserving linkage: hospitals exchange only keyed Bloom
+     filters of the demographic fields, never plaintext. *)
+  let config =
+    {
+      Linkage.mode = Linkage.Bloom { Bloom.bits = 256; hashes = 4; seed = 1234 };
+      match_threshold = 0.82;
+    }
+  in
+  let linked = Linkage.link config registrations in
+  let quality = Linkage.evaluate linked registrations in
+  Printf.printf
+    "\nBloom-mode linkage: %d entities found (truth: 100); precision %.3f, recall %.3f, f1 %.3f\n"
+    linked.entities quality.precision quality.recall quality.f1;
+  Printf.printf "blocking kept %d candidate pairs out of %d possible\n" linked.candidate_pairs
+    (Array.length registrations * (Array.length registrations - 1) / 2);
+
+  (* Compare with the non-private plaintext matcher. *)
+  let plain = Linkage.link Linkage.default_config registrations in
+  let plain_quality = Linkage.evaluate plain registrations in
+  Printf.printf "plaintext linkage for reference: precision %.3f, recall %.3f\n"
+    plain_quality.precision plain_quality.recall;
+
+  (* Feed the linked identities into the e-PPI. *)
+  let membership = Linkage.to_membership linked registrations ~providers in
+  let epsilons = Array.make linked.entities 0.6 in
+  let index_result =
+    Eppi.Construct.run (Rng.create 7) ~membership ~epsilons ~policy:(Eppi.Policy.Chernoff 0.9)
+  in
+  let entity = linked.assignment.(0) in
+  let truth = Bitmatrix.row_count membership entity in
+  let returned = Eppi.Index.query_count index_result.index ~owner:entity in
+  Printf.printf
+    "\ne-PPI over the linked identities: entity %d truly at %d hospitals, QueryPPI returns %d\n"
+    entity truth returned;
+  Printf.printf "recall holds: %b; attacker confidence %.3f (requested <= 0.4)\n"
+    (Eppi.Index.recall_ok ~membership index_result.index ~owner:entity)
+    (Eppi.Attack.primary_confidence ~membership
+       ~published:(Eppi.Index.matrix index_result.index) ~owner:entity)

@@ -1,0 +1,99 @@
+(* The secure construction machinery, end to end and piece by piece:
+
+   1. SecSumShare over the simulated provider network (Figure 3's example);
+   2. the CountBelow SFDL program, compiled and run under multi-party GMW;
+   3. the full distributed e-PPI construction with its performance metrics;
+   4. the pure-MPC baseline for contrast.
+
+   Run with: dune exec examples/mpc_demo.exe *)
+
+open Eppi_prelude
+
+let () =
+  print_endline "=== Secure construction demo ===\n";
+
+  (* --- 1. SecSumShare: the paper's Figure 3 worked example. --- *)
+  print_endline "[1] SecSumShare (5 providers, c = 3, q = 5, one identity)";
+  let q5 = Modarith.modulus 5 in
+  let inputs = [| [| 0 |]; [| 1 |]; [| 1 |]; [| 0 |]; [| 0 |] |] in
+  let sss = Eppi_protocol.Secsumshare.run (Rng.create 42) ~inputs ~c:3 ~q:q5 in
+  Array.iteri
+    (fun r vec -> Printf.printf "    coordinator %d holds share vector [%d]\n" r vec.(0))
+    sss.coordinator_shares;
+  let sums = Eppi_protocol.Secsumshare.reconstruct ~q:q5 sss.coordinator_shares in
+  Printf.printf "    reconstructed frequency: %d (true: 2)\n" sums.(0);
+  Printf.printf "    network: %d messages, %d bytes, %.2f ms simulated\n\n"
+    sss.net.messages_sent sss.net.bytes_sent (sss.net.completion_time *. 1000.0);
+
+  (* --- 2. CountBelow in SFDL, compiled to a circuit, run under GMW. --- *)
+  print_endline "[2] CountBelow: SFDL source -> Boolean circuit -> GMW MPC";
+  let src = Eppi_sfdl.Programs.count_below ~c:3 ~q:11 ~thresholds:[| 5; 2; 9 |] in
+  print_string (String.concat "\n" (List.map (fun l -> "    | " ^ l)
+    (String.split_on_char '\n' (String.trim src))));
+  print_newline ();
+  let compiled = Eppi_sfdl.Compile.compile_source src in
+  let stats = Eppi_circuit.Circuit.stats compiled.circuit in
+  Format.printf "    compiled: %a@." Eppi_circuit.Circuit.pp_stats stats;
+  (* Share three secret frequencies among the coordinators and evaluate. *)
+  let rng = Rng.create 7 in
+  let q11 = Modarith.modulus 11 in
+  let freqs = [| 7; 1; 9 |] in
+  let shares = Array.map (fun v -> Eppi_secretshare.Additive.share rng ~q:q11 ~c:3 v) freqs in
+  let svec k = Array.map (fun sh -> sh.(k)) shares in
+  let mpc_inputs =
+    Eppi_sfdl.Compile.encode_inputs compiled
+      [
+        ("s0", Eppi_sfdl.Compile.Dints (svec 0));
+        ("s1", Eppi_sfdl.Compile.Dints (svec 1));
+        ("s2", Eppi_sfdl.Compile.Dints (svec 2));
+      ]
+  in
+  let mpc = Eppi_mpc.Gmw.execute rng compiled.circuit ~inputs:mpc_inputs in
+  Printf.printf "    GMW: %d rounds, %d messages, %d bytes\n" mpc.comm.rounds mpc.comm.messages
+    mpc.comm.bytes;
+  (match Eppi_sfdl.Compile.decode_outputs compiled mpc.outputs with
+  | [ ("common", Dbools cs); ("freq", Dints fs); ("count", Dint k) ] ->
+      Array.iteri
+        (fun j c ->
+          Printf.printf "    identity %d: true freq %d, threshold %d -> common=%b, released=%d\n"
+            j freqs.(j) [| 5; 2; 9 |].(j) c fs.(j))
+        cs;
+      Printf.printf "    common count (drives lambda): %d\n\n" k
+  | _ -> print_endline "    unexpected output shape");
+
+  (* --- 3. Full distributed construction over the simulated network. --- *)
+  print_endline "[3] full distributed e-PPI construction (20 providers, 12 identities)";
+  let m = 20 and n = 12 in
+  let rng = Rng.create 13 in
+  let membership = Bitmatrix.create ~rows:n ~cols:m in
+  for j = 0 to n - 1 do
+    let f = if j = 0 then m else 1 + Rng.int rng 5 in
+    let chosen = Rng.sample_without_replacement rng ~k:f ~n:m in
+    Array.iter (fun p -> Bitmatrix.set membership ~row:j ~col:p true) chosen
+  done;
+  let epsilons = Array.make n 0.5 in
+  let r =
+    Eppi_protocol.Construct.run (Rng.create 17) ~membership ~epsilons
+      ~policy:(Eppi.Policy.Chernoff 0.9)
+  in
+  Printf.printf "    identity 0 (ubiquitous) flagged common: %b\n" r.common.(0);
+  Printf.printf "    lambda = %.4f, xi = %.2f\n" r.lambda r.xi;
+  let mt = r.metrics in
+  Printf.printf
+    "    simulated time: SecSumShare %.4fs + MPC %.4fs + publication %.6fs = %.4fs\n"
+    mt.secsumshare_time mt.mpc_time mt.publication_time mt.total_time;
+  Printf.printf "    traffic: %d messages, %d bytes; MPC circuit size %d\n\n" mt.messages
+    mt.bytes mt.circuit_stats.size;
+
+  (* --- 4. The pure-MPC baseline for contrast. --- *)
+  print_endline "[4] pure-MPC baseline (whole beta pipeline inside the circuit)";
+  let bits = Array.init 9 (fun i -> i < 3) in
+  let pure = Eppi_protocol.Purempc.run (Rng.create 19) ~bits ~epsilon:0.5 ~gamma:0.9 in
+  Printf.printf "    9 providers, frequency 3: circuit beta = %.4f (float reference %.4f)\n"
+    pure.beta
+    (Eppi_protocol.Purempc.reference_beta ~m:9 ~count:3 ~epsilon:0.5 ~gamma:0.9);
+  Printf.printf "    per-identity circuit: %d gates (%d AND) vs CountBelow's %d (%d AND)\n"
+    pure.circuit_stats.size pure.circuit_stats.and_gates stats.size stats.and_gates;
+  Printf.printf "    estimated time at 9 parties: %.2fs vs e-PPI's %.2fs\n"
+    (Eppi_protocol.Purempc.estimate_time ~m:9 ~identities:1 ~epsilon:0.5 ~gamma:0.9 ())
+    (Eppi_protocol.Construct.beta_phase_time_estimate ~m:9 ~identities:1 ~c:3 ())

@@ -1,0 +1,1 @@
+lib/circuit/dot.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/fixedpoint.ml: Array Circuit Float Word

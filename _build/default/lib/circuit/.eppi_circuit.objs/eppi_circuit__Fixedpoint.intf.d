@@ -1,0 +1,1 @@
+lib/circuit/fixedpoint.mli: Circuit Word

@@ -1,0 +1,1 @@
+lib/circuit/word.ml: Array Circuit List

@@ -1,0 +1,208 @@
+type wire = int
+
+type gate =
+  | Input of { party : int; index : int }
+  | Const of bool
+  | Not of wire
+  | Xor of wire * wire
+  | And of wire * wire
+
+type t = {
+  gates : gate array;
+  outputs : wire array;
+  n_parties : int;
+  input_widths : int array;
+}
+
+let gates t = t.gates
+let outputs t = t.outputs
+let num_wires t = Array.length t.gates
+let num_parties t = t.n_parties
+
+let input_width t party =
+  if party < 0 || party >= t.n_parties then invalid_arg "Circuit.input_width: bad party";
+  t.input_widths.(party)
+
+type stats = {
+  size : int;
+  and_gates : int;
+  xor_gates : int;
+  not_gates : int;
+  inputs : int;
+  and_depth : int;
+}
+
+let and_depths t =
+  let depth = Array.make (num_wires t) 0 in
+  Array.iteri
+    (fun w g ->
+      match g with
+      | Input _ | Const _ -> ()
+      | Not a -> depth.(w) <- depth.(a)
+      | Xor (a, b) -> depth.(w) <- max depth.(a) depth.(b)
+      | And (a, b) -> depth.(w) <- 1 + max depth.(a) depth.(b))
+    t.gates;
+  depth
+
+let stats t =
+  let and_gates = ref 0 and xor_gates = ref 0 and not_gates = ref 0 and inputs = ref 0 in
+  Array.iter
+    (function
+      | Input _ -> incr inputs
+      | Const _ -> ()
+      | Not _ -> incr not_gates
+      | Xor _ -> incr xor_gates
+      | And _ -> incr and_gates)
+    t.gates;
+  let depth = and_depths t in
+  let and_depth = Array.fold_left max 0 depth in
+  {
+    size = !and_gates + !xor_gates + !not_gates;
+    and_gates = !and_gates;
+    xor_gates = !xor_gates;
+    not_gates = !not_gates;
+    inputs = !inputs;
+    and_depth;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "size=%d and=%d xor=%d not=%d inputs=%d and_depth=%d" s.size
+    s.and_gates s.xor_gates s.not_gates s.inputs s.and_depth
+
+let eval t ~inputs =
+  let values = Array.make (num_wires t) false in
+  Array.iteri
+    (fun w g ->
+      values.(w) <-
+        (match g with
+        | Input { party; index } ->
+            if party >= Array.length inputs || index >= Array.length inputs.(party) then
+              invalid_arg "Circuit.eval: missing input bit";
+            inputs.(party).(index)
+        | Const b -> b
+        | Not a -> not values.(a)
+        | Xor (a, b) -> values.(a) <> values.(b)
+        | And (a, b) -> values.(a) && values.(b)))
+    t.gates;
+  Array.map (fun w -> values.(w)) t.outputs
+
+let and_layers t =
+  let depth = and_depths t in
+  let max_depth = Array.fold_left max 0 depth in
+  let layers = Array.make max_depth [] in
+  Array.iteri
+    (fun w g ->
+      match g with
+      | And _ -> layers.(depth.(w) - 1) <- w :: layers.(depth.(w) - 1)
+      | Input _ | Const _ | Not _ | Xor _ -> ())
+    t.gates;
+  Array.map (fun l -> Array.of_list (List.rev l)) layers
+
+module Builder = struct
+  type _circuit = t
+
+  type t = {
+    mutable gates : gate array;
+    mutable len : int;
+    mutable rev_outputs : wire list;
+    mutable n_parties : int;
+    mutable next_input : int array;  (* next input index per party; grows on demand *)
+  }
+
+  let create ?(n_parties = 0) () =
+    {
+      gates = Array.make 64 (Const false);
+      len = 0;
+      rev_outputs = [];
+      n_parties;
+      next_input = Array.make (max 1 n_parties) 0;
+    }
+
+  let push b g =
+    if b.len = Array.length b.gates then begin
+      let bigger = Array.make (2 * b.len) (Const false) in
+      Array.blit b.gates 0 bigger 0 b.len;
+      b.gates <- bigger
+    end;
+    b.gates.(b.len) <- g;
+    b.len <- b.len + 1;
+    b.len - 1
+
+  let gate b w = b.gates.(w)
+
+  (* Known-constant view of a wire, for folding. *)
+  let as_const b w = match gate b w with Const v -> Some v | _ -> None
+
+  let input b ~party =
+    if party < 0 then invalid_arg "Builder.input: negative party";
+    if party >= Array.length b.next_input then begin
+      let bigger = Array.make (2 * (party + 1)) 0 in
+      Array.blit b.next_input 0 bigger 0 (Array.length b.next_input);
+      b.next_input <- bigger
+    end;
+    if party >= b.n_parties then b.n_parties <- party + 1;
+    let index = b.next_input.(party) in
+    b.next_input.(party) <- index + 1;
+    push b (Input { party; index })
+
+  let const b v =
+    (* Reuse wires 0/1 when they already hold the constants. *)
+    let rec find w = if w >= min b.len 8 then None
+      else match b.gates.(w) with
+        | Const v' when v' = v -> Some w
+        | _ -> find (w + 1)
+    in
+    match find 0 with Some w -> w | None -> push b (Const v)
+
+  let not_ b a =
+    match gate b a with
+    | Const v -> const b (not v)
+    | Not inner -> inner
+    | Input _ | Xor _ | And _ -> push b (Not a)
+
+  let xor_ b a c =
+    if a = c then const b false
+    else
+      match (as_const b a, as_const b c) with
+      | Some va, Some vc -> const b (va <> vc)
+      | Some false, None -> c
+      | None, Some false -> a
+      | Some true, None -> not_ b c
+      | None, Some true -> not_ b a
+      | None, None -> push b (Xor (a, c))
+
+  let and_ b a c =
+    if a = c then a
+    else
+      match (as_const b a, as_const b c) with
+      | Some va, Some vc -> const b (va && vc)
+      | Some false, None | None, Some false -> const b false
+      | Some true, None -> c
+      | None, Some true -> a
+      | None, None -> push b (And (a, c))
+
+  let or_ b a c =
+    (* a OR b = a XOR b XOR (a AND b): stays within the XOR-complete basis. *)
+    let ab = and_ b a c in
+    xor_ b (xor_ b a c) ab
+
+  let output b w =
+    if w < 0 || w >= b.len then invalid_arg "Builder.output: unknown wire";
+    b.rev_outputs <- w :: b.rev_outputs
+
+  let finish b =
+    let gates = Array.sub b.gates 0 b.len in
+    let n_parties = b.n_parties in
+    let input_widths = Array.make (max 1 n_parties) 0 in
+    Array.iter
+      (function
+        | Input { party; index } -> input_widths.(party) <- max input_widths.(party) (index + 1)
+        | Const _ | Not _ | Xor _ | And _ -> ())
+      gates;
+    {
+      gates;
+      outputs = Array.of_list (List.rev b.rev_outputs);
+      n_parties = max 1 n_parties;
+      input_widths;
+    }
+end

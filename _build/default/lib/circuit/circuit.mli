@@ -1,0 +1,84 @@
+(** Boolean circuit intermediate representation.
+
+    This is the compilation target of the SFDL compiler and the object the
+    MPC runtime evaluates, standing in for the circuits FairplayMP generates.
+    The gate set is deliberately {i XOR-complete}: Input, Const, Not, Xor and
+    And only.  In GMW-style MPC over XOR-shared bits, Not/Xor/Const are free
+    (local) and And is the only gate that costs communication, so keeping the
+    IR in this basis makes the cost model read directly off gate counts.  The
+    builder (see {!Builder}) offers OR and other derived gates by lowering.
+
+    Wires are integers; every gate only references strictly smaller wire ids,
+    so construction order is a topological order and evaluation is a single
+    left-to-right pass. *)
+
+type wire = int
+
+type gate =
+  | Input of { party : int; index : int }
+      (** [index]-th bit of [party]'s private input, LSB-first within each
+          declared word. *)
+  | Const of bool
+  | Not of wire
+  | Xor of wire * wire
+  | And of wire * wire
+
+type t
+
+val gates : t -> gate array
+(** The gate table, indexed by wire id. *)
+
+val outputs : t -> wire array
+(** Wires whose values are revealed as the public result. *)
+
+val num_wires : t -> int
+val num_parties : t -> int
+(** One more than the largest party id appearing in an Input gate (at least
+    the value passed at build time). *)
+
+val input_width : t -> int -> int
+(** [input_width t party] is the number of input bits [party] feeds. *)
+
+type stats = {
+  size : int;  (** Logic gates (Not + Xor + And): the paper's "circuit size". *)
+  and_gates : int;  (** Interactive gates: the MPC communication driver. *)
+  xor_gates : int;
+  not_gates : int;
+  inputs : int;
+  and_depth : int;  (** Multiplicative depth = GMW round count. *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val eval : t -> inputs:bool array array -> bool array
+(** Plaintext evaluation: [inputs.(p)] holds party [p]'s input bits in
+    declaration order.  Returns the output wire values.
+    @raise Invalid_argument if an input vector is too short. *)
+
+val and_layers : t -> wire array array
+(** And-gates grouped by multiplicative depth, innermost first: layer [i]
+    contains every And wire whose operands depend on at most [i] earlier And
+    layers.  The MPC runtime processes one layer per communication round. *)
+
+(** Mutable circuit under construction.  All gate constructors perform
+    constant folding and trivial-operand simplification, so dead logic from
+    compiled programs does not inflate the size metric artificially. *)
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?n_parties:int -> unit -> t
+  val input : t -> party:int -> wire
+  (** Allocate the next input bit of [party]. *)
+
+  val const : t -> bool -> wire
+  val not_ : t -> wire -> wire
+  val xor_ : t -> wire -> wire -> wire
+  val and_ : t -> wire -> wire -> wire
+  val or_ : t -> wire -> wire -> wire
+  (** Lowered to [a XOR b XOR (a AND b)]. *)
+
+  val output : t -> wire -> unit
+  val finish : t -> circuit
+end

@@ -1,0 +1,29 @@
+let to_dot c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph circuit {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun w g ->
+      let label, shape =
+        match g with
+        | Circuit.Input { party; index } -> (Printf.sprintf "in p%d[%d]" party index, "box")
+        | Const b -> ((if b then "1" else "0"), "plaintext")
+        | Not _ -> ("NOT", "invtriangle")
+        | Xor _ -> ("XOR", "circle")
+        | And _ -> ("AND", "circle")
+      in
+      Buffer.add_string buf (Printf.sprintf "  w%d [label=\"%s\" shape=%s];\n" w label shape);
+      let edge src = Buffer.add_string buf (Printf.sprintf "  w%d -> w%d;\n" src w) in
+      match g with
+      | Input _ | Const _ -> ()
+      | Not a -> edge a
+      | Xor (a, b) | And (a, b) ->
+          edge a;
+          edge b)
+    (Circuit.gates c);
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf (Printf.sprintf "  out%d [label=\"out[%d]\" shape=doublecircle];\n" i i);
+      Buffer.add_string buf (Printf.sprintf "  w%d -> out%d;\n" w i))
+    (Circuit.outputs c);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,3 @@
+(** Graphviz DOT export of circuits, for documentation and debugging. *)
+
+val to_dot : Circuit.t -> string

@@ -1,0 +1,179 @@
+module B = Circuit.Builder
+
+type word = Circuit.wire array
+
+let bits_for v =
+  if v < 0 then invalid_arg "Word.bits_for: negative value";
+  let rec go v acc = if v = 0 then max 1 acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let const_int b ~width v =
+  if width <= 0 then invalid_arg "Word.const_int: width must be positive";
+  Array.init width (fun i -> B.const b ((v lsr i) land 1 = 1))
+
+let input_word b ~party ~width = Array.init width (fun _ -> B.input b ~party)
+
+let to_int bits =
+  Array.to_list bits
+  |> List.rev
+  |> List.fold_left (fun acc bit -> (acc lsl 1) lor if bit then 1 else 0) 0
+
+let zero_extend b w width =
+  if Array.length w >= width then w
+  else Array.init width (fun i -> if i < Array.length w then w.(i) else B.const b false)
+
+(* Full adder: sum = a^b^cin, cout = (a&b) ^ (cin & (a^b)). *)
+let full_adder b a c cin =
+  let axc = B.xor_ b a c in
+  let s = B.xor_ b axc cin in
+  let cout = B.xor_ b (B.and_ b a c) (B.and_ b cin axc) in
+  (s, cout)
+
+let ripple b x y ~cin ~width =
+  let x = zero_extend b x width and y = zero_extend b y width in
+  let bits = Array.make width cin (* placeholder *) in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let s, cout = full_adder b x.(i) y.(i) !carry in
+    bits.(i) <- s;
+    carry := cout
+  done;
+  (bits, !carry)
+
+let add b x y =
+  let width = max (Array.length x) (Array.length y) in
+  let bits, carry = ripple b x y ~cin:(B.const b false) ~width in
+  Array.append bits [| carry |]
+
+let add_mod b ~width x y =
+  let bits, _carry = ripple b x y ~cin:(B.const b false) ~width in
+  bits
+
+let rec sum b = function
+  | [] -> [| B.const b false |]
+  | [ w ] -> w
+  | words ->
+      (* Combine adjacent pairs so depth stays logarithmic. *)
+      let rec pair = function
+        | [] -> []
+        | [ w ] -> [ w ]
+        | w1 :: w2 :: rest -> add b w1 w2 :: pair rest
+      in
+      sum b (pair words)
+
+let popcount b wires = sum b (Array.to_list wires |> List.map (fun w -> [| w |]))
+
+let sub b x y =
+  let width = max (Array.length x) (Array.length y) in
+  let y = zero_extend b y width in
+  let noty = Array.map (fun w -> B.not_ b w) y in
+  let bits, _carry = ripple b x noty ~cin:(B.const b true) ~width in
+  bits
+
+(* a >= b iff the carry out of a + not(b) + 1 is set (no borrow in a - b). *)
+let ge b x y =
+  let width = max (Array.length x) (Array.length y) in
+  let x = zero_extend b x width and y = zero_extend b y width in
+  let noty = Array.map (fun w -> B.not_ b w) y in
+  let _, carry = ripple b x noty ~cin:(B.const b true) ~width in
+  carry
+
+let lt b x y = B.not_ b (ge b x y)
+
+let equal b x y =
+  let width = max (Array.length x) (Array.length y) in
+  let x = zero_extend b x width and y = zero_extend b y width in
+  let eq_bits = Array.init width (fun i -> B.not_ b (B.xor_ b x.(i) y.(i))) in
+  (* AND-tree keeps multiplicative depth logarithmic. *)
+  let rec tree = function
+    | [] -> B.const b true
+    | [ w ] -> w
+    | ws ->
+        let rec pair = function
+          | [] -> []
+          | [ w ] -> [ w ]
+          | w1 :: w2 :: rest -> B.and_ b w1 w2 :: pair rest
+        in
+        tree (pair ws)
+  in
+  tree (Array.to_list eq_bits)
+
+let mux b sel w_then w_else =
+  let width = max (Array.length w_then) (Array.length w_else) in
+  let w_then = zero_extend b w_then width and w_else = zero_extend b w_else width in
+  Array.init width (fun i ->
+      (* else ^ (sel & (then ^ else)): one AND per bit. *)
+      B.xor_ b w_else.(i) (B.and_ b sel (B.xor_ b w_then.(i) w_else.(i))))
+
+let mul b x y =
+  let wx = Array.length x and wy = Array.length y in
+  (* Shift-and-add: one AND row plus one adder per multiplier bit. *)
+  let partials =
+    List.init wy (fun i ->
+        let row = Array.map (fun xb -> B.and_ b xb y.(i)) x in
+        Array.append (Array.init i (fun _ -> B.const b false)) row)
+  in
+  let product = sum b partials in
+  if Array.length product >= wx + wy then Array.sub product 0 (wx + wy)
+  else zero_extend b product (wx + wy)
+
+let divmod b dividend divisor =
+  let n = Array.length dividend in
+  let rw = Array.length divisor + 1 in
+  let quotient = Array.make n (B.const b false) in
+  (* Restoring division, MSB first; the remainder register is one bit wider
+     than the divisor so the shifted-in bit never overflows. *)
+  let rem = ref (Array.init rw (fun _ -> B.const b false)) in
+  let divisor_ext = zero_extend b divisor rw in
+  for i = n - 1 downto 0 do
+    let shifted = Array.init rw (fun j -> if j = 0 then dividend.(i) else !rem.(j - 1)) in
+    let fits = ge b shifted divisor_ext in
+    let diff = sub b shifted divisor_ext in
+    rem := mux b fits diff shifted;
+    quotient.(i) <- fits
+  done;
+  (quotient, Array.sub !rem 0 (Array.length divisor))
+
+let sqrt b x =
+  let n = Array.length x in
+  let pairs = (n + 1) / 2 in
+  let x = zero_extend b x (2 * pairs) in
+  let rw = pairs + 2 in
+  let rem = ref (Array.init rw (fun _ -> B.const b false)) in
+  let root = ref [||] in
+  for i = pairs - 1 downto 0 do
+    (* Shift in the next two dividend bits. *)
+    let shifted =
+      Array.init rw (fun j ->
+          if j = 0 then x.(2 * i)
+          else if j = 1 then x.((2 * i) + 1)
+          else !rem.(j - 2))
+    in
+    (* Trial subtrahend is (root << 2) | 1. *)
+    let trial =
+      Array.init rw (fun j ->
+          if j = 0 then B.const b true
+          else if j = 1 then B.const b false
+          else if j - 2 < Array.length !root then !root.(j - 2)
+          else B.const b false)
+    in
+    let fits = ge b shifted trial in
+    let diff = sub b shifted trial in
+    rem := mux b fits diff shifted;
+    root := Array.append [| fits |] !root
+  done;
+  !root
+
+let reduce_mod b w ~modulus ~steps =
+  if modulus <= 0 then invalid_arg "Word.reduce_mod: modulus must be positive";
+  let width = max (Array.length w) (bits_for modulus) in
+  let q = const_int b ~width modulus in
+  let cur = ref (zero_extend b w width) in
+  for _ = 1 to steps do
+    let fits = ge b !cur q in
+    let diff = sub b !cur q in
+    cur := mux b fits diff !cur
+  done;
+  Array.sub !cur 0 (bits_for (modulus - 1))
+
+let output_word b w = Array.iter (fun bit -> B.output b bit) w

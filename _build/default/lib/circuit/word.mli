@@ -1,0 +1,72 @@
+(** Word-level combinators over {!Circuit.Builder}.
+
+    A word is an unsigned integer laid out as a wire array, least significant
+    bit first.  These are the gadgets the SFDL compiler and the hand-built
+    protocol circuits are made of: ripple adders, subtract-based comparators,
+    multiplexers and popcounts.  Gate counts follow the classical ripple
+    constructions (2 AND per full-adder bit, 1 AND per mux bit), which is what
+    makes the reproduced circuit-size curves meaningful. *)
+
+type word = Circuit.wire array
+
+val const_int : Circuit.Builder.t -> width:int -> int -> word
+(** [const_int b ~width v] encodes [v mod 2^width]. *)
+
+val input_word : Circuit.Builder.t -> party:int -> width:int -> word
+(** Allocate [width] fresh input bits of [party]. *)
+
+val to_int : bool array -> int
+(** Interpret evaluated output bits (LSB first) as an unsigned int. *)
+
+val zero_extend : Circuit.Builder.t -> word -> int -> word
+(** Pad with constant zeros up to the given width (no-op if already wider). *)
+
+val add : Circuit.Builder.t -> word -> word -> word
+(** Full-width sum: result is one bit wider than the widest operand. *)
+
+val add_mod : Circuit.Builder.t -> width:int -> word -> word -> word
+(** Sum modulo 2^width (carry dropped). *)
+
+val sum : Circuit.Builder.t -> word list -> word
+(** Balanced adder tree; [sum b []] is the 1-bit zero word. *)
+
+val popcount : Circuit.Builder.t -> Circuit.wire array -> word
+(** Number of set bits among the given wires. *)
+
+val sub : Circuit.Builder.t -> word -> word -> word
+(** Two's-complement difference at the common width; unsigned interpretation
+    is valid when the first operand is at least the second. *)
+
+val mul : Circuit.Builder.t -> word -> word -> word
+(** Shift-and-add product; result width is the sum of operand widths. *)
+
+val divmod : Circuit.Builder.t -> word -> word -> word * word
+(** Restoring division: [(quotient, remainder)].  Unsigned; a zero divisor
+    yields quotient all-ones and remainder equal to the dividend (hardware
+    convention), so callers must guard if that matters. *)
+
+val sqrt : Circuit.Builder.t -> word -> word
+(** Integer square root (floor), digit-by-digit method; result has half the
+    input width (rounded up). *)
+
+val reduce_mod : Circuit.Builder.t -> word -> modulus:int -> steps:int -> word
+(** [reduce_mod b w ~modulus ~steps] subtracts [modulus] conditionally
+    [steps] times — exact when the value is below [steps+1] times the
+    modulus, which is the case for a sum of [steps+1] canonical residues.
+    Result width is [bits_for (modulus-1)]. *)
+
+val lt : Circuit.Builder.t -> word -> word -> Circuit.wire
+(** Unsigned [a < b]; operands are zero-extended to a common width. *)
+
+val ge : Circuit.Builder.t -> word -> word -> Circuit.wire
+val equal : Circuit.Builder.t -> word -> word -> Circuit.wire
+
+val mux : Circuit.Builder.t -> Circuit.wire -> word -> word -> word
+(** [mux b sel w_then w_else]; operands are zero-extended to a common
+    width. *)
+
+val output_word : Circuit.Builder.t -> word -> unit
+(** Mark every bit of the word as a circuit output, LSB first. *)
+
+val bits_for : int -> int
+(** Minimum width that can represent the given non-negative value. *)

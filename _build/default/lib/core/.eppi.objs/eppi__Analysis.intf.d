@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Eppi_prelude Policy Rng

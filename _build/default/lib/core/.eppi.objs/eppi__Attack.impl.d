@@ -1,0 +1,1 @@
+lib/core/attack.ml: Array Bitmatrix Bitvec Eppi_prelude List Metrics Rng

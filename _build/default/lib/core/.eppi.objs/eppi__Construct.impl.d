@@ -1,0 +1,1 @@
+lib/core/construct.ml: Array Bitmatrix Bitvec Eppi_prelude Float Fun Index List Mixing Policy Publish

@@ -1,0 +1,1 @@
+lib/core/construct.mli: Bitmatrix Eppi_prelude Index Mixing Policy Rng

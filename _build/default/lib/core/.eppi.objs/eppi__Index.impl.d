@@ -1,0 +1,1 @@
+lib/core/index.ml: Bitmatrix Bitvec Buffer Eppi_prelude List Printf Scanf String

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Bitmatrix Eppi_prelude Fun List

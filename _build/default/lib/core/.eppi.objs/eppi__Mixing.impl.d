@@ -1,0 +1,1 @@
+lib/core/mixing.ml: Array Eppi_prelude Float

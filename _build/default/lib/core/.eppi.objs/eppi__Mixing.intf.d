@@ -1,0 +1,1 @@
+lib/core/mixing.mli: Eppi_prelude

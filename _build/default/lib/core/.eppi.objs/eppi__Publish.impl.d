@@ -1,0 +1,1 @@
+lib/core/publish.ml: Array Bitmatrix Bitvec Eppi_prelude Float Rng Sampling

@@ -1,0 +1,1 @@
+lib/core/publish.mli: Bitmatrix Bitvec Eppi_prelude Rng

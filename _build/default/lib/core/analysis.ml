@@ -1,0 +1,81 @@
+
+let trial_success rng ~beta ~frequency ~epsilon ~m =
+  if frequency < 0 || frequency > m then invalid_arg "Analysis.trial_success: bad frequency";
+  let negatives = m - frequency in
+  if frequency = 0 then true (* empty rows disclose nothing *)
+  else if beta >= 1.0 then
+    float_of_int negatives /. float_of_int m >= epsilon
+  else begin
+    let fp = Publish.false_positives rng ~beta ~negatives in
+    float_of_int fp /. float_of_int (fp + frequency) >= epsilon
+  end
+
+let empirical_success_with_beta rng ~beta ~frequency ~epsilon ~m ~trials =
+  if trials <= 0 then invalid_arg "Analysis: trials must be positive";
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    if trial_success rng ~beta ~frequency ~epsilon ~m then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials
+
+let empirical_success rng ~policy ~frequency ~epsilon ~m ~trials =
+  let sigma = float_of_int frequency /. float_of_int m in
+  let beta = Policy.beta policy ~sigma ~epsilon ~m in
+  empirical_success_with_beta rng ~beta ~frequency ~epsilon ~m ~trials
+
+let log_factorial =
+  (* Memoized log n! via lgamma-free accumulation. *)
+  let cache = ref [| 0.0 |] in
+  fun n ->
+    let c = !cache in
+    if n < Array.length c then c.(n)
+    else begin
+      let bigger = Array.make (n + 1) 0.0 in
+      Array.blit c 0 bigger 0 (Array.length c);
+      for i = Array.length c to n do
+        bigger.(i) <- bigger.(i - 1) +. log (float_of_int i)
+      done;
+      cache := bigger;
+      bigger.(n)
+    end
+
+let log_binomial_pmf ~n ~p k =
+  log_factorial n -. log_factorial k
+  -. log_factorial (n - k)
+  +. (float_of_int k *. log p)
+  +. (float_of_int (n - k) *. log (1.0 -. p))
+
+let exact_success ~beta ~frequency ~epsilon ~m =
+  if frequency < 0 || frequency > m then invalid_arg "Analysis.exact_success: bad frequency";
+  if frequency = 0 then 1.0
+  else if beta >= 1.0 then
+    if float_of_int (m - frequency) /. float_of_int m >= epsilon then 1.0 else 0.0
+  else if epsilon <= 0.0 then 1.0
+  else if epsilon >= 1.0 then 0.0
+  else if beta <= 0.0 then 0.0
+  else begin
+    (* fp = X/(X+f) >= eps  <=>  X >= f eps/(1-eps). *)
+    let negatives = m - frequency in
+    let threshold =
+      int_of_float
+        (Float.ceil (float_of_int frequency *. epsilon /. (1.0 -. epsilon) -. 1e-12))
+    in
+    if threshold > negatives then 0.0
+    else begin
+      let acc = ref 0.0 in
+      for k = threshold to negatives do
+        acc := !acc +. exp (log_binomial_pmf ~n:negatives ~p:beta k)
+      done;
+      Float.min 1.0 !acc
+    end
+  end
+
+let expected_false_positive_rate ~beta ~frequency ~m =
+  let beta = Float.min beta 1.0 in
+  let noise = float_of_int (m - frequency) *. beta in
+  if noise +. float_of_int frequency = 0.0 then 1.0
+  else noise /. (noise +. float_of_int frequency)
+
+let expected_query_cost ~beta ~frequency ~m =
+  let beta = Float.min beta 1.0 in
+  float_of_int frequency +. (float_of_int (m - frequency) *. beta)

@@ -1,0 +1,95 @@
+open Eppi_prelude
+
+type privacy_level = Unleaked | E_private | No_guarantee | No_protect
+
+let level_name = function
+  | Unleaked -> "UNLEAKED"
+  | E_private -> "e-PRIVATE"
+  | No_guarantee -> "NO-GUARANTEE"
+  | No_protect -> "NO-PROTECT"
+
+let simulate_primary rng ~membership ~published ~owner ~trials =
+  if trials <= 0 then invalid_arg "Attack.simulate_primary: trials must be positive";
+  let row = Bitmatrix.row published owner in
+  let positives = Array.of_list (Bitvec.to_index_list row) in
+  if Array.length positives = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      let target = positives.(Rng.int rng (Array.length positives)) in
+      if Bitmatrix.get membership ~row:owner ~col:target then incr hits
+    done;
+    float_of_int !hits /. float_of_int trials
+  end
+
+let primary_confidence ~membership ~published ~owner =
+  Metrics.attacker_confidence ~membership ~published ~owner
+
+type common_attack_result = {
+  suspected : int list;
+  truly_common : int;
+  confidence : float;
+}
+
+let common_identity_attack ~membership ~published ~sigma_threshold =
+  let n = Bitmatrix.rows membership in
+  let m = Bitmatrix.cols membership in
+  let cutoff = sigma_threshold *. float_of_int m in
+  let suspected = ref [] in
+  let truly_common = ref 0 in
+  for j = n - 1 downto 0 do
+    if float_of_int (Bitmatrix.row_count published j) >= cutoff then begin
+      suspected := j :: !suspected;
+      if float_of_int (Bitmatrix.row_count membership j) >= cutoff then incr truly_common
+    end
+  done;
+  let count = List.length !suspected in
+  {
+    suspected = !suspected;
+    truly_common = !truly_common;
+    confidence = (if count = 0 then 0.0 else float_of_int !truly_common /. float_of_int count);
+  }
+
+let colluding_confidence ~membership ~published ~owner ~colluders =
+  let m = Bitmatrix.cols membership in
+  let is_colluder = Array.make m false in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= m then invalid_arg "Attack.colluding_confidence: bad provider id";
+      is_colluder.(p) <- true)
+    colluders;
+  let outside = ref 0 and true_outside = ref 0 in
+  Bitvec.iter_set
+    (fun p ->
+      if not is_colluder.(p) then begin
+        incr outside;
+        if Bitmatrix.get membership ~row:owner ~col:p then incr true_outside
+      end)
+    (Bitmatrix.row published owner);
+  if !outside = 0 then 0.0 else float_of_int !true_outside /. float_of_int !outside
+
+let intersection_attack ~membership ~published_list ~owner =
+  match published_list with
+  | [] -> invalid_arg "Attack.intersection_attack: no published versions"
+  | first :: rest ->
+      let row =
+        List.fold_left
+          (fun acc published -> Bitvec.inter acc (Bitmatrix.row published owner))
+          (Bitvec.copy (Bitmatrix.row first owner))
+          rest
+      in
+      let positives = Bitvec.count row in
+      if positives = 0 then 0.0
+      else begin
+        let true_positives =
+          Bitvec.fold_set
+            (fun acc p -> if Bitmatrix.get membership ~row:owner ~col:p then acc + 1 else acc)
+            0 row
+        in
+        float_of_int true_positives /. float_of_int positives
+      end
+
+let classify ~guarantee ~worst_confidence ~epsilon =
+  match guarantee with
+  | Some bound when bound <= 1.0 -. epsilon +. 1e-9 -> E_private
+  | Some _ | None -> if worst_confidence >= 1.0 -. 1e-9 then No_protect else No_guarantee

@@ -1,0 +1,76 @@
+(** Attack implementations and privacy-degree classification (Section II-B).
+
+    Two attacks from the threat model:
+
+    - {b Primary attack}: pick an owner and one of the providers its
+      published row marks positive, and claim the membership is real.  The
+      attacker's best strategy against a uniform row is a uniform pick, so
+      the expected confidence is exactly 1 - fp_j; [simulate_primary]
+      measures it empirically.
+    - {b Common-identity attack}: read apparent frequencies off the public
+      index, pick the identities that look common, and claim they are truly
+      common (once an identity is known common, {i any} provider is a true
+      positive).  Against an index that reveals true frequencies this
+      succeeds with certainty; against ε-PPI the mixed decoys bound the
+      confidence by 1 - ξ.
+
+    [classify] turns a measured confidence into the paper's qualitative
+    degrees for the Table II reproduction. *)
+
+open Eppi_prelude
+
+type privacy_level = Unleaked | E_private | No_guarantee | No_protect
+
+val level_name : privacy_level -> string
+
+val simulate_primary :
+  Rng.t -> membership:Bitmatrix.t -> published:Bitmatrix.t -> owner:int -> trials:int -> float
+(** Empirical success rate of [trials] independent primary attacks on the
+    owner (uniform choice among published positives).  A row with no
+    published positive cannot be attacked: returns 0. *)
+
+val primary_confidence : membership:Bitmatrix.t -> published:Bitmatrix.t -> owner:int -> float
+(** Exact expected confidence (= 1 - fp_j). *)
+
+type common_attack_result = {
+  suspected : int list;  (** Identities the attacker flags as common. *)
+  truly_common : int;  (** How many of those are truly common. *)
+  confidence : float;  (** truly_common / |suspected|; 0 when no suspects. *)
+}
+
+val common_identity_attack :
+  membership:Bitmatrix.t ->
+  published:Bitmatrix.t ->
+  sigma_threshold:float ->
+  common_attack_result
+(** The attacker flags every identity whose {i apparent} frequency is at
+    least [sigma_threshold] * m; ground truth uses the same threshold on
+    true frequencies. *)
+
+val colluding_confidence :
+  membership:Bitmatrix.t -> published:Bitmatrix.t -> owner:int -> colluders:int list -> float
+(** The colluding-providers refinement the paper defers to its technical
+    report: the attacker controls the [colluders] and knows their true
+    membership bits, so she discounts them from the published row and
+    attacks only the remaining positives.  Returns her expected confidence —
+    the fraction of true positives among the published positives {i outside}
+    the colluding set (0 when none remain).  Collusion can only help her:
+    the result is at least {!primary_confidence} restricted to the same row
+    whenever the row extends beyond the colluders. *)
+
+val intersection_attack :
+  membership:Bitmatrix.t -> published_list:Bitmatrix.t list -> owner:int -> float
+(** Why the index must stay static (Section III-C: "ǫ-PPI is fully
+    resistant to repeated attacks … because the ǫ-PPI is static"): if the
+    network {i republished} with fresh randomness, noise would differ
+    between versions while true positives persist, so intersecting the
+    owner's rows across versions strips the noise.  Returns the attacker's
+    confidence against the intersected row.
+    @raise Invalid_argument on an empty list. *)
+
+val classify :
+  guarantee:float option -> worst_confidence:float -> epsilon:float -> privacy_level
+(** Map measurements to a degree: [guarantee = Some bound] means the system
+    proves confidence <= bound; ε-PRIVATE requires bound <= 1 - ε.  With no
+    proven bound, a worst-case confidence of 1.0 is NO-PROTECT, anything
+    else NO-GUARANTEE. *)

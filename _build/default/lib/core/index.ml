@@ -1,0 +1,50 @@
+open Eppi_prelude
+
+type t = { matrix : Bitmatrix.t }
+
+let of_matrix matrix = { matrix }
+let matrix t = t.matrix
+let providers t = Bitmatrix.cols t.matrix
+let owners t = Bitmatrix.rows t.matrix
+
+let query t ~owner = Bitvec.to_index_list (Bitmatrix.row t.matrix owner)
+let query_count t ~owner = Bitmatrix.row_count t.matrix owner
+let apparent_frequency = query_count
+
+let recall_ok ~membership t ~owner =
+  let true_row = Bitmatrix.row membership owner in
+  let published_row = Bitmatrix.row t.matrix owner in
+  Bitvec.count (Bitvec.diff true_row published_row) = 0
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# eppi-index owners=%d providers=%d\n" (owners t) (providers t));
+  for j = 0 to owners t - 1 do
+    Bitvec.iter_set
+      (fun p -> Buffer.add_string buf (Printf.sprintf "%d,%d\n" j p))
+      (Bitmatrix.row t.matrix j)
+  done;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  match lines with
+  | header :: rest ->
+      let owners, providers =
+        try Scanf.sscanf header "# eppi-index owners=%d providers=%d" (fun o p -> (o, p))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          failwith "Index.of_csv: bad header"
+      in
+      if owners <= 0 || providers <= 0 then failwith "Index.of_csv: bad dimensions";
+      let matrix = Bitmatrix.create ~rows:owners ~cols:providers in
+      List.iteri
+        (fun lineno line ->
+          if line <> "" then
+            match String.split_on_char ',' line with
+            | [ j; p ] ->
+                Bitmatrix.set matrix ~row:(int_of_string j) ~col:(int_of_string p) true
+            | _ -> failwith (Printf.sprintf "Index.of_csv: bad line %d" (lineno + 2)))
+        rest;
+      { matrix }
+  | [] -> failwith "Index.of_csv: empty input"

@@ -1,0 +1,37 @@
+(** The published privacy-preserving index and its query operation.
+
+    Once constructed, the PPI is a static matrix on the third-party locator
+    server; QueryPPI(t_j) is a row lookup returning the obscured provider
+    list (paper Section II-A). *)
+
+open Eppi_prelude
+
+type t
+
+val of_matrix : Bitmatrix.t -> t
+(** Rows are owners, columns providers. *)
+
+val matrix : t -> Bitmatrix.t
+val providers : t -> int
+val owners : t -> int
+
+val query : t -> owner:int -> int list
+(** Provider ids that may hold the owner's records, ascending. *)
+
+val query_count : t -> owner:int -> int
+(** Size of the query result — the search-cost driver. *)
+
+val apparent_frequency : t -> owner:int -> int
+(** What an observer of the public index sees as the owner's frequency
+    (identical to {!query_count}; named for the attack code's vocabulary). *)
+
+val recall_ok : membership:Bitmatrix.t -> t -> owner:int -> bool
+(** True iff every true-positive provider appears in the query result —
+    the 100%-recall invariant of truthful publication. *)
+
+val to_csv : t -> string
+(** Persist the published matrix: a dimension header plus one
+    [owner,provider] line per published positive. *)
+
+val of_csv : string -> t
+(** Inverse of {!to_csv}. @raise Failure on malformed input. *)

@@ -1,0 +1,36 @@
+open Eppi_prelude
+
+let false_positive_rate ~membership ~published ~owner =
+  let true_count = Bitmatrix.row_count membership owner in
+  if true_count = 0 then 1.0
+  else begin
+    let published_count = Bitmatrix.row_count published owner in
+    (* Truthful publication guarantees published >= true. *)
+    float_of_int (published_count - true_count) /. float_of_int published_count
+  end
+
+let attacker_confidence ~membership ~published ~owner =
+  1.0 -. false_positive_rate ~membership ~published ~owner
+
+let owner_success ~membership ~published ~epsilon ~owner =
+  false_positive_rate ~membership ~published ~owner >= epsilon
+
+let success_ratio_for ~membership ~published ~epsilons ~owners =
+  match owners with
+  | [] -> invalid_arg "Metrics.success_ratio_for: empty owner set"
+  | _ ->
+      let total = List.length owners in
+      let ok =
+        List.fold_left
+          (fun acc j ->
+            if owner_success ~membership ~published ~epsilon:epsilons.(j) ~owner:j then acc + 1
+            else acc)
+          0 owners
+      in
+      float_of_int ok /. float_of_int total
+
+let success_ratio ~membership ~published ~epsilons =
+  let n = Bitmatrix.rows membership in
+  if Array.length epsilons <> n || Bitmatrix.rows published <> n then
+    invalid_arg "Metrics.success_ratio: dimension mismatch";
+  success_ratio_for ~membership ~published ~epsilons ~owners:(List.init n Fun.id)

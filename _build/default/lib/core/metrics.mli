@@ -1,0 +1,33 @@
+(** Privacy metrics (paper Section II-C).
+
+    The per-owner disclosure metric is the attacker's expected confidence
+    Pr[M(i,j)=1 | M'(i,j)=1] = 1 - fp_j, where fp_j is the false-positive
+    rate of owner j's published row.  The ε-PRIVATE requirement is
+    fp_j >= ε_j, and the evaluation's headline number is the {i success
+    ratio}: the fraction of owners meeting their requirement.
+
+    Rows with no true positive (σ = 0) disclose nothing; their fp is defined
+    as 1 so they always count as successes. *)
+
+open Eppi_prelude
+
+val false_positive_rate : membership:Bitmatrix.t -> published:Bitmatrix.t -> owner:int -> float
+(** fp_j = (published positives that are false) / (published positives);
+    1.0 when the row has no true positive. *)
+
+val attacker_confidence : membership:Bitmatrix.t -> published:Bitmatrix.t -> owner:int -> float
+(** 1 - fp_j. *)
+
+val owner_success :
+  membership:Bitmatrix.t -> published:Bitmatrix.t -> epsilon:float -> owner:int -> bool
+(** fp_j >= ε_j. *)
+
+val success_ratio :
+  membership:Bitmatrix.t -> published:Bitmatrix.t -> epsilons:float array -> float
+(** Fraction of owners achieving their requirement.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val success_ratio_for :
+  membership:Bitmatrix.t -> published:Bitmatrix.t -> epsilons:float array -> owners:int list -> float
+(** Success ratio restricted to a subset of owners (the sweeps bucket owners
+    by frequency). *)

@@ -1,0 +1,34 @@
+let lambda ~xi ~n_common ~n_total =
+  if xi < 0.0 || xi >= 1.0 then invalid_arg "Mixing.lambda: xi out of [0, 1)";
+  if n_common < 0 || n_total < 0 || n_common > n_total then
+    invalid_arg "Mixing.lambda: bad counts";
+  if n_common = 0 then 0.0
+  else if n_common = n_total then 1.0
+  else begin
+    let c = float_of_int n_common and rest = float_of_int (n_total - n_common) in
+    Float.min 1.0 (xi /. (1.0 -. xi) *. (c /. rest))
+  end
+
+let decoy_fraction ~lambda ~n_common ~n_total =
+  if n_common = 0 then 1.0
+  else begin
+    let decoys = lambda *. float_of_int (n_total - n_common) in
+    decoys /. (decoys +. float_of_int n_common)
+  end
+
+let mix rng ~lambda = Eppi_prelude.Rng.bernoulli rng lambda
+
+type mode = Bernoulli | Exact_count
+
+let mode_name = function Bernoulli -> "bernoulli" | Exact_count -> "exact-count"
+
+let select_decoys rng ~mode ~lambda ~candidates =
+  let n = Array.length candidates in
+  match mode with
+  | Bernoulli -> Array.map (fun _ -> mix rng ~lambda) candidates
+  | Exact_count ->
+      let k = min n (int_of_float (Float.ceil (lambda *. float_of_int n))) in
+      let chosen = Eppi_prelude.Rng.sample_without_replacement rng ~k ~n in
+      let mask = Array.make n false in
+      Array.iter (fun slot -> mask.(slot) <- true) chosen;
+      mask

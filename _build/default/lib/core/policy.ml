@@ -1,0 +1,70 @@
+type t = Basic | Inc_exp of float | Chernoff of float
+
+let name = function
+  | Basic -> "basic"
+  | Inc_exp delta -> Printf.sprintf "inc-exp(%.2f)" delta
+  | Chernoff gamma -> Printf.sprintf "chernoff(%.2f)" gamma
+
+let check_unit label v =
+  if v < 0.0 || v > 1.0 then invalid_arg (Printf.sprintf "Policy: %s out of [0, 1]" label)
+
+let beta_basic ~sigma ~epsilon =
+  check_unit "sigma" sigma;
+  check_unit "epsilon" epsilon;
+  if epsilon <= 0.0 || sigma <= 0.0 then 0.0
+  else if sigma >= 1.0 || epsilon >= 1.0 then infinity
+  else
+    (* Eq. 3: β_b = [(1/σ - 1)(1/ε - 1)]⁻¹ *)
+    1.0 /. (((1.0 /. sigma) -. 1.0) *. ((1.0 /. epsilon) -. 1.0))
+
+let beta policy ~sigma ~epsilon ~m =
+  if m <= 0 then invalid_arg "Policy.beta: m must be positive";
+  let bb = beta_basic ~sigma ~epsilon in
+  match policy with
+  | Basic -> bb
+  | Inc_exp delta -> if bb = 0.0 then 0.0 else bb +. delta
+  | Chernoff gamma ->
+      check_unit "gamma" gamma;
+      if bb = 0.0 then 0.0
+      else if sigma >= 1.0 then infinity
+      else begin
+        (* Eq. 5: β_c = β_b + G + sqrt(G² + 2 β_b G). *)
+        let g = log (1.0 /. (1.0 -. gamma)) /. ((1.0 -. sigma) *. float_of_int m) in
+        bb +. g +. sqrt ((g *. g) +. (2.0 *. bb *. g))
+      end
+
+let is_common policy ~sigma ~epsilon ~m = beta policy ~sigma ~epsilon ~m >= 1.0
+
+let sigma_threshold policy ~epsilon ~m =
+  check_unit "epsilon" epsilon;
+  if epsilon <= 0.0 then 1.0
+  else
+    match policy with
+    | Basic ->
+        (* β_b = 1 at exactly σ = 1 - ε. *)
+        1.0 -. epsilon
+    | Inc_exp _ | Chernoff _ ->
+        (* β* is monotone increasing in σ: bisect for β*(σ') = 1. *)
+        let rec bisect lo hi iters =
+          if iters = 0 then (lo +. hi) /. 2.0
+          else begin
+            let mid = (lo +. hi) /. 2.0 in
+            if beta policy ~sigma:mid ~epsilon ~m >= 1.0 then bisect lo mid (iters - 1)
+            else bisect mid hi (iters - 1)
+          end
+        in
+        if beta policy ~sigma:0.0 ~epsilon ~m >= 1.0 then 0.0 else bisect 0.0 1.0 60
+
+let analytic_success_bound ~beta ~sigma ~epsilon ~m =
+  check_unit "sigma" sigma;
+  check_unit "epsilon" epsilon;
+  if beta >= 1.0 then 1.0
+  else begin
+    let bb = beta_basic ~sigma ~epsilon in
+    if beta <= bb || beta <= 0.0 then 0.0
+    else begin
+      (* Eq. 11: pp >= 1 - exp(-δ² m (1-σ) β / 2) with δ = 1 - β_b/β. *)
+      let delta = 1.0 -. (bb /. beta) in
+      1.0 -. exp (-.(delta *. delta) *. float_of_int m *. (1.0 -. sigma) *. beta /. 2.0)
+    end
+  end

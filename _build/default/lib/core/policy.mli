@@ -1,0 +1,51 @@
+(** β-calculation policies (paper Section III-B).
+
+    Given an identity with relative frequency sigma and privacy degree
+    epsilon, a policy chooses the probability β with which each negative
+    provider flips its 0 to a published 1.  The three policies are the
+    paper's:
+
+    - {b Basic} (Eq. 3): β_b = [(1/σ - 1)(1/ε - 1)]⁻¹, which makes the
+      {i expected} false-positive rate hit ε — so the privacy requirement is
+      met only ~50% of the time.
+    - {b Incremented expectation} (Eq. 4): β_b + Δ for a configured Δ; better
+      odds but no direct control of the success ratio.
+    - {b Chernoff} (Eq. 5 / Theorem 3.1): β_b + G + sqrt(G² + 2β_bG) with
+      G = ln(1/(1-γ)) / ((1-σ)m), guaranteeing success ratio at least γ.
+
+    A raw β of 1 or more marks the identity as {i common}: no amount of
+    noise from the m(1-σ) negative providers can reach the required
+    false-positive rate, and the identity must enter the mixing path
+    (see {!Mixing}).
+
+    Conventions at the edges: ε = 0 needs no noise (β = 0); σ = 0 (an
+    identity stored nowhere) also yields β = 0 — an empty row discloses
+    nothing and {!Metrics} treats it as trivially private. *)
+
+type t =
+  | Basic
+  | Inc_exp of float  (** Δ, e.g. 0.01 or 0.02 in the paper's experiments. *)
+  | Chernoff of float  (** γ, the target success ratio, e.g. 0.9. *)
+
+val name : t -> string
+(** e.g. ["basic"], ["inc-exp(0.02)"], ["chernoff(0.90)"]. *)
+
+val beta_basic : sigma:float -> epsilon:float -> float
+(** Eq. 3.  Result may exceed 1 (common identity); never negative.
+    @raise Invalid_argument if sigma or epsilon is outside [0, 1]. *)
+
+val beta : t -> sigma:float -> epsilon:float -> m:int -> float
+(** Raw β* for the policy — {i uncapped}, so a value >= 1 signals a common
+    identity. *)
+
+val is_common : t -> sigma:float -> epsilon:float -> m:int -> bool
+(** β* >= 1. *)
+
+val sigma_threshold : t -> epsilon:float -> m:int -> float
+(** The frequency σ' above which the policy yields β* >= 1 (the
+    common-identity threshold used by the secure CountBelow stage).  Solved
+    by bisection; exact for Basic (σ' = 1 - ε). *)
+
+val analytic_success_bound : beta:float -> sigma:float -> epsilon:float -> m:int -> float
+(** Chernoff lower bound on Pr[fp >= ε] when publishing with [beta]
+    (Theorem 3.1's Eq. 11); 0 when [beta] does not exceed the basic β. *)

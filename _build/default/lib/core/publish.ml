@@ -1,0 +1,45 @@
+open Eppi_prelude
+
+let clamp beta = if beta < 0.0 then 0.0 else if beta > 1.0 then 1.0 else beta
+
+let publish_row rng ~beta row =
+  let beta = clamp beta in
+  let m = Bitvec.length row in
+  let published = Bitvec.copy row in
+  if beta >= 1.0 then Bitvec.fill published true
+  else if beta > 0.0 then
+    for p = 0 to m - 1 do
+      if (not (Bitvec.get row p)) && Rng.bernoulli rng beta then Bitvec.set published p
+    done;
+  published
+
+let publish_matrix rng ~betas membership =
+  if Array.length betas <> Bitmatrix.rows membership then
+    invalid_arg "Publish.publish_matrix: betas length mismatch";
+  Bitmatrix.map_rows (fun j row -> publish_row rng ~beta:betas.(j) row) membership
+
+let publish_matrix_with_floors rng ~betas ~floors membership =
+  let n = Bitmatrix.rows membership and m = Bitmatrix.cols membership in
+  if Array.length betas <> n then
+    invalid_arg "Publish.publish_matrix_with_floors: betas length mismatch";
+  if Array.length floors <> m then
+    invalid_arg "Publish.publish_matrix_with_floors: floors length mismatch";
+  Array.iter
+    (fun f ->
+      if f < 0.0 || f > 1.0 then
+        invalid_arg "Publish.publish_matrix_with_floors: floor out of [0, 1]")
+    floors;
+  Bitmatrix.map_rows
+    (fun j row ->
+      let beta = clamp betas.(j) in
+      let published = Bitvec.copy row in
+      for p = 0 to m - 1 do
+        let rate = Float.max beta floors.(p) in
+        if (not (Bitvec.get row p)) && Rng.bernoulli rng rate then Bitvec.set published p
+      done;
+      published)
+    membership
+
+let false_positives rng ~beta ~negatives =
+  if negatives < 0 then invalid_arg "Publish.false_positives: negative count";
+  Sampling.binomial rng ~n:negatives ~p:(clamp beta)

@@ -1,0 +1,36 @@
+(** Randomized publication (paper Eq. 2).
+
+    Each provider publishes its private membership bit for every identity:
+    a 1 is always published truthfully (so query recall stays 100%), and a 0
+    flips to a published 1 with the identity's probability β.  Publication is
+    a {i row} operation here because the matrices are stored owner-major, but
+    the draws are independent per (provider, identity) pair exactly as if
+    each provider flipped its own coins. *)
+
+open Eppi_prelude
+
+val publish_row : Rng.t -> beta:float -> Bitvec.t -> Bitvec.t
+(** Fresh published row: the input row's 1s plus Bernoulli(β) noise on the
+    0s.  β is clamped to [0, 1] (common identities use β = 1, which yields
+    an all-ones row). *)
+
+val publish_matrix : Rng.t -> betas:float array -> Bitmatrix.t -> Bitmatrix.t
+(** Apply {!publish_row} to every owner row with its own β.
+    @raise Invalid_argument if [betas] length differs from the row count. *)
+
+val publish_matrix_with_floors :
+  Rng.t -> betas:float array -> floors:float array -> Bitmatrix.t -> Bitmatrix.t
+(** Provider-personalized extension (beyond the paper, which personalizes
+    per owner only): cell (owner j, provider p) flips at rate
+    [max betas.(j) floors.(p)].  A sensitive provider (the paper's
+    "women's health center" motivation) can thus set a floor on the noise
+    that covers {i its} column regardless of its patients' choices.  Floors
+    only add noise, so every per-owner fp guarantee is preserved; the cost
+    is extra search traffic toward noisy columns.
+    @raise Invalid_argument on length mismatches or floors outside [0, 1]. *)
+
+val false_positives : Rng.t -> beta:float -> negatives:int -> int
+(** Sampled number of flipped zeros among [negatives] negative providers —
+    the fast path the parameter sweeps use instead of materializing rows
+    (binomial draw; exact same distribution as {!publish_row} restricted to
+    counting). *)

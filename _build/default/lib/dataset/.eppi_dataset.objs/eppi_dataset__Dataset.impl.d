@@ -1,0 +1,1 @@
+lib/dataset/dataset.ml: Array Bitmatrix Bitvec Buffer Eppi_prelude Format List Printf Rng Sampling Scanf Stats String

@@ -1,0 +1,1 @@
+lib/grouping/grouping.ml: Array Bitmatrix Bitvec Eppi Eppi_prelude Fun Rng

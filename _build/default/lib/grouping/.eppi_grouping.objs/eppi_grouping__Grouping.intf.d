@@ -1,0 +1,1 @@
+lib/grouping/grouping.mli: Bitmatrix Eppi Eppi_prelude Rng

@@ -1,0 +1,72 @@
+open Eppi_prelude
+
+type t = {
+  groups : int;
+  assignment : int array;
+  group_members : int array array;
+}
+
+let assign rng ~m ~groups =
+  if groups < 1 || groups > m then invalid_arg "Grouping.assign: need 1 <= groups <= m";
+  let providers = Array.init m Fun.id in
+  Rng.shuffle rng providers;
+  let assignment = Array.make m 0 in
+  Array.iteri (fun slot provider -> assignment.(provider) <- slot mod groups) providers;
+  let buckets = Array.make groups [] in
+  Array.iteri (fun provider g -> buckets.(g) <- provider :: buckets.(g)) assignment;
+  { groups; assignment; group_members = Array.map Array.of_list buckets }
+
+let publish t ~membership =
+  let published =
+    Bitmatrix.map_rows
+      (fun _owner row ->
+        let out = Bitvec.create (Bitvec.length row) in
+        let positive_groups = Array.make t.groups false in
+        Bitvec.iter_set (fun provider -> positive_groups.(t.assignment.(provider)) <- true) row;
+        Array.iteri
+          (fun g hit -> if hit then Array.iter (fun p -> Bitvec.set out p) t.group_members.(g))
+          positive_groups;
+        out)
+      membership
+  in
+  Eppi.Index.of_matrix published
+
+let construct rng ~membership ~groups =
+  let t = assign rng ~m:(Bitmatrix.cols membership) ~groups in
+  (t, publish t ~membership)
+
+let empirical_success rng ~frequency ~epsilon ~m ~groups ~trials =
+  if trials <= 0 then invalid_arg "Grouping.empirical_success: trials must be positive";
+  if frequency < 0 || frequency > m then invalid_arg "Grouping.empirical_success: bad frequency";
+  if groups < 1 || groups > m then invalid_arg "Grouping.empirical_success: bad group count";
+  if frequency = 0 then 1.0
+  else begin
+    (* Balanced groups: the first (m mod g) groups have one extra member. *)
+    let base = m / groups and extra = m mod groups in
+    let group_size g = base + if g < extra then 1 else 0 in
+    let ok = ref 0 in
+    let hit = Array.make groups false in
+    for _ = 1 to trials do
+      Array.fill hit 0 groups false;
+      (* A fresh random assignment makes the group of each positive provider
+         uniform; sampling positives without replacement then hitting their
+         groups matches the matrix construction in distribution. *)
+      let chosen = Rng.sample_without_replacement rng ~k:frequency ~n:m in
+      Array.iter (fun provider -> hit.(provider mod groups) <- true) chosen;
+      let returned = ref 0 in
+      Array.iteri (fun g h -> if h then returned := !returned + group_size g) hit;
+      let fp = float_of_int (!returned - frequency) /. float_of_int !returned in
+      if fp >= epsilon then incr ok
+    done;
+    float_of_int !ok /. float_of_int trials
+  end
+
+let ss_ppi_common_attack_confidence ~membership ~sigma_threshold =
+  let n = Bitmatrix.rows membership in
+  let m = Bitmatrix.cols membership in
+  let cutoff = sigma_threshold *. float_of_int m in
+  let any = ref false in
+  for j = 0 to n - 1 do
+    if float_of_int (Bitmatrix.row_count membership j) >= cutoff then any := true
+  done;
+  if !any then 1.0 else 0.0

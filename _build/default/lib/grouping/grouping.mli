@@ -1,0 +1,46 @@
+(** Grouping-based PPI baselines (paper Section VI-A and Appendix B).
+
+    The prior art ε-PPI is compared against ([12], [13], SS-PPI [22])
+    organizes providers into disjoint privacy groups inspired by
+    k-anonymity: a group publishes 1 for an identity as soon as {i any}
+    member holds it, and a query returns every provider of every positive
+    group.  True positives hide among their group peers, but the resulting
+    false-positive rate is whatever the random assignment happens to
+    produce — no per-identity control, hence the paper's NO-GUARANTEE
+    verdict, which Fig. 4 quantifies.
+
+    The SS-PPI variant additionally discloses true identity frequencies to
+    the (possibly colluding) providers during construction, which makes the
+    common-identity attack succeed with certainty (NO-PROTECT): we model
+    that leak with {!ss_ppi_common_attack_confidence}. *)
+
+open Eppi_prelude
+
+type t = {
+  groups : int;  (** Number of groups g. *)
+  assignment : int array;  (** provider -> group id. *)
+  group_members : int array array;  (** group id -> member providers. *)
+}
+
+val assign : Rng.t -> m:int -> groups:int -> t
+(** Random balanced assignment (shuffle + round-robin), the strategy the
+    prior work uses.  @raise Invalid_argument unless [1 <= groups <= m]. *)
+
+val publish : t -> membership:Bitmatrix.t -> Eppi.Index.t
+(** Group-OR publication: owner j's published row has every provider of
+    every group containing at least one true positive for j. *)
+
+val construct : Rng.t -> membership:Bitmatrix.t -> groups:int -> t * Eppi.Index.t
+(** Assignment + publication in one step. *)
+
+val empirical_success :
+  Rng.t -> frequency:int -> epsilon:float -> m:int -> groups:int -> trials:int -> float
+(** Fast per-identity success-ratio estimator (no matrix): scatter
+    [frequency] positives into a fresh random balanced grouping and test
+    whether the resulting false-positive rate reaches ε.  Matches the
+    matrix path in distribution (checked by tests). *)
+
+val ss_ppi_common_attack_confidence : membership:Bitmatrix.t -> sigma_threshold:float -> float
+(** Confidence of the common-identity attack against SS-PPI: the attacker
+    reads the leaked true frequencies, so every flagged identity is truly
+    common — 1.0 whenever any identity crosses the threshold, 0 otherwise. *)

@@ -1,0 +1,1 @@
+lib/linkage/bloom.ml: Bitvec Char Eppi_prelude Int64 List Rng String Text

@@ -1,0 +1,1 @@
+lib/linkage/bloom.mli: Eppi_prelude

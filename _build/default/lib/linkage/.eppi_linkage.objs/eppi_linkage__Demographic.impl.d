@@ -1,0 +1,1 @@
+lib/linkage/demographic.ml: Array Bytes Char Eppi_prelude Format List Printf Rng String

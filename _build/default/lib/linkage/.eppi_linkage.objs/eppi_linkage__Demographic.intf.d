@@ -1,0 +1,1 @@
+lib/linkage/demographic.mli: Eppi_prelude Format Rng

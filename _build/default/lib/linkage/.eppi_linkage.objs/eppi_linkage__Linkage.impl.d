@@ -1,0 +1,1 @@
+lib/linkage/linkage.ml: Array Bitmatrix Bloom Demographic Eppi_prelude Fun Hashtbl Option String Text

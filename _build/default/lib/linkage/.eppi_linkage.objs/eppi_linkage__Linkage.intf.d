@@ -1,0 +1,1 @@
+lib/linkage/linkage.mli: Bitmatrix Bloom Demographic Eppi_prelude

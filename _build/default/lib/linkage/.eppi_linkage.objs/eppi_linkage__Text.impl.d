@@ -1,0 +1,1 @@
+lib/linkage/text.ml: Array Buffer Char Fun Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/linkage/text.mli:

@@ -1,0 +1,37 @@
+open Eppi_prelude
+
+type params = {
+  bits : int;
+  hashes : int;
+  seed : int;
+}
+
+let default_params = { bits = 128; hashes = 4; seed = 7 }
+
+type t = { params : params; filter : Bitvec.t }
+
+(* Keyed positions for a bigram: derive [hashes] indexes from a splitmix
+   stream seeded by (seed, bigram). *)
+let positions params gram =
+  let h = ref (Int64.of_int params.seed) in
+  String.iter (fun c -> h := Int64.add (Int64.mul !h 131L) (Int64.of_int (Char.code c))) gram;
+  let rng = Rng.create (Int64.to_int !h) in
+  List.init params.hashes (fun _ -> Rng.int rng params.bits)
+
+let encode params field =
+  if params.bits <= 0 || params.hashes <= 0 then invalid_arg "Bloom.encode: bad parameters";
+  let filter = Bitvec.create params.bits in
+  List.iter (fun gram -> List.iter (Bitvec.set filter) (positions params gram)) (Text.bigrams field);
+  { params; filter }
+
+let dice a b =
+  if a.params <> b.params then invalid_arg "Bloom.dice: incompatible parameters";
+  let ca = Bitvec.count a.filter and cb = Bitvec.count b.filter in
+  if ca = 0 && cb = 0 then 1.0
+  else begin
+    let common = Bitvec.count (Bitvec.inter a.filter b.filter) in
+    2.0 *. float_of_int common /. float_of_int (ca + cb)
+  end
+
+let bit_count t = Bitvec.count t.filter
+let to_bitvec t = Bitvec.copy t.filter

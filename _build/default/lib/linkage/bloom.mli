@@ -1,0 +1,33 @@
+(** Bloom-filter field encodings for privacy-preserving record linkage.
+
+    The technique behind the PRL systems the paper cites ([40], [41], via
+    Schnell et al.): a provider encodes each demographic field as a Bloom
+    filter of its character bigrams and shares only the filter.  The Dice
+    coefficient of two filters approximates the Dice coefficient of the
+    underlying bigram sets, so match scores can be computed without
+    exchanging plaintext demographics; the filter hides the field value
+    (many preimages per filter), though it is famously not
+    information-theoretically private — which is exactly why the cited
+    works combine it with hardening.  We implement the standard scheme with
+    [k] seeded hash functions over [bits] positions. *)
+
+type params = {
+  bits : int;  (** Filter length (e.g. 128). *)
+  hashes : int;  (** k (e.g. 4). *)
+  seed : int;  (** Shared keyed-hash seed (the linkage secret). *)
+}
+
+val default_params : params
+(** 128 bits, 4 hashes, seed 7. *)
+
+type t
+
+val encode : params -> string -> t
+(** Encode a field's bigrams. *)
+
+val dice : t -> t -> float
+(** Dice coefficient of the set bits, in [0, 1]; 1.0 for two empty
+    filters.  @raise Invalid_argument on incompatible parameters. *)
+
+val bit_count : t -> int
+val to_bitvec : t -> Eppi_prelude.Bitvec.t

@@ -1,0 +1,118 @@
+open Eppi_prelude
+
+type gender = Female | Male | Other
+
+type t = {
+  first : string;
+  last : string;
+  dob : int * int * int;
+  zip : string;
+  gender : gender;
+}
+
+let pp ppf r =
+  let y, m, d = r.dob in
+  Format.fprintf ppf "%s %s (%04d-%02d-%02d, %s)" r.first r.last y m d r.zip
+
+type noise = {
+  typo_rate : float;
+  dob_error_rate : float;
+  zip_error_rate : float;
+}
+
+let default_noise = { typo_rate = 0.15; dob_error_rate = 0.05; zip_error_rate = 0.1 }
+
+let first_names =
+  [|
+    "james"; "mary"; "robert"; "patricia"; "john"; "jennifer"; "michael"; "linda";
+    "david"; "elizabeth"; "william"; "barbara"; "richard"; "susan"; "joseph"; "jessica";
+    "thomas"; "sarah"; "charles"; "karen"; "wei"; "ana"; "fatima"; "yusuf"; "keiko";
+  |]
+
+let last_names =
+  [|
+    "smith"; "johnson"; "williams"; "brown"; "jones"; "garcia"; "miller"; "davis";
+    "rodriguez"; "martinez"; "hernandez"; "lopez"; "wilson"; "anderson"; "thomas";
+    "taylor"; "moore"; "jackson"; "martin"; "lee"; "nguyen"; "kim"; "patel"; "chen";
+  |]
+
+let random_person rng =
+  {
+    first = first_names.(Rng.int rng (Array.length first_names));
+    last = last_names.(Rng.int rng (Array.length last_names));
+    dob = (1930 + Rng.int rng 90, 1 + Rng.int rng 12, 1 + Rng.int rng 28);
+    zip = Printf.sprintf "%05d" (10000 + Rng.int rng 89999);
+    gender = (match Rng.int rng 3 with 0 -> Female | 1 -> Male | _ -> Other);
+  }
+
+(* One random edit: substitution, deletion, insertion or transposition. *)
+let typo rng s =
+  let len = String.length s in
+  if len = 0 then s
+  else begin
+    let letter () = Char.chr (Char.code 'a' + Rng.int rng 26) in
+    match Rng.int rng 4 with
+    | 0 ->
+        let i = Rng.int rng len in
+        String.mapi (fun j c -> if j = i then letter () else c) s
+    | 1 ->
+        let i = Rng.int rng len in
+        String.sub s 0 i ^ String.sub s (i + 1) (len - i - 1)
+    | 2 ->
+        let i = Rng.int rng (len + 1) in
+        String.sub s 0 i ^ String.make 1 (letter ()) ^ String.sub s i (len - i)
+    | _ ->
+        if len < 2 then s
+        else begin
+          let i = Rng.int rng (len - 1) in
+          let b = Bytes.of_string s in
+          let tmp = Bytes.get b i in
+          Bytes.set b i (Bytes.get b (i + 1));
+          Bytes.set b (i + 1) tmp;
+          Bytes.to_string b
+        end
+  end
+
+let slip_digit rng s =
+  let len = String.length s in
+  if len = 0 then s
+  else begin
+    let i = Rng.int rng len in
+    String.mapi (fun j c -> if j = i then Char.chr (Char.code '0' + Rng.int rng 10) else c) s
+  end
+
+let corrupt ?(noise = default_noise) rng person =
+  let first = if Rng.bernoulli rng noise.typo_rate then typo rng person.first else person.first in
+  let last = if Rng.bernoulli rng noise.typo_rate then typo rng person.last else person.last in
+  let dob =
+    if Rng.bernoulli rng noise.dob_error_rate then begin
+      let y, m, d = person.dob in
+      match Rng.int rng 3 with
+      | 0 -> (y + Rng.int_in rng (-1) 1, m, d)
+      | 1 -> (y, (if m = 12 then 11 else m + 1), d)
+      | _ -> (y, m, if d = 28 then 27 else d + 1)
+    end
+    else person.dob
+  in
+  let zip = if Rng.bernoulli rng noise.zip_error_rate then slip_digit rng person.zip else person.zip in
+  { person with first; last; dob; zip }
+
+type registration = {
+  provider : int;
+  record : t;
+  truth : int;
+}
+
+let population ?noise rng ~persons ~providers ~max_registrations =
+  if persons <= 0 || providers <= 0 || max_registrations <= 0 then
+    invalid_arg "Demographic.population: empty parameters";
+  let out = ref [] in
+  for truth = 0 to persons - 1 do
+    let person = random_person rng in
+    let visits = 1 + Rng.int rng (min max_registrations providers) in
+    let chosen = Rng.sample_without_replacement rng ~k:visits ~n:providers in
+    Array.iter
+      (fun provider -> out := { provider; record = corrupt ?noise rng person; truth } :: !out)
+      chosen
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,54 @@
+(** Demographic records and a synthetic patient-population generator.
+
+    The linkage experiments need what the paper's HIE setting assumes:
+    the same patient registered at several hospitals under {i semantically
+    heterogeneous} demographics — typos, nicknames, transposed digits.  The
+    generator plants a ground-truth population and derives per-provider
+    registrations by corrupting fields at configurable rates, so linkage
+    quality (precision/recall) can be measured against the truth. *)
+
+open Eppi_prelude
+
+type gender = Female | Male | Other
+
+type t = {
+  first : string;
+  last : string;
+  dob : int * int * int;  (** year, month, day *)
+  zip : string;
+  gender : gender;
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** Field-corruption rates for registrations. *)
+type noise = {
+  typo_rate : float;  (** Per-name-field chance of one random edit. *)
+  dob_error_rate : float;  (** Chance of a digit slip in the date. *)
+  zip_error_rate : float;
+}
+
+val default_noise : noise
+(** 15% name typos, 5% date slips, 10% zip slips. *)
+
+val random_person : Rng.t -> t
+(** A fresh ground-truth identity. *)
+
+val corrupt : ?noise:noise -> Rng.t -> t -> t
+(** A registration of the person as a (possibly messy) copy. *)
+
+type registration = {
+  provider : int;
+  record : t;
+  truth : int;  (** Ground-truth person id (never shown to the linker). *)
+}
+
+val population :
+  ?noise:noise ->
+  Rng.t ->
+  persons:int ->
+  providers:int ->
+  max_registrations:int ->
+  registration array
+(** Each person registers at 1..max_registrations distinct random
+    providers, every registration independently corrupted. *)

@@ -1,0 +1,164 @@
+open Eppi_prelude
+
+type mode = Plaintext | Bloom of Bloom.params
+
+type config = {
+  mode : mode;
+  match_threshold : float;
+}
+
+let default_config = { mode = Plaintext; match_threshold = 0.82 }
+
+(* Name similarity under the configured mode. *)
+let name_similarity config a b =
+  match config.mode with
+  | Plaintext -> Text.dice a b
+  | Bloom params -> Bloom.dice (Bloom.encode params a) (Bloom.encode params b)
+
+let dob_similarity (y1, m1, d1) (y2, m2, d2) =
+  let part a b = if a = b then 1.0 else 0.0 in
+  (0.5 *. part y1 y2) +. (0.25 *. part m1 m2) +. (0.25 *. part d1 d2)
+
+let zip_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 || lb = 0 then 0.0
+  else begin
+    let common = min la lb in
+    let agree = ref 0 in
+    for i = 0 to common - 1 do
+      if a.[i] = b.[i] then incr agree
+    done;
+    float_of_int !agree /. float_of_int (max la lb)
+  end
+
+let field_score config (a : Demographic.t) (b : Demographic.t) =
+  let names =
+    (name_similarity config a.first b.first +. name_similarity config a.last b.last) /. 2.0
+  in
+  let dob = dob_similarity a.dob b.dob in
+  let zip = zip_similarity a.zip b.zip in
+  let gender = if a.gender = b.gender then 1.0 else 0.0 in
+  (0.5 *. names) +. (0.3 *. dob) +. (0.15 *. zip) +. (0.05 *. gender)
+
+(* ---- union-find over registration indexes ---- *)
+
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find t i =
+    if t.parent.(i) = i then i
+    else begin
+      let root = find t t.parent.(i) in
+      t.parent.(i) <- root;
+      root
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end
+end
+
+type linked = {
+  entities : int;
+  assignment : int array;
+  candidate_pairs : int;
+}
+
+(* Blocking: candidates share a last-name Soundex code or a birth year.
+   Returns deduplicated index pairs. *)
+let candidates (registrations : Demographic.registration array) =
+  let by_key = Hashtbl.create 64 in
+  let add key i =
+    Hashtbl.replace by_key key (i :: Option.value ~default:[] (Hashtbl.find_opt by_key key))
+  in
+  Array.iteri
+    (fun i (r : Demographic.registration) ->
+      add ("s:" ^ Text.soundex r.record.last) i;
+      let y, _, _ = r.record.dob in
+      add ("y:" ^ string_of_int y) i)
+    registrations;
+  let pairs = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ members ->
+      let members = Array.of_list members in
+      let k = Array.length members in
+      for a = 0 to k - 1 do
+        for b = a + 1 to k - 1 do
+          let i = min members.(a) members.(b) and j = max members.(a) members.(b) in
+          Hashtbl.replace pairs (i, j) ()
+        done
+      done)
+    by_key;
+  pairs
+
+let link config registrations =
+  let n = Array.length registrations in
+  let uf = Uf.create n in
+  let pairs = candidates registrations in
+  Hashtbl.iter
+    (fun (i, j) () ->
+      if field_score config registrations.(i).record registrations.(j).record
+         >= config.match_threshold
+      then Uf.union uf i j)
+    pairs;
+  (* Dense entity ids in first-appearance order. *)
+  let ids = Hashtbl.create 64 in
+  let assignment =
+    Array.init n (fun i ->
+        let root = Uf.find uf i in
+        match Hashtbl.find_opt ids root with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length ids in
+            Hashtbl.add ids root id;
+            id)
+  in
+  { entities = Hashtbl.length ids; assignment; candidate_pairs = Hashtbl.length pairs }
+
+let to_membership linked registrations ~providers =
+  let membership = Bitmatrix.create ~rows:linked.entities ~cols:providers in
+  Array.iteri
+    (fun i (r : Demographic.registration) ->
+      Bitmatrix.set membership ~row:linked.assignment.(i) ~col:r.provider true)
+    registrations;
+  membership
+
+type quality = {
+  precision : float;
+  recall : float;
+  f1 : float;
+}
+
+let evaluate linked registrations =
+  let n = Array.length registrations in
+  let linked_pairs = ref 0 and true_pairs = ref 0 and correct_pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let same_entity = linked.assignment.(i) = linked.assignment.(j) in
+      let same_truth =
+        registrations.(i).Demographic.truth = registrations.(j).Demographic.truth
+      in
+      if same_entity then incr linked_pairs;
+      if same_truth then incr true_pairs;
+      if same_entity && same_truth then incr correct_pairs
+    done
+  done;
+  let precision =
+    if !linked_pairs = 0 then 1.0 else float_of_int !correct_pairs /. float_of_int !linked_pairs
+  in
+  let recall =
+    if !true_pairs = 0 then 1.0 else float_of_int !correct_pairs /. float_of_int !true_pairs
+  in
+  let f1 =
+    if precision +. recall = 0.0 then 0.0
+    else 2.0 *. precision *. recall /. (precision +. recall)
+  in
+  { precision; recall; f1 }

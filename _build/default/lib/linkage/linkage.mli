@@ -1,0 +1,56 @@
+(** Record linkage: clustering per-provider registrations into patient
+    identities (the Master-Patient-Index role of [39], [10]).
+
+    The paper positions PRL as complementary to ε-PPI: linkage decides
+    {i which registrations are the same patient} across hospitals with
+    heterogeneous demographics, and the resulting identity-to-provider
+    membership matrix is exactly the input ConstructPPI needs (see
+    {!to_membership} and examples/federated_linkage.ml).
+
+    The matcher is a Fellegi-Sunter-style weighted score over field
+    similarities with standard blocking (candidate pairs share a last-name
+    Soundex code or a birth year), clustered by transitive closure
+    (union-find).  Two comparison modes:
+
+    - [Plaintext]: Levenshtein/Dice on the raw fields — the upper bound;
+    - [Bloom]: Dice over Bloom-filter field encodings ({!Bloom}), the
+      privacy-preserving mode of the cited PRL line — providers never
+      exchange plaintext demographics, only filters keyed by a shared
+      secret. *)
+
+open Eppi_prelude
+
+type mode = Plaintext | Bloom of Bloom.params
+
+type config = {
+  mode : mode;
+  match_threshold : float;  (** Score (in [0,1]) at or above which a candidate pair links. *)
+}
+
+val default_config : config
+(** Plaintext comparison, threshold 0.82. *)
+
+val field_score : config -> Demographic.t -> Demographic.t -> float
+(** Weighted similarity: names 50% (bigram Dice), date of birth 30%
+    (per-component equality), zip 15% (digit agreement), gender 5%. *)
+
+type linked = {
+  entities : int;  (** Distinct patients found. *)
+  assignment : int array;  (** registration index -> entity id (dense, from 0). *)
+  candidate_pairs : int;  (** Pairs surviving blocking (work measure). *)
+}
+
+val link : config -> Demographic.registration array -> linked
+(** Block, score, and cluster the registrations. *)
+
+val to_membership : linked -> Demographic.registration array -> providers:int -> Bitmatrix.t
+(** The entity-by-provider membership matrix for ConstructPPI. *)
+
+type quality = {
+  precision : float;  (** Of the linked pairs, how many are truly the same person. *)
+  recall : float;  (** Of the truly-same pairs, how many were linked. *)
+  f1 : float;
+}
+
+val evaluate : linked -> Demographic.registration array -> quality
+(** Pairwise precision/recall against the generator's ground truth. *)

@@ -1,0 +1,93 @@
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then Buffer.add_char buf c
+      else if c >= 'A' && c <= 'Z' then Buffer.add_char buf (Char.lowercase_ascii c))
+    s;
+  Buffer.contents buf
+
+let soundex_digit = function
+  | 'b' | 'f' | 'p' | 'v' -> '1'
+  | 'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' -> '2'
+  | 'd' | 't' -> '3'
+  | 'l' -> '4'
+  | 'm' | 'n' -> '5'
+  | 'r' -> '6'
+  | _ -> '0' (* vowels and h/w/y *)
+
+let soundex raw =
+  let s = normalize raw in
+  let letters = ref [] in
+  String.iter (fun c -> if c >= 'a' && c <= 'z' then letters := c :: !letters) s;
+  match List.rev !letters with
+  | [] -> "0000"
+  | first :: rest ->
+      let buf = Buffer.create 4 in
+      Buffer.add_char buf (Char.uppercase_ascii first);
+      (* Adjacent duplicate codes collapse; h/w are transparent between
+         consonants of the same code (simplified: treat like vowels). *)
+      let prev = ref (soundex_digit first) in
+      List.iter
+        (fun c ->
+          let d = soundex_digit c in
+          if d <> '0' && d <> !prev && Buffer.length buf < 4 then Buffer.add_char buf d;
+          if c <> 'h' && c <> 'w' then prev := d)
+        rest;
+      while Buffer.length buf < 4 do
+        Buffer.add_char buf '0'
+      done;
+      Buffer.contents buf
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <- min (min (curr.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let levenshtein_similarity a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.0
+  else 1.0 -. (float_of_int (levenshtein a b) /. float_of_int (max la lb))
+
+let bigrams raw =
+  let s = normalize raw in
+  if s = "" then []
+  else begin
+    let padded = "_" ^ s ^ "_" in
+    List.init (String.length padded - 1) (fun i -> String.sub padded i 2)
+  end
+
+let dice a b =
+  let ba = bigrams a and bb = bigrams b in
+  match (ba, bb) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      (* Multiset intersection size. *)
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun g -> Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g)))
+        ba;
+      let common = ref 0 in
+      List.iter
+        (fun g ->
+          match Hashtbl.find_opt counts g with
+          | Some k when k > 0 ->
+              incr common;
+              Hashtbl.replace counts g (k - 1)
+          | _ -> ())
+        bb;
+      2.0 *. float_of_int !common /. float_of_int (List.length ba + List.length bb)

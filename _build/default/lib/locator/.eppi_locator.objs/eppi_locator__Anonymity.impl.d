@@ -1,0 +1,1 @@
+lib/locator/anonymity.ml: Eppi_prelude Eppi_simnet List Rng

@@ -1,0 +1,1 @@
+lib/locator/anonymity.mli: Eppi_prelude Eppi_simnet Rng

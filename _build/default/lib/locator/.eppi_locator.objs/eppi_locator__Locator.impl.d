@@ -1,0 +1,1 @@
+lib/locator/locator.ml: Array Bitmatrix Eppi Eppi_prelude Hashtbl List Option Printf Rng

@@ -1,0 +1,1 @@
+lib/locator/locator.mli: Eppi Eppi_prelude

@@ -1,0 +1,93 @@
+open Eppi_prelude
+module Simnet = Eppi_simnet.Simnet
+
+type config = {
+  members : int;
+  forward_probability : float;
+}
+
+type outcome = {
+  path : int list;
+  submitted_by : int;
+  hops : int;
+  latency : float;
+}
+
+let check config =
+  if config.members < 2 then invalid_arg "Anonymity: need at least 2 crowd members";
+  if config.forward_probability < 0.0 || config.forward_probability >= 1.0 then
+    invalid_arg "Anonymity: forward probability must be in [0, 1)"
+
+type msg = Query of { hop : int }
+
+let simulate_query ?net_config rng config ~initiator =
+  check config;
+  if initiator < 0 || initiator >= config.members then
+    invalid_arg "Anonymity.simulate_query: bad initiator";
+  let net = Simnet.create ?config:net_config ~nodes:config.members () in
+  let rev_path = ref [ initiator ] in
+  let submitted_by = ref (-1) in
+  let submit_time = ref 0.0 in
+  let hops = ref 0 in
+  let pick_other sim self =
+    ignore sim;
+    (* Crowds forwards to a uniformly random member (possibly itself); we
+       exclude self to keep every hop a real network message. *)
+    let r = Rng.int rng (config.members - 1) in
+    if r >= self then r + 1 else r
+  in
+  let handle sim me (Query { hop }) =
+    rev_path := me :: !rev_path;
+    if Rng.bernoulli rng config.forward_probability then begin
+      incr hops;
+      Simnet.send sim ~src:me ~dst:(pick_other sim me) ~size:256 (Query { hop = hop + 1 })
+    end
+    else begin
+      (* Submit to the locator server: one more (external) hop. *)
+      incr hops;
+      submitted_by := me;
+      submit_time := Simnet.now sim
+    end
+  in
+  for i = 0 to config.members - 1 do
+    Simnet.on_receive net i (fun sim ~src:_ msg -> handle sim i msg)
+  done;
+  Simnet.at net ~delay:0.0 initiator (fun sim ->
+      incr hops;
+      Simnet.send sim ~src:initiator ~dst:(pick_other sim initiator) ~size:256 (Query { hop = 1 }));
+  Simnet.run net;
+  if !submitted_by < 0 then failwith "Anonymity.simulate_query: query never submitted";
+  { path = List.rev !rev_path; submitted_by = !submitted_by; hops = !hops; latency = !submit_time }
+
+let expected_path_length ~forward_probability =
+  if forward_probability < 0.0 || forward_probability >= 1.0 then
+    invalid_arg "Anonymity.expected_path_length";
+  (1.0 /. (1.0 -. forward_probability)) +. 1.0
+
+let probable_innocence ~members ~forward_probability ~colluders =
+  if forward_probability <= 0.5 then false
+  else
+    float_of_int members
+    >= forward_probability /. (forward_probability -. 0.5) *. float_of_int (colluders + 1)
+
+let predecessor_confidence rng config ~colluders ~trials =
+  check config;
+  if colluders < 0 || colluders >= config.members then
+    invalid_arg "Anonymity.predecessor_confidence: bad colluder count";
+  if trials <= 0 then invalid_arg "Anonymity.predecessor_confidence: trials must be positive";
+  let observed = ref 0 and correct = ref 0 in
+  for _ = 1 to trials do
+    (* Honest initiators only: members colluders..members-1. *)
+    let initiator = colluders + Rng.int rng (config.members - colluders) in
+    let outcome = simulate_query rng config ~initiator in
+    (* The first corrupt member on the path blames its predecessor. *)
+    let rec scan = function
+      | predecessor :: member :: _ when member < colluders ->
+          incr observed;
+          if predecessor = initiator then incr correct
+      | _ :: rest -> scan rest
+      | [] -> ()
+    in
+    scan outcome.path
+  done;
+  if !observed = 0 then 0.0 else float_of_int !correct /. float_of_int !observed

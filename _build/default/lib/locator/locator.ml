@@ -1,0 +1,120 @@
+open Eppi_prelude
+
+type record = {
+  owner : int;
+  body : string;
+}
+
+type provider_state = {
+  records : (int, record list) Hashtbl.t;  (* owner -> records *)
+  grants : (string * int, unit) Hashtbl.t;  (* (searcher, owner) -> authorized *)
+}
+
+type t = {
+  providers : provider_state array;
+  owners : int;
+  epsilons : float array;
+  floors : float array;  (* per-provider sensitivity floor *)
+  mutable index : Eppi.Index.t option;
+}
+
+let create ~providers ~owners =
+  if providers <= 0 || owners <= 0 then invalid_arg "Locator.create: empty network";
+  {
+    providers =
+      Array.init providers (fun _ ->
+          { records = Hashtbl.create 8; grants = Hashtbl.create 8 });
+    owners;
+    epsilons = Array.make owners 0.5;
+    floors = Array.make providers 0.0;
+    index = None;
+  }
+
+let provider_count t = Array.length t.providers
+let owner_count t = t.owners
+
+let check_provider t p =
+  if p < 0 || p >= provider_count t then invalid_arg "Locator: unknown provider"
+
+let check_owner t o = if o < 0 || o >= t.owners then invalid_arg "Locator: unknown owner"
+
+let delegate t ~owner ~epsilon ~provider ~body =
+  check_provider t provider;
+  check_owner t owner;
+  if epsilon < 0.0 || epsilon > 1.0 then invalid_arg "Locator.delegate: epsilon out of [0, 1]";
+  let state = t.providers.(provider) in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt state.records owner) in
+  Hashtbl.replace state.records owner ({ owner; body } :: existing);
+  t.epsilons.(owner) <- epsilon;
+  (* Delegation implies the owner may search for her own records here. *)
+  Hashtbl.replace state.grants (Printf.sprintf "owner:%d" owner, owner) ()
+
+let grant t ~provider ~searcher ~owner =
+  check_provider t provider;
+  check_owner t owner;
+  Hashtbl.replace t.providers.(provider).grants (searcher, owner) ()
+
+let set_provider_sensitivity t ~provider ~floor =
+  check_provider t provider;
+  if floor < 0.0 || floor > 1.0 then
+    invalid_arg "Locator.set_provider_sensitivity: floor out of [0, 1]";
+  t.floors.(provider) <- floor
+
+let membership t =
+  let matrix = Bitmatrix.create ~rows:t.owners ~cols:(provider_count t) in
+  Array.iteri
+    (fun p state ->
+      Hashtbl.iter (fun owner _ -> Bitmatrix.set matrix ~row:owner ~col:p true) state.records)
+    t.providers;
+  matrix
+
+let construct_ppi ?(seed = 42) t ~policy =
+  let rng = Rng.create seed in
+  let provider_floors =
+    if Array.exists (fun f -> f > 0.0) t.floors then Some t.floors else None
+  in
+  let result =
+    Eppi.Construct.run ?provider_floors rng ~membership:(membership t) ~epsilons:t.epsilons
+      ~policy
+  in
+  t.index <- Some result.index
+
+let epsilon_of t ~owner =
+  check_owner t owner;
+  t.epsilons.(owner)
+
+let index t = t.index
+
+let query_ppi t ~owner =
+  check_owner t owner;
+  match t.index with
+  | None -> failwith "Locator.query_ppi: no index constructed yet"
+  | Some index -> Eppi.Index.query index ~owner
+
+type search_outcome = {
+  records : (int * record list) list;
+  contacted : int;
+  denied : int;
+  wasted : int;
+}
+
+let auth_search t ~searcher ~owner ~providers =
+  check_owner t owner;
+  let contacted = ref 0 and denied = ref 0 and wasted = ref 0 in
+  let found = ref [] in
+  List.iter
+    (fun p ->
+      check_provider t p;
+      incr contacted;
+      let state = t.providers.(p) in
+      if not (Hashtbl.mem state.grants (searcher, owner)) then incr denied
+      else begin
+        match Hashtbl.find_opt state.records owner with
+        | Some (_ :: _ as records) -> found := (p, List.rev records) :: !found
+        | Some [] | None -> incr wasted
+      end)
+    providers;
+  { records = List.rev !found; contacted = !contacted; denied = !denied; wasted = !wasted }
+
+let search t ~searcher ~owner =
+  auth_search t ~searcher ~owner ~providers:(query_ppi t ~owner)

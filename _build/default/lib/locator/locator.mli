@@ -1,0 +1,77 @@
+(** The record locator service — the application the paper builds ε-PPI for
+    (Section I and II-A).
+
+    Providers (hospitals) hold private records delegated by owners
+    (patients); a third-party locator server hosts the published ε-PPI.  The
+    four operations of the system model:
+
+    - [delegate]: an owner hands a record to a provider together with her
+      privacy degree ε;
+    - [construct_ppi]: the network builds the index (here through the
+      centralized reference constructor; the distributed protocol in
+      lib/protocol produces a distribution-identical index);
+    - [query_ppi]: phase one of a search — the obscured provider list;
+    - [auth_search]: phase two — contact each listed provider, pass its
+      access control, and search locally.
+
+    The search-cost accounting (providers contacted, authorizations denied,
+    wasted contacts at false-positive providers) backs the search-overhead
+    experiment the paper defers to its technical report. *)
+
+type record = {
+  owner : int;
+  body : string;
+}
+
+type t
+
+val create : providers:int -> owners:int -> t
+(** An empty network; owners default to ε = 0.5. *)
+
+val provider_count : t -> int
+val owner_count : t -> int
+
+val delegate : t -> owner:int -> epsilon:float -> provider:int -> body:string -> unit
+(** Store a record and (re)set the owner's privacy degree.  Indexes built
+    before a delegation do not see it — call {!construct_ppi} again.
+    @raise Invalid_argument on bad ids or ε outside [0, 1]. *)
+
+val grant : t -> provider:int -> searcher:string -> owner:int -> unit
+(** Authorize [searcher] to search [owner]'s records at [provider]. *)
+
+val set_provider_sensitivity : t -> provider:int -> floor:float -> unit
+(** Mark a provider as sensitive (the introduction's women's-health-center
+    example): during publication every owner's bit at this provider flips
+    with probability at least [floor], regardless of the owner's own ε —
+    the provider-personalized extension of
+    {!Eppi.Publish.publish_matrix_with_floors}.
+    @raise Invalid_argument on a bad id or a floor outside [0, 1]. *)
+
+val construct_ppi : ?seed:int -> t -> policy:Eppi.Policy.t -> unit
+(** Build (or rebuild) the ε-PPI over the current delegations. *)
+
+val epsilon_of : t -> owner:int -> float
+val membership : t -> Eppi_prelude.Bitmatrix.t
+(** The true owner-major membership matrix (test/analysis use — a real
+    deployment never ships this). *)
+
+val index : t -> Eppi.Index.t option
+(** The published index, once constructed. *)
+
+val query_ppi : t -> owner:int -> int list
+(** @raise Failure if no index has been constructed yet. *)
+
+type search_outcome = {
+  records : (int * record list) list;  (** (provider, matching records). *)
+  contacted : int;  (** Providers reached in phase two. *)
+  denied : int;  (** Contacts rejected by access control. *)
+  wasted : int;  (** Authorized contacts that held no matching record. *)
+}
+
+val auth_search : t -> searcher:string -> owner:int -> providers:int list -> search_outcome
+(** Phase two against an explicit provider list. *)
+
+val search : t -> searcher:string -> owner:int -> search_outcome
+(** The full two-phase procedure: {!query_ppi} then {!auth_search}.
+    Truthful publication guarantees every authorized true-positive provider
+    is found (recall tested). *)

@@ -1,0 +1,1 @@
+lib/mpc/cost.ml: Circuit Eppi_circuit Gmw

@@ -1,0 +1,1 @@
+lib/mpc/garbled.ml: Array Circuit Eppi_circuit Eppi_prelude Int64 List Rng

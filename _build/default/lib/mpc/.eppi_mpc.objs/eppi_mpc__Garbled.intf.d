@@ -1,0 +1,1 @@
+lib/mpc/garbled.mli: Circuit Eppi_circuit Eppi_prelude Rng

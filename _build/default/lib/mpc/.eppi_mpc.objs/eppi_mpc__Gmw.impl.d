@@ -1,0 +1,1 @@
+lib/mpc/gmw.ml: Array Circuit Eppi_circuit Eppi_prelude List Rng

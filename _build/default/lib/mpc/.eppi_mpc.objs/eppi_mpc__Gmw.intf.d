@@ -1,0 +1,1 @@
+lib/mpc/gmw.mli: Circuit Eppi_circuit Eppi_prelude Rng

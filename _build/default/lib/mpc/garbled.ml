@@ -1,0 +1,120 @@
+open Eppi_prelude
+open Eppi_circuit
+
+type comm_stats = {
+  garbled_tables_bytes : int;
+  label_transfer_bytes : int;
+  ot_count : int;
+}
+
+type result = {
+  outputs : bool array;
+  comm : comm_stats;
+  evaluator_labels : int64 array;
+}
+
+let label_bytes = 8
+
+(* A simulated OT costs a few label transfers' worth of traffic. *)
+let ot_bytes = 3 * label_bytes
+
+let comm_estimate (stats : Circuit.stats) ~evaluator_inputs =
+  let garbler_inputs = stats.inputs - evaluator_inputs in
+  {
+    garbled_tables_bytes = 4 * label_bytes * stats.and_gates;
+    label_transfer_bytes = (garbler_inputs * label_bytes) + (evaluator_inputs * ot_bytes);
+    ot_count = evaluator_inputs;
+  }
+
+(* Keyed mixing function standing in for the garbling PRF (splitmix64
+   finalizer over the operand labels and the gate id).  NOT cryptographic. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let hash la lb gate_id =
+  mix (Int64.logxor (Int64.logxor la (rotl lb 17)) (Int64.of_int ((gate_id * 2) + 1)))
+
+let lsb l = Int64.logand l 1L = 1L
+
+let execute rng circuit ~inputs =
+  if Circuit.num_parties circuit > 2 then
+    invalid_arg "Garbled.execute: at most two parties (garbler and evaluator)";
+  let gates = Circuit.gates circuit in
+  let n_wires = Array.length gates in
+  (* Global free-XOR offset; its low bit must be 1 so the two labels of any
+     wire carry distinct permute bits. *)
+  let delta = Int64.logor (Rng.bits64 rng) 1L in
+  let fresh () = Rng.bits64 rng in
+  (* label0.(w) encodes FALSE on wire w; TRUE is label0 ^ delta. *)
+  let label0 = Array.make n_wires 0L in
+  (* The evaluator's single active label per wire. *)
+  let active = Array.make n_wires 0L in
+  let tables_bytes = ref 0 in
+  let labels_bytes = ref 0 in
+  let ot_count = ref 0 in
+  let label_for w v = if v then Int64.logxor label0.(w) delta else label0.(w) in
+  Array.iteri
+    (fun w gate ->
+      match gate with
+      | Circuit.Input { party; index } ->
+          if party >= Array.length inputs || index >= Array.length inputs.(party) then
+            invalid_arg "Garbled.execute: missing input bit";
+          let bit = inputs.(party).(index) in
+          label0.(w) <- fresh ();
+          active.(w) <- label_for w bit;
+          if party = 0 then labels_bytes := !labels_bytes + label_bytes
+          else begin
+            (* Evaluator input: in a real deployment this label arrives via
+               oblivious transfer, so the garbler never sees the choice. *)
+            incr ot_count;
+            labels_bytes := !labels_bytes + ot_bytes
+          end
+      | Const b ->
+          (* Constants are garbler-known; their labels ride along with the
+             circuit blob at no separate transfer cost. *)
+          label0.(w) <- fresh ();
+          active.(w) <- label_for w b
+      | Not a ->
+          (* Free: the wire's FALSE label is the operand's TRUE label. *)
+          label0.(w) <- Int64.logxor label0.(a) delta;
+          active.(w) <- active.(a)
+      | Xor (a, b) ->
+          (* Free XOR. *)
+          label0.(w) <- Int64.logxor label0.(a) label0.(b);
+          active.(w) <- Int64.logxor active.(a) active.(b)
+      | And (a, b) ->
+          label0.(w) <- fresh ();
+          (* Garble the four rows, placed by the operands' permute bits. *)
+          let table = Array.make 4 0L in
+          List.iter
+            (fun (va, vb) ->
+              let la = label_for a va and lb = label_for b vb in
+              let row = (if lsb la then 2 else 0) lor (if lsb lb then 1 else 0) in
+              table.(row) <- Int64.logxor (label_for w (va && vb)) (hash la lb w))
+            [ (false, false); (false, true); (true, false); (true, true) ];
+          tables_bytes := !tables_bytes + (4 * label_bytes);
+          (* Evaluate: decrypt exactly the row selected by the active
+             permute bits. *)
+          let la = active.(a) and lb = active.(b) in
+          let row = (if lsb la then 2 else 0) lor (if lsb lb then 1 else 0) in
+          active.(w) <- Int64.logxor table.(row) (hash la lb w))
+    gates;
+  (* Output decoding: the garbler reveals each output wire's FALSE permute
+     bit; the evaluator XORs it with her active label's bit. *)
+  let outputs =
+    Array.map (fun w -> lsb active.(w) <> lsb label0.(w)) (Circuit.outputs circuit)
+  in
+  {
+    outputs;
+    comm =
+      {
+        garbled_tables_bytes = !tables_bytes;
+        label_transfer_bytes = !labels_bytes;
+        ot_count = !ot_count;
+      };
+    evaluator_labels = active;
+  }

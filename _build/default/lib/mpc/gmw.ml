@@ -1,0 +1,106 @@
+open Eppi_prelude
+open Eppi_circuit
+
+type comm_stats = { rounds : int; messages : int; bytes : int }
+
+type view = {
+  party : int;
+  wire_shares : bool array;
+  opened : (bool * bool) array;
+}
+
+type result = {
+  outputs : bool array;
+  comm : comm_stats;
+  views : view array;
+}
+
+let comm_estimate ~parties (stats : Circuit.stats) ~outputs =
+  let p = parties in
+  let pairs = p * (p - 1) in
+  (* Input sharing: each input bit's owner sends one share to every other
+     party.  And layer: every party broadcasts 2 masked bits per gate in the
+     layer.  Output: every party broadcasts its output shares. *)
+  let input_messages = stats.inputs * (p - 1) in
+  let input_bytes = stats.inputs * (p - 1) in
+  let and_messages = stats.and_depth * pairs in
+  let and_bits = 2 * stats.and_gates * pairs in
+  let output_messages = pairs in
+  let output_bytes = pairs * ((outputs + 7) / 8) in
+  {
+    rounds = 1 + stats.and_depth + 1;
+    messages = input_messages + and_messages + output_messages;
+    bytes = input_bytes + ((and_bits + 7) / 8) + output_bytes;
+  }
+
+(* XOR-share a bit among p parties: p-1 random shares, last fixes the parity. *)
+let share_bit rng ~p v =
+  let shares = Array.init p (fun i -> if i < p - 1 then Rng.bool rng else false) in
+  let parity = Array.fold_left ( <> ) false shares in
+  shares.(p - 1) <- parity <> v;
+  shares
+
+let execute rng circuit ~inputs =
+  let p = Circuit.num_parties circuit in
+  let gates = Circuit.gates circuit in
+  let n_wires = Array.length gates in
+  (* shares.(party).(wire) *)
+  let shares = Array.init p (fun _ -> Array.make n_wires false) in
+  let opened = ref [] in
+  Array.iteri
+    (fun w g ->
+      match g with
+      | Circuit.Input { party; index } ->
+          if party >= Array.length inputs || index >= Array.length inputs.(party) then
+            invalid_arg "Gmw.execute: missing input bit";
+          let bit_shares = share_bit rng ~p inputs.(party).(index) in
+          Array.iteri (fun i s -> shares.(i).(w) <- s) bit_shares
+      | Const b ->
+          (* Public constant: party 0 holds it, everyone else holds zero. *)
+          shares.(0).(w) <- b
+      | Not a ->
+          Array.iteri (fun i sh -> sh.(w) <- if i = 0 then not sh.(a) else sh.(a)) shares
+      | Xor (a, b) -> Array.iter (fun sh -> sh.(w) <- sh.(a) <> sh.(b)) shares
+      | And (a, b) ->
+          (* Beaver triple (ta, tb, tc) with tc = ta && tb, dealt XOR-shared. *)
+          let ta = Rng.bool rng and tb = Rng.bool rng in
+          let tc = ta && tb in
+          let sa = share_bit rng ~p ta in
+          let sb = share_bit rng ~p tb in
+          let sc = share_bit rng ~p tc in
+          (* Open d = x ^ ta and e = y ^ tb (each party broadcasts its share). *)
+          let d = ref false and e = ref false in
+          for i = 0 to p - 1 do
+            d := !d <> (shares.(i).(a) <> sa.(i));
+            e := !e <> (shares.(i).(b) <> sb.(i))
+          done;
+          opened := (!d, !e) :: !opened;
+          for i = 0 to p - 1 do
+            let z =
+              sc.(i)
+              <> (!d && sb.(i))
+              <> (!e && sa.(i))
+              <> (i = 0 && !d && !e)
+            in
+            shares.(i).(w) <- z
+          done)
+    gates;
+  let outputs =
+    Array.map
+      (fun w ->
+        let v = ref false in
+        for i = 0 to p - 1 do
+          v := !v <> shares.(i).(w)
+        done;
+        !v)
+      (Circuit.outputs circuit)
+  in
+  let opened = Array.of_list (List.rev !opened) in
+  let views =
+    Array.init p (fun i -> { party = i; wire_shares = shares.(i); opened })
+  in
+  let comm =
+    comm_estimate ~parties:p (Circuit.stats circuit)
+      ~outputs:(Array.length (Circuit.outputs circuit))
+  in
+  { outputs; comm; views }

@@ -1,0 +1,1 @@
+lib/prelude/bitmatrix.ml: Array Bitvec

@@ -1,0 +1,1 @@
+lib/prelude/bitvec.ml: Array Bytes Char Format Lazy List

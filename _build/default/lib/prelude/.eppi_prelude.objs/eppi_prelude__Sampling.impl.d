@@ -1,0 +1,1 @@
+lib/prelude/sampling.ml: Array Float Rng

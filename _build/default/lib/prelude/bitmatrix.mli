@@ -1,0 +1,30 @@
+(** Packed Boolean matrices.
+
+    The paper's membership matrix M and the published index M' map
+    (provider, owner) to a bit.  We store one bit vector per owner row --
+    all metrics (false-positive rate, frequency, attack confidence) are
+    per-owner row scans. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** All-zero matrix; by convention rows index owners, columns providers. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> row:int -> col:int -> bool
+val set : t -> row:int -> col:int -> bool -> unit
+val row : t -> int -> Bitvec.t
+(** The live row vector (not a copy). *)
+
+val row_count : t -> int -> int
+(** Number of set bits in a row. *)
+
+val col_count : t -> int -> int
+(** Number of set bits in a column. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val map_rows : (int -> Bitvec.t -> Bitvec.t) -> t -> t
+(** Build a new matrix by transforming each row; the transform must preserve
+    row length. *)

@@ -1,0 +1,40 @@
+(** Packed bit vectors.
+
+    A provider's local membership vector over n owners, and each row/column of
+    the index matrices, are bit vectors; at the paper's scale (10,000 providers
+    x thousands of identities) packing is what keeps whole-network experiments
+    in memory. *)
+
+type t
+
+val create : int -> t
+(** [create len] is an all-zero vector of [len] bits. *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val assign : t -> int -> bool -> unit
+val count : t -> int
+(** Number of set bits. *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+val fill : t -> bool -> unit
+
+val union : t -> t -> t
+(** Bitwise or; operands must have equal length. *)
+
+val inter : t -> t -> t
+(** Bitwise and; operands must have equal length. *)
+
+val diff : t -> t -> t
+(** Bits set in the first operand but not the second. *)
+
+val iter_set : (int -> unit) -> t -> unit
+(** Iterate the indexes of set bits in increasing order. *)
+
+val to_index_list : t -> int list
+val of_index_list : int -> int list -> t
+val fold_set : ('a -> int -> 'a) -> 'a -> t -> 'a
+val pp : Format.formatter -> t -> unit

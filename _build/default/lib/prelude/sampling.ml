@@ -1,0 +1,98 @@
+let binomial_exact rng ~n ~p =
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng p then incr count
+  done;
+  !count
+
+(* Sequential CDF inversion.  Valid while the pmf stays in floating range,
+   i.e. while n * min(p, 1-p) is small. *)
+let binomial_inversion rng ~n ~p =
+  let q = 1.0 -. p in
+  let u = ref (Rng.float rng 1.0) in
+  let pmf = ref (q ** float_of_int n) in
+  let k = ref 0 in
+  (* Invariant: !pmf = P(X = !k); stop when the remaining mass is consumed. *)
+  while !u >= !pmf && !k < n do
+    u := !u -. !pmf;
+    incr k;
+    pmf := !pmf *. p /. q *. (float_of_int (n - !k + 1) /. float_of_int !k)
+  done;
+  !k
+
+let normal_draw rng =
+  (* Box-Muller; one value per call is fine at our scales. *)
+  let u1 = max 1e-300 (Rng.float rng 1.0) in
+  let u2 = Rng.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let rec binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sampling.binomial: negative n";
+  if n = 0 || p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if p > 0.5 then n - binomial rng ~n ~p:(1.0 -. p)
+  else if float_of_int n *. p <= 30.0 then binomial_inversion rng ~n ~p
+  else begin
+    let mean = float_of_int n *. p in
+    let sd = sqrt (mean *. (1.0 -. p)) in
+    let x = int_of_float (Float.round (mean +. (sd *. normal_draw rng))) in
+    if x < 0 then 0 else if x > n then n else x
+  end
+
+let geometric rng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Sampling.geometric";
+  if p = 1.0 then 0
+  else
+    let u = max 1e-300 (Rng.float rng 1.0) in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let poisson rng ~lambda =
+  if lambda < 0.0 then invalid_arg "Sampling.poisson";
+  if lambda = 0.0 then 0
+  else if lambda < 30.0 then begin
+    let l = exp (-.lambda) in
+    let k = ref 0 in
+    let p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      p := !p *. Rng.float rng 1.0;
+      if !p <= l then continue := false else incr k
+    done;
+    !k
+  end
+  else
+    let x = int_of_float (Float.round (lambda +. (sqrt lambda *. normal_draw rng))) in
+    max 0 x
+
+module Zipf = struct
+  type t = { n : int; cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for rank = 1 to n do
+      acc := !acc +. (1.0 /. (float_of_int rank ** s));
+      cdf.(rank - 1) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. total
+    done;
+    { n; cdf }
+
+  let sample t rng =
+    let u = Rng.float rng 1.0 in
+    (* Least rank whose cumulative mass covers u. *)
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+
+  let prob t rank =
+    if rank < 1 || rank > t.n then invalid_arg "Zipf.prob: rank out of range";
+    let below = if rank = 1 then 0.0 else t.cdf.(rank - 2) in
+    t.cdf.(rank - 1) -. below
+end

@@ -1,0 +1,36 @@
+(** Distribution sampling on top of {!Rng}.
+
+    The binomial sampler is the workhorse of the effectiveness experiments:
+    the number of false positives an identity receives during randomized
+    publication is Binomial(m(1-sigma), beta), and sweeps draw it millions of
+    times.  Small-mean draws use exact sequential inversion; large-mean draws
+    use a continuity-corrected normal approximation, which is statistically
+    indistinguishable at the scales the experiments use. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** [binomial rng ~n ~p] draws the number of successes in [n] independent
+    Bernoulli([p]) trials.  Always in [0, n]. *)
+
+val binomial_exact : Rng.t -> n:int -> p:float -> int
+(** Exact O(n) flip-by-flip draw; reference implementation used by tests. *)
+
+val geometric : Rng.t -> p:float -> int
+(** [geometric rng ~p] is the number of failures before the first success,
+    for success probability [p] in (0, 1]. *)
+
+val poisson : Rng.t -> lambda:float -> int
+(** Poisson draw (Knuth's method for small lambda, normal approximation for
+    large lambda). *)
+
+(** Zipf distribution over ranks [1..n] with exponent [s], using a
+    precomputed CDF table for O(log n) sampling. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  val sample : t -> Rng.t -> int
+  (** Rank in [1, n]; rank 1 is the most probable. *)
+
+  val prob : t -> int -> float
+  (** [prob t rank] is the probability mass of [rank]. *)
+end

@@ -1,0 +1,80 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty array";
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let summary xs =
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    p50 = quantile xs 0.5;
+    p95 = quantile xs 0.95;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p95=%.4f max=%.4f"
+    s.n s.mean s.stddev s.min s.p50 s.p95 s.max
+
+module Histogram = struct
+  type t = { lo : float; hi : float; counts : int array }
+
+  let create ~lo ~hi ~bins =
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; counts = Array.make bins 0 }
+
+  let bin_of t x =
+    let bins = Array.length t.counts in
+    let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
+    let i = int_of_float (Float.floor raw) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+
+  let add t x =
+    let i = bin_of t x in
+    t.counts.(i) <- t.counts.(i) + 1
+
+  let counts t = Array.copy t.counts
+  let total t = Array.fold_left ( + ) 0 t.counts
+end

@@ -1,0 +1,44 @@
+(** Descriptive statistics used to aggregate experiment samples. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], linear interpolation between order
+    statistics.  Does not mutate its argument. *)
+
+val median : float array -> float
+
+val summary : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Fixed-bin histogram over a closed interval. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+
+  val add : t -> float -> unit
+  (** Out-of-range values are clamped into the edge bins. *)
+
+  val counts : t -> int array
+  val total : t -> int
+
+  val bin_of : t -> float -> int
+  (** Index of the bin a value falls into. *)
+end

@@ -1,0 +1,56 @@
+type t = { header : string list; mutable rev_rows : string list list }
+
+let create ~header = { header; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rev_rows <- row :: t.rev_rows
+
+let cell_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4f" x
+
+let cell_int = string_of_int
+
+let rows t = List.rev t.rev_rows
+
+let to_string t =
+  let all = t.header :: rows t in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 256 in
+  let put_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  put_row t.header;
+  let total = Array.fold_left ( + ) (2 * (ncols - 1)) widths in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter put_row (rows t);
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map csv_escape row));
+      Buffer.add_char buf '\n')
+    (t.header :: rows t);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

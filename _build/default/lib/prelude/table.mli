@@ -1,0 +1,23 @@
+(** Aligned text tables and CSV rendering for experiment output.
+
+    The benchmark harness prints each reproduced figure as a table whose rows
+    are x-axis points and whose columns are the compared systems, matching the
+    series the paper plots. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val cell_float : float -> string
+(** Render a float with 4 significant decimals, trimming noise. *)
+
+val cell_int : int -> string
+
+val to_string : t -> string
+(** Column-aligned rendering with a header separator line. *)
+
+val to_csv : t -> string
+val print : t -> unit
+(** [to_string] to stdout followed by a newline. *)

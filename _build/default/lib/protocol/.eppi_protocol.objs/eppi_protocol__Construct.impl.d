@@ -1,0 +1,1 @@
+lib/protocol/construct.ml: Array Bitmatrix Countbelow Eppi Eppi_circuit Eppi_mpc Eppi_prelude Eppi_sfdl Eppi_simnet Float Fun List Modarith Secsumshare

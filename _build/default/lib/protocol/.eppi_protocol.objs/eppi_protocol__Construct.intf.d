@@ -1,0 +1,1 @@
+lib/protocol/construct.mli: Bitmatrix Countbelow Eppi Eppi_circuit Eppi_mpc Eppi_prelude Eppi_simnet Modarith Rng Secsumshare

@@ -1,0 +1,1 @@
+lib/protocol/countbelow.ml: Array Eppi Eppi_circuit Eppi_mpc Eppi_prelude Eppi_sfdl Eppi_simnet List Modarith Mpcnet Printf

@@ -1,0 +1,1 @@
+lib/protocol/countbelow.mli: Eppi Eppi_circuit Eppi_mpc Eppi_prelude Eppi_simnet Modarith Rng

@@ -1,0 +1,1 @@
+lib/protocol/mpcnet.ml: Array Circuit Eppi_circuit Eppi_mpc Eppi_prelude Eppi_simnet Rng

@@ -1,0 +1,1 @@
+lib/protocol/mpcnet.mli: Circuit Eppi_circuit Eppi_prelude Eppi_simnet Rng

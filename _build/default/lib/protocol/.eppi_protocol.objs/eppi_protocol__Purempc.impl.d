@@ -1,0 +1,1 @@
+lib/protocol/purempc.ml: Array Eppi Eppi_circuit Eppi_mpc

@@ -1,0 +1,1 @@
+lib/protocol/purempc.mli: Eppi_circuit Eppi_mpc Eppi_prelude Rng

@@ -1,0 +1,1 @@
+lib/protocol/secsumshare.ml: Array Eppi_prelude Eppi_secretshare Eppi_simnet Hashtbl Modarith Printf Rng

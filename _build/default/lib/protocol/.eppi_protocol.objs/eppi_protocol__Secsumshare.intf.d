@@ -1,0 +1,1 @@
+lib/protocol/secsumshare.mli: Eppi_prelude Eppi_simnet Modarith Rng

@@ -1,0 +1,119 @@
+open Eppi_prelude
+module Simnet = Eppi_simnet.Simnet
+module Circuit = Eppi_circuit.Circuit
+module Cost = Eppi_mpc.Cost
+module Gmw = Eppi_mpc.Gmw
+
+type metrics = {
+  secsumshare_time : float;
+  mpc_time : float;
+  publication_time : float;
+  total_time : float;
+  messages : int;
+  bytes : int;
+  circuit_stats : Circuit.stats;
+  mpc_comm : Gmw.comm_stats;
+}
+
+type result = {
+  index : Eppi.Index.t;
+  betas : float array;
+  common : bool array;
+  mixed : bool array;
+  lambda : float;
+  xi : float;
+  metrics : metrics;
+}
+
+let modulus_for m = Modarith.modulus (Modarith.next_prime (m + 1))
+
+(* Publication is a local scan of each provider's n bits. *)
+let publication_cost ~n = 2e-8 *. float_of_int n
+
+let run ?config ?reliability ?network ?transport ?(c = 3) ?(mixing = Eppi.Mixing.Bernoulli) rng ~membership ~epsilons ~policy =
+  let n = Bitmatrix.rows membership in
+  let m = Bitmatrix.cols membership in
+  if Array.length epsilons <> n then invalid_arg "Protocol.Construct.run: epsilons length mismatch";
+  let q = modulus_for m in
+  (* Providers' private inputs: their own membership column, one bit per
+     identity. *)
+  let inputs =
+    Array.init m (fun i ->
+        Array.init n (fun j -> if Bitmatrix.get membership ~row:j ~col:i then 1 else 0))
+  in
+  let sss = Secsumshare.run ?config ?reliability rng ~inputs ~c ~q in
+  let thresholds =
+    Array.map (fun epsilon -> Countbelow.integer_threshold ~policy ~epsilon ~m) epsilons
+  in
+  let cb = Countbelow.run ?network ?transport rng ~shares:sss.coordinator_shares ~q ~thresholds in
+  (* Release phase (public computation at a designated coordinator):
+     xi, lambda, mixing draws, final betas. *)
+  let xi =
+    let acc = ref 0.0 in
+    Array.iteri (fun j is_common -> if is_common then acc := Float.max !acc epsilons.(j)) cb.common;
+    Float.min !acc 0.999
+  in
+  let lambda = Eppi.Mixing.lambda ~xi ~n_common:cb.n_common ~n_total:n in
+  let mixed = Array.make n false in
+  let candidates =
+    Array.of_list (List.filteri (fun j _ -> not cb.common.(j)) (List.init n Fun.id))
+  in
+  let decoys = Eppi.Mixing.select_decoys rng ~mode:mixing ~lambda ~candidates in
+  Array.iteri (fun slot j -> if decoys.(slot) then mixed.(j) <- true) candidates;
+  let betas =
+    Array.init n (fun j ->
+        if cb.common.(j) || mixed.(j) then 1.0
+        else begin
+          match cb.frequencies.(j) with
+          | None -> 1.0 (* unreachable: non-common identities carry a frequency *)
+          | Some f ->
+              Eppi.Policy.beta policy
+                ~sigma:(float_of_int f /. float_of_int m)
+                ~epsilon:epsilons.(j) ~m
+        end)
+  in
+  (* Phase 2: local randomized publication at every provider. *)
+  let published = Eppi.Publish.publish_matrix rng ~betas membership in
+  let publication_time = publication_cost ~n in
+  let sss_messages_bytes = (sss.net.messages_sent, sss.net.bytes_sent) in
+  let metrics =
+    {
+      secsumshare_time = sss.net.completion_time;
+      mpc_time = cb.time;
+      publication_time;
+      total_time = sss.net.completion_time +. cb.time +. publication_time;
+      messages = fst sss_messages_bytes + cb.comm.messages;
+      bytes = snd sss_messages_bytes + cb.comm.bytes;
+      circuit_stats = cb.circuit_stats;
+      mpc_comm = cb.comm;
+    }
+  in
+  {
+    index = Eppi.Index.of_matrix published;
+    betas;
+    common = cb.common;
+    mixed;
+    lambda;
+    xi;
+    metrics;
+  }
+
+let beta_phase_time_estimate ?(network = Cost.lan) ~m ~identities ~c () =
+  if m < c || c < 2 then invalid_arg "beta_phase_time_estimate: need m >= c >= 2";
+  (* SecSumShare: constant rounds; each provider sends c-1 share messages
+     plus one super-share, so the per-provider latency path is short and the
+     dominant term is serialization of the n-residue vectors. *)
+  let message_bytes = float_of_int ((4 * identities) + 16) in
+  let per_provider_traffic = float_of_int c *. message_bytes in
+  let sss_time =
+    (3.0 *. network.latency)
+    +. (per_provider_traffic /. network.bandwidth)
+    +. (2e-8 *. float_of_int (identities * c) *. 2.0)
+  in
+  (* CountBelow among c parties, circuit scaled per identity. *)
+  let q = Modarith.to_int (modulus_for m) in
+  let thresholds = Array.make identities ((q - 1) / 2) in
+  let compiled = Eppi_sfdl.Compile.compile_source (Eppi_sfdl.Programs.count_below ~c ~q ~thresholds) in
+  let stats = Circuit.stats compiled.circuit in
+  let outputs = Array.length (Circuit.outputs compiled.circuit) in
+  sss_time +. Cost.estimate ~network ~parties:c ~outputs stats

@@ -1,0 +1,65 @@
+(** End-to-end distributed ε-PPI construction (paper Section IV).
+
+    Orchestrates the two phases over the simulated network:
+
+    + {b β calculation}: SecSumShare among all m providers (ring protocol,
+      all identities batched) → CountBelow via generic MPC among the c
+      coordinators → public release of λ and the final per-identity β
+      (common and mixed identities at 1, others at the policy's β* computed
+      from the released non-sensitive frequency);
+    + {b Randomized publication}: every provider locally flips its negative
+      bits at rate β_j.
+
+    The result carries both the functional output (the published index,
+    exactly distribution-equal to the centralized {!Eppi.Construct.run}) and
+    the performance metrics the Fig. 6 experiments read: simulated
+    start-to-end time, message/byte counts, and the MPC circuit size. *)
+
+open Eppi_prelude
+
+type metrics = {
+  secsumshare_time : float;
+  mpc_time : float;
+  publication_time : float;
+  total_time : float;  (** Start-to-end simulated seconds. *)
+  messages : int;
+  bytes : int;
+  circuit_stats : Eppi_circuit.Circuit.stats;
+  mpc_comm : Eppi_mpc.Gmw.comm_stats;
+}
+
+type result = {
+  index : Eppi.Index.t;
+  betas : float array;
+  common : bool array;
+  mixed : bool array;
+  lambda : float;
+  xi : float;
+  metrics : metrics;
+}
+
+val modulus_for : int -> Modarith.modulus
+(** Smallest prime above [m + 1]: large enough that no membership sum wraps
+    and the "never common" threshold m+1 stays representable. *)
+
+val run :
+  ?config:Eppi_simnet.Simnet.config ->
+  ?reliability:Secsumshare.reliability ->
+  ?network:Eppi_mpc.Cost.network ->
+  ?transport:Countbelow.transport ->
+  ?c:int ->
+  ?mixing:Eppi.Mixing.mode ->
+  Rng.t ->
+  membership:Bitmatrix.t ->
+  epsilons:float array ->
+  policy:Eppi.Policy.t ->
+  result
+(** [c] defaults to 3 (the paper's configuration).  The matrix is
+    owner-major.
+    @raise Invalid_argument on dimension mismatches, [c < 2] or [m < c]. *)
+
+val beta_phase_time_estimate :
+  ?network:Eppi_mpc.Cost.network -> m:int -> identities:int -> c:int -> unit -> float
+(** Closed-form estimate of the β-calculation time (SecSumShare analytic
+    cost + CountBelow cost model) used by the Fig. 6 sweeps at scales where
+    running the full simulation per point would dominate the harness. *)

@@ -1,0 +1,98 @@
+open Eppi_prelude
+module Circuit = Eppi_circuit.Circuit
+module Compile = Eppi_sfdl.Compile
+module Programs = Eppi_sfdl.Programs
+module Gmw = Eppi_mpc.Gmw
+module Cost = Eppi_mpc.Cost
+
+type result = {
+  common : bool array;
+  frequencies : int option array;
+  n_common : int;
+  circuit_stats : Circuit.stats;
+  comm : Gmw.comm_stats;
+  time : float;
+}
+
+type transport = [ `Cost_model | `Simnet of Eppi_simnet.Simnet.config ]
+
+let integer_threshold ~policy ~epsilon ~m =
+  if epsilon <= 0.0 then m + 1
+  else begin
+    let common_at f =
+      Eppi.Policy.is_common policy ~sigma:(float_of_int f /. float_of_int m) ~epsilon ~m
+    in
+    (* β* is monotone in the frequency: binary-search the first common count. *)
+    if not (common_at m) then m + 1
+    else begin
+      let lo = ref 0 and hi = ref m in
+      (* Invariant: common_at !hi, and !lo is below the first common count. *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if common_at mid then hi := mid else lo := mid
+      done;
+      if common_at !lo then !lo else !hi
+    end
+  end
+
+let run ?(network = Cost.lan) ?(transport = `Cost_model) rng ~shares ~q ~thresholds =
+  let c = Array.length shares in
+  if c < 2 then invalid_arg "Countbelow.run: need at least 2 coordinators";
+  let n = Array.length shares.(0) in
+  Array.iter
+    (fun v -> if Array.length v <> n then invalid_arg "Countbelow.run: ragged share vectors")
+    shares;
+  if Array.length thresholds <> n then invalid_arg "Countbelow.run: thresholds length mismatch";
+  let qi = Modarith.to_int q in
+  let clamped = Array.map (fun t -> max 0 (min t (qi - 1))) thresholds in
+  let source = Programs.count_below ~c ~q:qi ~thresholds:clamped in
+  let compiled = Compile.compile_source source in
+  let inputs =
+    Compile.encode_inputs compiled
+      (List.init c (fun i -> (Printf.sprintf "s%d" i, Compile.Dints shares.(i))))
+  in
+  let raw_outputs, comm, emergent_time =
+    match transport with
+    | `Cost_model ->
+        let mpc = Gmw.execute rng compiled.circuit ~inputs in
+        (mpc.outputs, mpc.comm, None)
+    | `Simnet config ->
+        let mpc = Mpcnet.execute ~config rng compiled.circuit ~inputs in
+        let stats = Circuit.stats compiled.circuit in
+        let estimate =
+          Gmw.comm_estimate ~parties:(Array.length shares) stats
+            ~outputs:(Array.length (Circuit.outputs compiled.circuit))
+        in
+        (mpc.outputs, estimate, Some mpc.net.completion_time)
+  in
+  let outputs = Compile.decode_outputs compiled raw_outputs in
+  let common =
+    match Compile.lookup_output outputs "common" with
+    | Dbools bs -> bs
+    | _ -> failwith "Countbelow.run: bad common output shape"
+  in
+  let freqs =
+    match Compile.lookup_output outputs "freq" with
+    | Dints fs -> fs
+    | _ -> failwith "Countbelow.run: bad freq output shape"
+  in
+  let count =
+    match Compile.lookup_output outputs "count" with
+    | Dint k -> k
+    | _ -> failwith "Countbelow.run: bad count output shape"
+  in
+  let stats = Circuit.stats compiled.circuit in
+  let outputs_bits = Array.length (Circuit.outputs compiled.circuit) in
+  let time =
+    match emergent_time with
+    | Some t -> t
+    | None -> Cost.estimate ~network ~parties:c ~outputs:outputs_bits stats
+  in
+  {
+    common;
+    frequencies = Array.mapi (fun j f -> if common.(j) then None else Some f) freqs;
+    n_common = count;
+    circuit_stats = stats;
+    comm;
+    time;
+  }

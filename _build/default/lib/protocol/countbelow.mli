@@ -1,0 +1,52 @@
+(** The CountBelow stage: generic MPC among the c coordinators
+    (paper Algorithm 2 and Section IV-B.2).
+
+    The coordinators feed their SecSumShare output vectors into the compiled
+    {!Eppi_sfdl.Programs.count_below} circuit, which reconstructs each
+    identity's frequency {i inside the circuit}, compares it against a
+    public per-identity threshold, and reveals only: the common bit, the
+    frequency of non-common identities (deemed non-sensitive by the paper's
+    threat model — high frequency is what makes an identity attackable), and
+    the count of common identities for the λ computation.
+
+    The integer thresholds are derived from the β policy so that
+    "frequency >= threshold" is {i exactly} "β* >= 1": the protocol and the
+    centralized reference classify identities identically (tested). *)
+
+open Eppi_prelude
+
+type result = {
+  common : bool array;
+  frequencies : int option array;  (** [Some f] for non-common identities. *)
+  n_common : int;
+  circuit_stats : Eppi_circuit.Circuit.stats;
+  comm : Eppi_mpc.Gmw.comm_stats;
+  time : float;
+      (** Simulated MPC execution time: the cost model's estimate by
+          default, or the emergent completion time when running over the
+          simulated network (see [transport]). *)
+}
+
+(** How the MPC stage runs: [`Cost_model] executes the in-process engine
+    and prices it with {!Eppi_mpc.Cost}; [`Simnet cfg] runs the protocol
+    round-by-round over the simulated network ({!Mpcnet}) so the time
+    emerges from message passing. *)
+type transport = [ `Cost_model | `Simnet of Eppi_simnet.Simnet.config ]
+
+val integer_threshold : policy:Eppi.Policy.t -> epsilon:float -> m:int -> int
+(** Smallest frequency count at which the policy's raw β reaches 1; [m + 1]
+    when no frequency is common (ε = 0). *)
+
+val run :
+  ?network:Eppi_mpc.Cost.network ->
+  ?transport:transport ->
+  Rng.t ->
+  shares:int array array ->
+  q:Modarith.modulus ->
+  thresholds:int array ->
+  result
+(** [shares] is the c x n coordinator matrix from {!Secsumshare};
+    [thresholds.(j)] is the count above which identity j is common (values
+    above [q - 1] are clamped to [q - 1], which is unreachable by any sum of
+    memberships since q > m).
+    @raise Invalid_argument on shape violations. *)

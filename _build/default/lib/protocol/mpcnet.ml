@@ -1,0 +1,170 @@
+open Eppi_prelude
+open Eppi_circuit
+module Simnet = Eppi_simnet.Simnet
+module Cost = Eppi_mpc.Cost
+
+type msg =
+  | Opens of { layer : int; ds : bool array; es : bool array }
+  | Outs of bool array
+
+type result = {
+  outputs : bool array;
+  rounds : int;
+  net : Simnet.metrics;
+}
+
+(* XOR-share a bit among p parties. *)
+let share_bit rng ~p v =
+  let shares = Array.init p (fun i -> if i < p - 1 then Rng.bool rng else false) in
+  let parity = Array.fold_left ( <> ) false shares in
+  shares.(p - 1) <- parity <> v;
+  shares
+
+let bits_size n = (n + 7) / 8
+
+let execute ?config rng circuit ~inputs =
+  let p = Circuit.num_parties circuit in
+  if p < 2 then invalid_arg "Mpcnet.execute: need at least 2 parties";
+  let gates = Circuit.gates circuit in
+  let n_wires = Array.length gates in
+  let layers = Circuit.and_layers circuit in
+  let n_layers = Array.length layers in
+  let outputs_w = Circuit.outputs circuit in
+  (* --- Dealer phase (offline): input shares and Beaver triples. --- *)
+  let input_shares = Array.init p (fun _ -> Array.make n_wires false) in
+  let sa = Array.init p (fun _ -> Array.make n_wires false) in
+  let sb = Array.init p (fun _ -> Array.make n_wires false) in
+  let sc = Array.init p (fun _ -> Array.make n_wires false) in
+  Array.iteri
+    (fun w gate ->
+      match gate with
+      | Circuit.Input { party; index } ->
+          if party >= Array.length inputs || index >= Array.length inputs.(party) then
+            invalid_arg "Mpcnet.execute: missing input bit";
+          let shares = share_bit rng ~p inputs.(party).(index) in
+          Array.iteri (fun i s -> input_shares.(i).(w) <- s) shares
+      | And _ ->
+          let ta = Rng.bool rng and tb = Rng.bool rng in
+          let dealt_a = share_bit rng ~p ta in
+          let dealt_b = share_bit rng ~p tb in
+          let dealt_c = share_bit rng ~p (ta && tb) in
+          for i = 0 to p - 1 do
+            sa.(i).(w) <- dealt_a.(i);
+            sb.(i).(w) <- dealt_b.(i);
+            sc.(i).(w) <- dealt_c.(i)
+          done
+      | Const _ | Not _ | Xor _ -> ())
+    gates;
+  (* --- Online phase over the network. --- *)
+  let net = Simnet.create ?config ~nodes:p () in
+  let shares = Array.init p (fun _ -> Array.make n_wires false) in
+  let computed = Array.init p (fun _ -> Array.make n_wires false) in
+  (* Opened d/e values, agreed by all parties once a layer completes; they
+     are public, so a single global table is faithful. *)
+  let opened_d = Array.make n_wires false in
+  let opened_e = Array.make n_wires false in
+  (* Per-party, per-layer accumulators. *)
+  let d_acc = Array.init p (fun _ -> Array.map (fun ws -> Array.make (Array.length ws) false) layers) in
+  let e_acc = Array.init p (fun _ -> Array.map (fun ws -> Array.make (Array.length ws) false) layers) in
+  let opens_count = Array.make_matrix p n_layers 0 in
+  let out_acc = Array.init p (fun _ -> Array.make (Array.length outputs_w) false) in
+  let outs_count = Array.make p 0 in
+  let final_outputs = ref None in
+  let rounds = ref (if n_layers = 0 then 1 else n_layers + 1) in
+  let params = Cost.default_params in
+  (* Memoized local evaluation: And wires must already be finalized. *)
+  let rec eval i w =
+    if not computed.(i).(w) then begin
+      (match gates.(w) with
+      | Circuit.Input _ -> shares.(i).(w) <- input_shares.(i).(w)
+      | Const b -> shares.(i).(w) <- (i = 0 && b)
+      | Not a ->
+          eval i a;
+          shares.(i).(w) <- (if i = 0 then not shares.(i).(a) else shares.(i).(a))
+      | Xor (a, b) ->
+          eval i a;
+          eval i b;
+          shares.(i).(w) <- shares.(i).(a) <> shares.(i).(b)
+      | And _ -> failwith "Mpcnet: AND wire evaluated before its layer opened");
+      computed.(i).(w) <- true
+    end
+  in
+  let send_outputs sim i =
+    let my = Array.map (fun w -> eval i w; shares.(i).(w)) outputs_w in
+    (* Include own contribution. *)
+    Array.iteri (fun k v -> out_acc.(i).(k) <- out_acc.(i).(k) <> v) my;
+    outs_count.(i) <- outs_count.(i) + 1;
+    Simnet.work sim i (params.cpu_per_gate *. float_of_int (Array.length outputs_w));
+    Simnet.broadcast sim ~src:i ~size:(bits_size (Array.length outputs_w) + 16) (Outs my)
+  in
+  let rec start_layer sim i l =
+    if l >= n_layers then send_outputs sim i
+    else begin
+      let wires = layers.(l) in
+      Simnet.work sim i (params.crypto_per_and *. float_of_int (Array.length wires));
+      let ds =
+        Array.map
+          (fun w ->
+            match gates.(w) with
+            | Circuit.And (a, _) ->
+                eval i a;
+                shares.(i).(a) <> sa.(i).(w)
+            | _ -> assert false)
+          wires
+      in
+      let es =
+        Array.map
+          (fun w ->
+            match gates.(w) with
+            | Circuit.And (_, b) ->
+                eval i b;
+                shares.(i).(b) <> sb.(i).(w)
+            | _ -> assert false)
+          wires
+      in
+      absorb sim i l ds es;
+      Simnet.broadcast sim ~src:i
+        ~size:(2 * bits_size (Array.length wires) + 16)
+        (Opens { layer = l; ds; es })
+    end
+  (* Fold a (possibly own) contribution into the layer accumulators; when
+     all p contributions are in, finalize the layer's AND gates. *)
+  and absorb sim i l ds es =
+    Array.iteri (fun k v -> d_acc.(i).(l).(k) <- d_acc.(i).(l).(k) <> v) ds;
+    Array.iteri (fun k v -> e_acc.(i).(l).(k) <- e_acc.(i).(l).(k) <> v) es;
+    opens_count.(i).(l) <- opens_count.(i).(l) + 1;
+    if opens_count.(i).(l) = p then begin
+      Array.iteri
+        (fun k w ->
+          (* The opened values are identical at every party; record them
+             once (they're public). *)
+          opened_d.(w) <- d_acc.(i).(l).(k);
+          opened_e.(w) <- e_acc.(i).(l).(k);
+          let d = opened_d.(w) and e = opened_e.(w) in
+          shares.(i).(w) <-
+            sc.(i).(w)
+            <> (d && sb.(i).(w))
+            <> (e && sa.(i).(w))
+            <> (i = 0 && d && e);
+          computed.(i).(w) <- true)
+        layers.(l);
+      start_layer sim i (l + 1)
+    end
+  in
+  for i = 0 to p - 1 do
+    Simnet.on_receive net i (fun sim ~src:_ msg ->
+        match msg with
+        | Opens { layer; ds; es } -> absorb sim i layer ds es
+        | Outs contribution ->
+            Array.iteri (fun k v -> out_acc.(i).(k) <- out_acc.(i).(k) <> v) contribution;
+            outs_count.(i) <- outs_count.(i) + 1;
+            if outs_count.(i) = p && i = 0 then final_outputs := Some (Array.copy out_acc.(i)));
+    Simnet.at net ~delay:0.0 i (fun sim -> start_layer sim i 0)
+  done;
+  Simnet.run net;
+  match !final_outputs with
+  | None ->
+      if Array.length outputs_w = 0 then
+        { outputs = [||]; rounds = !rounds; net = Simnet.metrics net }
+      else failwith "Mpcnet.execute: protocol did not complete (lossy network?)"
+  | Some outputs -> { outputs; rounds = !rounds; net = Simnet.metrics net }

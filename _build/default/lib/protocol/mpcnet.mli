@@ -1,0 +1,31 @@
+(** GMW executed over the simulated network, round by round.
+
+    {!Eppi_mpc.Gmw.execute} evaluates the protocol in-process and reports
+    closed-form communication statistics; the Fig. 6 experiments then price
+    those with the {!Eppi_mpc.Cost} model.  This module instead {i runs} the
+    protocol on {!Eppi_simnet.Simnet}: each party is a network node holding
+    XOR shares, every AND layer is a broadcast round of masked bits, and the
+    execution time {i emerges} from the latency/bandwidth/compute model
+    rather than being estimated.  The test suite uses it to validate both
+    the functional agreement with the in-process engine and the cost
+    model's round structure (measured rounds = AND depth + output round).
+
+    Beaver triples are pre-distributed by the dealer before time zero, as
+    in the in-process engine (the offline phase is out of scope). *)
+
+open Eppi_prelude
+open Eppi_circuit
+
+type result = {
+  outputs : bool array;
+  rounds : int;  (** Broadcast rounds: one per AND layer plus the output round. *)
+  net : Eppi_simnet.Simnet.metrics;
+}
+
+val execute :
+  ?config:Eppi_simnet.Simnet.config ->
+  Rng.t ->
+  Circuit.t ->
+  inputs:bool array array ->
+  result
+(** @raise Invalid_argument on missing input bits or fewer than 2 parties. *)

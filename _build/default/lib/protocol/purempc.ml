@@ -1,0 +1,90 @@
+module Circuit = Eppi_circuit.Circuit
+module B = Circuit.Builder
+module Word = Eppi_circuit.Word
+module Fp = Eppi_circuit.Fixedpoint
+module Gmw = Eppi_mpc.Gmw
+module Cost = Eppi_mpc.Cost
+
+let frac_bits = 12
+let width = 24
+
+let check_params ~m ~epsilon ~gamma =
+  if m < 2 then invalid_arg "Purempc: need at least 2 providers";
+  if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Purempc: epsilon must be in (0, 1)";
+  if gamma <= 0.0 || gamma >= 1.0 then invalid_arg "Purempc: gamma must be in (0, 1)"
+
+let beta_circuit ~m ~epsilon ~gamma =
+  check_params ~m ~epsilon ~gamma;
+  let b = B.create ~n_parties:m () in
+  let bits = Array.init m (fun party -> B.input b ~party) in
+  (* count = sigma * m, an exact integer. *)
+  let count = Word.popcount b bits in
+  let one = Fp.constant b ~width ~frac_bits 1.0 in
+  (* sigma = count / m in Q(f). *)
+  let m_word = Word.const_int b ~width:(Word.bits_for m) m in
+  let sigma = Fp.div_by_int b (Fp.of_int_word b count ~frac_bits) m_word ~width in
+  (* Eq. 3 pipeline: beta_b = 1 / ((1/sigma - 1) * (1/eps - 1)).
+     (1/eps - 1) is public and folds into a constant. *)
+  let inv_sigma = Fp.div b one sigma ~width in
+  let a = Fp.sub b inv_sigma one in
+  let eps_term = Fp.constant b ~width ~frac_bits ((1.0 /. epsilon) -. 1.0) in
+  let denom = Fp.mul b a eps_term ~width in
+  let beta_b = Fp.div b one denom ~width in
+  (* Eq. 5: G = ln(1/(1-gamma)) / ((1-sigma) * m); (1-sigma)*m = m - count. *)
+  let k = Fp.constant b ~width ~frac_bits (log (1.0 /. (1.0 -. gamma))) in
+  let negatives = Word.sub b (Word.const_int b ~width:(Word.bits_for m) m) count in
+  let g = Fp.div_by_int b k negatives ~width in
+  let g2 = Fp.mul b g g ~width in
+  let bg2 = Fp.double b (Fp.mul b beta_b g ~width) in
+  let root = Fp.sqrt b (Fp.add b g2 bg2) in
+  let beta_c = Fp.add b (Fp.add b beta_b g) root in
+  let common = Fp.ge b beta_c one in
+  B.output b common;
+  Fp.output b { beta_c with word = Array.sub beta_c.word 0 (min width (Array.length beta_c.word)) };
+  B.finish b
+
+type execution = {
+  common : bool;
+  beta : float;
+  circuit_stats : Circuit.stats;
+  comm : Gmw.comm_stats;
+  time : float;
+}
+
+let run ?(network = Cost.lan) rng ~bits ~epsilon ~gamma =
+  let m = Array.length bits in
+  let circuit = beta_circuit ~m ~epsilon ~gamma in
+  let inputs = Array.map (fun bit -> [| bit |]) bits in
+  let result = Gmw.execute rng circuit ~inputs in
+  let stats = Circuit.stats circuit in
+  let outputs = Array.length (Circuit.outputs circuit) in
+  let beta_bits = Array.sub result.outputs 1 (Array.length result.outputs - 1) in
+  {
+    common = result.outputs.(0);
+    beta = Fp.to_float beta_bits ~frac_bits;
+    circuit_stats = stats;
+    comm = result.comm;
+    time = Cost.estimate ~network ~parties:m ~outputs stats;
+  }
+
+let stats_for ~m ~identities ~epsilon ~gamma =
+  if identities < 1 then invalid_arg "Purempc.stats_for: need at least one identity";
+  let s = Circuit.stats (beta_circuit ~m ~epsilon ~gamma) in
+  {
+    s with
+    size = s.size * identities;
+    and_gates = s.and_gates * identities;
+    xor_gates = s.xor_gates * identities;
+    not_gates = s.not_gates * identities;
+    inputs = s.inputs * identities;
+  }
+
+let estimate_time ?(network = Cost.lan) ~m ~identities ~epsilon ~gamma () =
+  let stats = stats_for ~m ~identities ~epsilon ~gamma in
+  (* One common bit and one beta word per identity. *)
+  Cost.estimate ~network ~parties:m ~outputs:((1 + width) * identities) stats
+
+let reference_beta ~m ~count ~epsilon ~gamma =
+  Eppi.Policy.beta (Eppi.Policy.Chernoff gamma)
+    ~sigma:(float_of_int count /. float_of_int m)
+    ~epsilon ~m

@@ -1,0 +1,60 @@
+(** The Pure-MPC baseline (paper Section V-B).
+
+    The comparison point for Fig. 6: instead of reducing the secure part to
+    c coordinators via SecSumShare, the pure approach puts {i all m
+    providers} into the generic MPC and evaluates the entire β-calculation
+    flow (Formula 8) inside the circuit — popcount of the m private bits,
+    the Eq. 3 reciprocal pipeline and the Eq. 5 Chernoff correction with its
+    square root, in Q(12) fixed-point arithmetic (standing in for
+    Fairplay-era secure floating point; see DESIGN.md).  The circuit is
+    built per identity; multi-identity workloads replicate it, which is the
+    superlinear cost the paper's design avoids. *)
+
+open Eppi_prelude
+
+val frac_bits : int
+(** Fixed-point precision (12). *)
+
+val width : int
+(** Fixed-point word width (24). *)
+
+val beta_circuit : m:int -> epsilon:float -> gamma:float -> Eppi_circuit.Circuit.t
+(** Single-identity circuit: m parties with one input bit each; outputs the
+    common flag followed by β_c in Q(12), LSB first.
+    @raise Invalid_argument for m < 2 or parameters outside (0, 1). *)
+
+type execution = {
+  common : bool;
+  beta : float;  (** Decoded fixed-point β_c, saturated at the word range. *)
+  circuit_stats : Eppi_circuit.Circuit.stats;
+  comm : Eppi_mpc.Gmw.comm_stats;
+  time : float;
+}
+
+val run :
+  ?network:Eppi_mpc.Cost.network ->
+  Rng.t ->
+  bits:bool array ->
+  epsilon:float ->
+  gamma:float ->
+  execution
+(** Execute the protocol for one identity with the given membership bits
+    (length = m). *)
+
+val stats_for : m:int -> identities:int -> epsilon:float -> gamma:float -> Eppi_circuit.Circuit.stats
+(** Circuit shape for a multi-identity workload: per-identity stats scaled
+    by the identity count (identities are independent, so sizes add and the
+    AND-depth stays per-identity). *)
+
+val estimate_time :
+  ?network:Eppi_mpc.Cost.network ->
+  m:int ->
+  identities:int ->
+  epsilon:float ->
+  gamma:float ->
+  unit ->
+  float
+(** Simulated execution time of the pure-MPC construction for a workload. *)
+
+val reference_beta : m:int -> count:int -> epsilon:float -> gamma:float -> float
+(** The same pipeline in floats (= the Chernoff policy), for validation. *)

@@ -1,0 +1,164 @@
+open Eppi_prelude
+module Simnet = Eppi_simnet.Simnet
+module Additive = Eppi_secretshare.Additive
+
+(* Data messages carry a key identifying them for acknowledgement and
+   receiver-side deduplication: a provider sends at most one k-th share
+   vector and one super-share vector. *)
+type key = Kshares of { src : int; k : int } | Ksuper of { src : int }
+
+type msg =
+  | Shares of { k : int; values : int array }
+  | Super of int array
+  | Ack of key
+
+type result = {
+  coordinator_shares : int array array;
+  net : Simnet.metrics;
+  retransmissions : int;
+}
+
+type reliability = {
+  ack_timeout : float;
+  max_retries : int;
+}
+
+let default_reliability = { ack_timeout = 0.01; max_retries = 25 }
+
+(* Rough wire size: 4 bytes per residue plus a small envelope. *)
+let message_size n = (4 * n) + 16
+
+let ack_size = 16
+
+(* CPU charge per modular operation in the simulated time model. *)
+let op_cost = 2e-8
+
+let run ?config ?reliability rng ~inputs ~c ~q =
+  let m = Array.length inputs in
+  if c < 2 then invalid_arg "Secsumshare.run: need c >= 2";
+  if m < c then invalid_arg "Secsumshare.run: need at least c providers";
+  let n = Array.length inputs.(0) in
+  if n = 0 then invalid_arg "Secsumshare.run: empty input vectors";
+  let qi = Modarith.to_int q in
+  Array.iteri
+    (fun i v ->
+      if Array.length v <> n then invalid_arg "Secsumshare.run: ragged inputs";
+      Array.iter
+        (fun x ->
+          if x < 0 || x >= qi then
+            invalid_arg (Printf.sprintf "Secsumshare.run: provider %d input out of [0, q)" i))
+        v)
+    inputs;
+  let net = Simnet.create ?config ~nodes:m () in
+  (* Per-provider accumulator over the shares it holds (own 0-th + received). *)
+  let acc = Array.init m (fun _ -> Array.make n 0) in
+  let received = Array.make m 0 in
+  let coordinator_shares = Array.init c (fun _ -> Array.make n 0) in
+  let coord_expect = Array.make c 0 in
+  for i = 0 to m - 1 do
+    coord_expect.(i mod c) <- coord_expect.(i mod c) + 1
+  done;
+  let coord_received = Array.make c 0 in
+  (* Reliability state: which keys were delivered (receiver side) and which
+     were acknowledged (sender side). *)
+  let seen : (key, unit) Hashtbl.t = Hashtbl.create 64 in
+  let acked : (key, unit) Hashtbl.t = Hashtbl.create 64 in
+  let retransmissions = ref 0 in
+  (* Each provider derives its own randomness stream so message timing cannot
+     perturb another provider's draws. *)
+  let provider_rngs = Array.init m (fun _ -> Rng.split rng) in
+  (* Send a data message, with retransmission when a reliability layer is
+     configured. *)
+  let send_data sim ~src ~dst ~size msg ~key =
+    Simnet.send sim ~src ~dst ~size msg;
+    match reliability with
+    | None -> ()
+    | Some { ack_timeout; max_retries } ->
+        let rec arm attempt =
+          Simnet.at sim ~delay:ack_timeout src (fun sim ->
+              if not (Hashtbl.mem acked key) then
+                if attempt < max_retries then begin
+                  incr retransmissions;
+                  Simnet.send sim ~src ~dst ~size msg;
+                  arm (attempt + 1)
+                end)
+        in
+        arm 0
+  in
+  let ack sim ~receiver ~sender key =
+    match reliability with
+    | None -> ()
+    | Some _ -> Simnet.send sim ~src:receiver ~dst:sender ~size:ack_size (Ack key)
+  in
+  let finish_if_complete sim i =
+    if received.(i) = c - 1 then begin
+      (* Step 3-4: the accumulated vector is the super-share; ship it to the
+         coordinator responsible for this provider. *)
+      Simnet.work sim i (op_cost *. float_of_int n);
+      send_data sim ~src:i ~dst:(i mod c) ~size:(message_size n) (Super acc.(i))
+        ~key:(Ksuper { src = i })
+    end
+  in
+  for i = 0 to m - 1 do
+    Simnet.on_receive net i (fun sim ~src msg ->
+        match msg with
+        | Ack key -> Hashtbl.replace acked key ()
+        | Shares { k; values } ->
+            let key = Kshares { src; k } in
+            ack sim ~receiver:i ~sender:src key;
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              Simnet.work sim i (op_cost *. float_of_int n);
+              for j = 0 to n - 1 do
+                acc.(i).(j) <- Modarith.add q acc.(i).(j) values.(j)
+              done;
+              received.(i) <- received.(i) + 1;
+              finish_if_complete sim i
+            end
+        | Super values ->
+            let key = Ksuper { src } in
+            ack sim ~receiver:i ~sender:src key;
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              let r = i in
+              Simnet.work sim i (op_cost *. float_of_int n);
+              for j = 0 to n - 1 do
+                coordinator_shares.(r).(j) <- Modarith.add q coordinator_shares.(r).(j) values.(j)
+              done;
+              coord_received.(r) <- coord_received.(r) + 1
+            end);
+    Simnet.at net ~delay:0.0 i (fun sim ->
+        (* Steps 1-2: split every private value into c shares; keep share 0,
+           send share k to the k-th successor. *)
+        let my_rng = provider_rngs.(i) in
+        Simnet.work sim i (op_cost *. float_of_int (n * c));
+        let vectors = Array.init c (fun _ -> Array.make n 0) in
+        for j = 0 to n - 1 do
+          let shares = Additive.share my_rng ~q ~c inputs.(i).(j) in
+          Array.iteri (fun k s -> vectors.(k).(j) <- s) shares
+        done;
+        for j = 0 to n - 1 do
+          acc.(i).(j) <- Modarith.add q acc.(i).(j) vectors.(0).(j)
+        done;
+        for k = 1 to c - 1 do
+          send_data sim ~src:i ~dst:((i + k) mod m) ~size:(message_size n) (Shares { k; values = vectors.(k) })
+            ~key:(Kshares { src = i; k })
+        done;
+        finish_if_complete sim i)
+  done;
+  Simnet.run net;
+  Array.iteri
+    (fun r got ->
+      if got <> coord_expect.(r) then
+        failwith (Printf.sprintf "Secsumshare.run: coordinator %d got %d of %d super-shares" r got
+                    coord_expect.(r)))
+    coord_received;
+  { coordinator_shares; net = Simnet.metrics net; retransmissions = !retransmissions }
+
+let reconstruct ~q shares =
+  match Array.length shares with
+  | 0 -> [||]
+  | _ ->
+      let n = Array.length shares.(0) in
+      Array.init n (fun j ->
+          Array.fold_left (fun acc vec -> Modarith.add q acc vec.(j)) 0 shares)

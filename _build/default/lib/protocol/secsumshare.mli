@@ -1,0 +1,64 @@
+(** The SecSumShare protocol (paper Section IV-B, Figure 3).
+
+    Given m providers each holding a private vector of values in Z_q (the
+    membership bits, one per identity), the protocol produces c share
+    vectors, held by c coordinator providers, whose element-wise sum mod q
+    equals the element-wise sum of all private inputs — without any party
+    learning anything beyond its own inputs (collusion below c reveals
+    nothing; Theorem 4.1).
+
+    The four steps, run over the simulated network with all identities
+    batched into one message per edge:
+
+    + {b Generate}: provider i splits each private value into c additive
+      shares;
+    + {b Distribute}: the k-th share goes to the k-th ring successor
+      p_((i+k) mod m); the 0-th stays local;
+    + {b Sum}: each provider adds the shares it received into a
+      super-share vector;
+    + {b Aggregate}: provider i sends its super-shares to coordinator
+      (i mod c); coordinator r accumulates them into the output vector
+      s(r, ·).
+
+    Requires m >= c >= 2. *)
+
+open Eppi_prelude
+
+type result = {
+  coordinator_shares : int array array;  (** c x n: s(r, j). *)
+  net : Eppi_simnet.Simnet.metrics;
+  retransmissions : int;  (** Data messages resent by the reliability layer. *)
+}
+
+(** Loss handling for the share and super-share messages.  With a lossy
+    {!Eppi_simnet.Simnet.config} the bare protocol cannot complete (a
+    missing share silently corrupts the sum, so the run fails fast
+    instead); [reliability] adds a stop-and-wait layer — every data message
+    is acknowledged, deduplicated at the receiver, and resent after
+    [ack_timeout] up to [max_retries] times. *)
+type reliability = {
+  ack_timeout : float;  (** Seconds before a resend. *)
+  max_retries : int;
+}
+
+val default_reliability : reliability
+(** 10 ms timeout, 25 retries: survives heavy simulated loss on a LAN. *)
+
+val run :
+  ?config:Eppi_simnet.Simnet.config ->
+  ?reliability:reliability ->
+  Rng.t ->
+  inputs:int array array ->
+  c:int ->
+  q:Modarith.modulus ->
+  result
+(** [inputs.(i).(j)] is provider i's private value for identity j (all
+    providers must supply equally long vectors with values in [0, q)).
+    @raise Invalid_argument on shape violations or [m < c] or [c < 2].
+    @raise Failure if messages were lost and either no [reliability] layer
+    was configured or its retry budget was exhausted. *)
+
+val reconstruct : q:Modarith.modulus -> int array array -> int array
+(** Element-wise sum of the coordinator share vectors — the plain sums the
+    protocol secretly computes.  Exposed for tests and for the CountBelow
+    stage's reference path. *)

@@ -1,0 +1,1 @@
+lib/secretshare/additive.ml: Array Eppi_prelude Modarith Rng

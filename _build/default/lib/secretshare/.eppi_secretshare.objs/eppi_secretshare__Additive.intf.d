@@ -1,0 +1,1 @@
+lib/secretshare/additive.mli: Eppi_prelude Modarith Rng

@@ -1,0 +1,1 @@
+lib/secretshare/shamir.ml: Array Eppi_prelude List Modarith Rng

@@ -1,0 +1,1 @@
+lib/secretshare/shamir.mli: Eppi_prelude Modarith Rng

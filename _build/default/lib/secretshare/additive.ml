@@ -1,0 +1,26 @@
+open Eppi_prelude
+
+type share = int
+
+let share rng ~q ~c v =
+  if c < 1 then invalid_arg "Additive.share: need at least one share";
+  let qi = Modarith.to_int q in
+  let shares = Array.init c (fun i -> if i < c - 1 then Rng.int rng qi else 0) in
+  let partial = Array.fold_left (Modarith.add q) 0 shares in
+  shares.(c - 1) <- Modarith.sub q v partial;
+  shares
+
+let reconstruct ~q shares = Array.fold_left (Modarith.add q) 0 shares
+
+let add ~q a b =
+  if Array.length a <> Array.length b then invalid_arg "Additive.add: length mismatch";
+  Array.map2 (Modarith.add q) a b
+
+let add_into ~q ~acc b =
+  if Array.length acc <> Array.length b then invalid_arg "Additive.add_into: length mismatch";
+  Array.iteri (fun i x -> acc.(i) <- Modarith.add q acc.(i) x) b
+
+let zero_sharing rng ~q ~c = share rng ~q ~c 0
+
+let rerandomize rng ~q shares =
+  add ~q shares (zero_sharing rng ~q ~c:(Array.length shares))

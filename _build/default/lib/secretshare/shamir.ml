@@ -1,0 +1,40 @@
+open Eppi_prelude
+
+type scheme = { p : Modarith.modulus; k : int; n : int }
+
+let create _rng ~p ~k ~n =
+  if not (Modarith.is_prime (Modarith.to_int p)) then
+    invalid_arg "Shamir.create: modulus must be prime";
+  if k < 1 || k > n || n >= Modarith.to_int p then
+    invalid_arg "Shamir.create: need 1 <= k <= n < p";
+  { p; k; n }
+
+let eval_poly ~p coeffs x =
+  (* Horner evaluation; coefficient 0 is the secret. *)
+  Array.fold_right (fun c acc -> Modarith.add p (Modarith.mul p acc x) c) coeffs 0
+
+let share s rng v =
+  let p = s.p in
+  let coeffs =
+    Array.init s.k (fun i ->
+        if i = 0 then Modarith.reduce p v else Rng.int rng (Modarith.to_int p))
+  in
+  Array.init s.n (fun i ->
+      let x = i + 1 in
+      (x, eval_poly ~p coeffs x))
+
+let reconstruct ~p points =
+  (* Lagrange basis at 0: L_i(0) = prod_{j<>i} x_j / (x_j - x_i). *)
+  Array.to_list points
+  |> List.mapi (fun i (xi, yi) ->
+         let num, den =
+           Array.to_list points
+           |> List.mapi (fun j (xj, _) -> (i <> j, xj))
+           |> List.fold_left
+                (fun (num, den) (keep, xj) ->
+                  if keep then (Modarith.mul p num xj, Modarith.mul p den (Modarith.sub p xj xi))
+                  else (num, den))
+                (1, 1)
+         in
+         Modarith.mul p yi (Modarith.mul p num (Modarith.inv p den)))
+  |> List.fold_left (Modarith.add p) 0

@@ -1,0 +1,23 @@
+(** Shamir (k,n) threshold secret sharing over a prime field Z_p.
+
+    Not used by the ε-PPI construction itself (which needs only the additive
+    scheme), but the paper's related-work section points at Shamir-based MPC
+    for floating point [35]; we ship it as the natural extension point and as
+    an independent cross-check for the sharing tests: additive (c,c) sharing
+    must agree with Shamir (c,c) sharing on recoverability semantics. *)
+
+open Eppi_prelude
+
+type scheme
+
+val create : Rng.t -> p:Modarith.modulus -> k:int -> n:int -> scheme
+(** A (k,n) scheme: n shares, any k reconstruct.
+    @raise Invalid_argument unless [1 <= k <= n < p] and [p] is prime. *)
+
+val share : scheme -> Rng.t -> int -> (int * int) array
+(** [share s rng v] returns n pairs (x, f(x)) for a fresh random polynomial f
+    of degree k-1 with f(0) = v; evaluation points are 1..n. *)
+
+val reconstruct : p:Modarith.modulus -> (int * int) array -> int
+(** Lagrange interpolation at 0 from at least k shares (any subset works; the
+    caller is responsible for supplying k or more distinct points). *)

@@ -1,0 +1,1 @@
+lib/sfdl/compile.ml: Array Ast Buffer Eppi_circuit Hashtbl List Parser Printf Result String Typecheck

@@ -1,0 +1,1 @@
+lib/sfdl/compile.mli: Ast Eppi_circuit

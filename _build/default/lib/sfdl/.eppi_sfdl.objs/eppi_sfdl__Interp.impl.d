@@ -1,0 +1,1 @@
+lib/sfdl/interp.ml: Array Ast Compile Eppi_circuit Hashtbl List Parser Printf Result Typecheck

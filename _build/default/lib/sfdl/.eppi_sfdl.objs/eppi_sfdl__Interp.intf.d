@@ -1,0 +1,1 @@
+lib/sfdl/interp.mli: Ast Compile

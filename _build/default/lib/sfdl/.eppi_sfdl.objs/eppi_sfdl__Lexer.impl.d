@@ -1,0 +1,1 @@
+lib/sfdl/lexer.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+lib/sfdl/lexer.mli: Ast

@@ -1,0 +1,1 @@
+lib/sfdl/parser.ml: Array Ast Lexer List Printf

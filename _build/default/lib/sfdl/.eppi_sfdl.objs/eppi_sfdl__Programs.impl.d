@@ -1,0 +1,1 @@
+lib/sfdl/programs.ml: Array Buffer Eppi_circuit List Printf String

@@ -1,0 +1,1 @@
+lib/sfdl/programs.mli:

@@ -1,0 +1,1 @@
+lib/sfdl/typecheck.ml: Ast Hashtbl List Printf Result

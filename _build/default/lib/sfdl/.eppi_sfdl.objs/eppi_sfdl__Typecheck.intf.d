@@ -1,0 +1,1 @@
+lib/sfdl/typecheck.mli: Ast

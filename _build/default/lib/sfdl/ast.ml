@@ -1,0 +1,91 @@
+(* Abstract syntax of the mini secure function definition language (SFDL).
+
+   The language mirrors the shape of FairplayMP's SFDL: a program declares
+   parties, typed private inputs owned by parties, public outputs, local
+   variables and a main block of statements; the compiler unrolls loops and
+   lowers everything to a Boolean circuit.  Two deliberate divergences from
+   Fairplay, documented in the manual (docs in compile.mli): addition and
+   multiplication grow their result width instead of wrapping, and array
+   indexes must be compile-time constants after loop unrolling. *)
+
+type position = { line : int; col : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Xor
+  | Land  (* && *)
+  | Lor   (* || *)
+
+type unop = Not | Neg
+
+(* Width expressions are constant expressions; they reuse [expr] and are
+   folded by the const evaluator. *)
+type ty =
+  | Tbool
+  | Tuint of expr  (* uint<width> *)
+  | Tarray of ty * expr  (* elem[len] *)
+
+and expr = { desc : expr_desc; pos : position }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Var of string
+  | Index of string * expr
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cond of expr * expr * expr  (* c ? a : b *)
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sdesc : stmt_desc; spos : position }
+
+and stmt_desc =
+  | Assign of lvalue * expr
+  | For of string * expr * expr * stmt list  (* for i in lo .. hi { ... }, inclusive *)
+  | If of expr * stmt list * stmt list
+
+type decl =
+  | Dconst of string * const_init
+  | Dparty of string
+  | Dinput of string * ty * string  (* name, type, owning party *)
+  | Doutput of string * ty
+  | Dvar of string * ty
+
+and const_init = Cscalar of expr | Carray of expr list
+
+type program = {
+  name : string;
+  decls : (decl * position) list;
+  body : stmt list;
+}
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Land -> "&&"
+  | Lor -> "||"

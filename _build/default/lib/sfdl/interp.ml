@@ -1,0 +1,430 @@
+open Ast
+
+exception Error of string * position
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Error (message, pos))) fmt
+
+let bits_for = Eppi_circuit.Word.bits_for
+
+(* A secret integer value carries the width its circuit counterpart would
+   have; wrap/saturate behaviour depends on it. *)
+type uint_value = { value : int; width : int }
+type value = Vbool of bool | Vuint of uint_value
+
+type slot = { rty : rty; cells : value array }
+and rty = Rbool | Ruint of int
+
+type binding =
+  | Kconst of int
+  | Kconstarr of int array
+  | Kloop of int
+  | Kparty
+  | Kslot of slot
+
+type env = (string, binding) Hashtbl.t
+
+let lookup (env : env) pos name =
+  match Hashtbl.find_opt env name with
+  | Some b -> b
+  | None -> fail pos "unknown identifier %s" name
+
+let mask width v = v land ((1 lsl width) - 1)
+
+let uint ~width value = Vuint { value; width }
+
+(* ---- public (constant) evaluation: unbounded ints, bools as 0/1 ---- *)
+
+let rec eval_pub env e =
+  match e.desc with
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | Var name -> (
+      match lookup env e.pos name with
+      | Kconst v | Kloop v -> v
+      | _ -> fail e.pos "%s is not a public expression" name)
+  | Index (name, idx) -> (
+      let i = eval_pub env idx in
+      match lookup env e.pos name with
+      | Kconstarr a ->
+          if i < 0 || i >= Array.length a then
+            fail idx.pos "index %d out of bounds for %s (length %d)" i name (Array.length a);
+          a.(i)
+      | _ -> fail e.pos "%s is not a public array" name)
+  | Unop (Neg, a) -> -eval_pub env a
+  | Unop (Not, a) -> if eval_pub env a = 0 then 1 else 0
+  | Binop (op, a, b) -> (
+      let va = eval_pub env a and vb = eval_pub env b in
+      match op with
+      | Add -> va + vb
+      | Sub -> va - vb
+      | Mul -> va * vb
+      | Div ->
+          if vb = 0 then fail e.pos "division by zero in constant expression";
+          va / vb
+      | Mod ->
+          if vb = 0 then fail e.pos "modulo by zero in constant expression";
+          va mod vb
+      | Lt -> if va < vb then 1 else 0
+      | Le -> if va <= vb then 1 else 0
+      | Gt -> if va > vb then 1 else 0
+      | Ge -> if va >= vb then 1 else 0
+      | Eq -> if va = vb then 1 else 0
+      | Ne -> if va <> vb then 1 else 0
+      | And -> va land vb
+      | Or -> va lor vb
+      | Xor -> va lxor vb
+      | Land -> if va <> 0 && vb <> 0 then 1 else 0
+      | Lor -> if va <> 0 || vb <> 0 then 1 else 0)
+  | Cond (c, a, b) -> if eval_pub env c <> 0 then eval_pub env a else eval_pub env b
+
+let rec is_public (env : env) e =
+  match e.desc with
+  | Int _ | Bool _ -> true
+  | Var name -> (
+      match Hashtbl.find_opt env name with
+      | Some (Kconst _ | Kloop _ | Kconstarr _) -> true
+      | _ -> false)
+  | Index (name, idx) -> (
+      match Hashtbl.find_opt env name with
+      | Some (Kconstarr _) -> is_public env idx
+      | _ -> false)
+  | Binop (_, a, b) -> is_public env a && is_public env b
+  | Unop (_, a) -> is_public env a
+  | Cond (c, a, b) -> is_public env c && is_public env a && is_public env b
+
+(* ---- secret evaluation with the compiler's width discipline ---- *)
+
+let rec eval env e : value =
+  if is_public env e then begin
+    match e.desc with
+    | Bool v -> Vbool v
+    | _ ->
+        let v = eval_pub env e in
+        (* Mirror the compiler's fold: comparison-shaped public expressions
+           become bools; everything else is a constant word. *)
+        (match e.desc with
+        | Binop ((Lt | Le | Gt | Ge | Eq | Ne | Land | Lor), _, _) | Unop (Not, _) ->
+            Vbool (v <> 0)
+        | _ ->
+            if v < 0 then fail e.pos "negative constant %d cannot flow into the circuit" v;
+            uint ~width:(bits_for v) v)
+  end
+  else
+    match e.desc with
+    | Int _ | Bool _ -> assert false
+    | Var name -> (
+        match lookup env e.pos name with
+        | Kslot { cells = [| v |]; _ } -> v
+        | Kslot _ -> fail e.pos "array %s must be indexed" name
+        | _ -> assert false)
+    | Index (name, idx) when is_public env idx -> (
+        let i = eval_pub env idx in
+        match lookup env e.pos name with
+        | Kslot slot ->
+            if i < 0 || i >= Array.length slot.cells then
+              fail idx.pos "index %d out of bounds for %s (length %d)" i name
+                (Array.length slot.cells);
+            slot.cells.(i)
+        | _ -> fail e.pos "%s is not an array" name)
+    | Index (name, idx) -> (
+        (* Secret index: the circuit muxes over every cell, so the result
+           width is the maximum cell width and out-of-range selects zero. *)
+        let i =
+          match eval env idx with
+          | Vuint { value; _ } -> value
+          | Vbool _ -> fail idx.pos "array index must be an integer"
+        in
+        let cells =
+          match lookup env e.pos name with
+          | Kslot slot -> Array.copy slot.cells
+          | Kconstarr a ->
+              Array.map
+                (fun v ->
+                  if v < 0 then
+                    fail e.pos "negative constant %d cannot flow into the circuit" v;
+                  uint ~width:(bits_for v) v)
+                a
+          | _ -> fail e.pos "%s is not an array" name
+        in
+        match cells.(0) with
+        | Vbool _ ->
+            if i < Array.length cells then cells.(i) else Vbool false
+        | Vuint _ ->
+            let width =
+              Array.fold_left
+                (fun acc c -> match c with Vuint u -> max acc u.width | Vbool _ -> acc)
+                1 cells
+            in
+            let value =
+              if i < Array.length cells then
+                match cells.(i) with
+                | Vuint u -> u.value
+                | Vbool _ -> fail e.pos "internal: mixed cell types in %s" name
+              else 0
+            in
+            uint ~width value)
+    | Unop (Not, a) -> (
+        match eval env a with
+        | Vbool v -> Vbool (not v)
+        | Vuint _ -> fail e.pos "operand of ! must be bool")
+    | Unop (Neg, _) -> fail e.pos "unary minus on a secret value is not supported"
+    | Cond (c, a, b) -> (
+        let sel = match eval env c with
+          | Vbool v -> v
+          | Vuint _ -> fail c.pos "condition must be bool"
+        in
+        (* Both branches are evaluated (the circuit always builds both); the
+           result width is the mux width = max of branch widths. *)
+        match (eval env a, eval env b) with
+        | Vbool x, Vbool y -> Vbool (if sel then x else y)
+        | Vuint x, Vuint y ->
+            uint ~width:(max x.width y.width) (if sel then x.value else y.value)
+        | _ -> fail e.pos "branches of ?: must have the same type")
+    | Binop (op, a, b) -> eval_binop env e.pos op (eval env a) (eval env b)
+
+and eval_binop _env pos op va vb =
+  let uints () =
+    match (va, vb) with
+    | Vuint x, Vuint y -> (x, y)
+    | _ -> fail pos "operands of %s must be integers" (binop_name op)
+  in
+  let bools () =
+    match (va, vb) with
+    | Vbool x, Vbool y -> (x, y)
+    | _ -> fail pos "operands of %s must be bool" (binop_name op)
+  in
+  match op with
+  | Add ->
+      let x, y = uints () in
+      uint ~width:(max x.width y.width + 1) (x.value + y.value)
+  | Sub ->
+      (* Two's-complement wrap at the common width (Word.sub). *)
+      let x, y = uints () in
+      let width = max x.width y.width in
+      uint ~width (mask width (x.value - y.value))
+  | Mul ->
+      let x, y = uints () in
+      uint ~width:(x.width + y.width) (x.value * y.value)
+  | Div ->
+      (* Word.divmod: quotient at the dividend's width; /0 saturates. *)
+      let x, y = uints () in
+      if y.value = 0 then uint ~width:x.width (mask x.width (-1))
+      else uint ~width:x.width (x.value / y.value)
+  | Mod ->
+      (* Remainder at the divisor's width; mod 0 returns the dividend
+         truncated to that width. *)
+      let x, y = uints () in
+      if y.value = 0 then uint ~width:y.width (mask y.width x.value)
+      else uint ~width:y.width (x.value mod y.value)
+  | Lt ->
+      let x, y = uints () in
+      Vbool (x.value < y.value)
+  | Le ->
+      let x, y = uints () in
+      Vbool (x.value <= y.value)
+  | Gt ->
+      let x, y = uints () in
+      Vbool (x.value > y.value)
+  | Ge ->
+      let x, y = uints () in
+      Vbool (x.value >= y.value)
+  | Eq -> (
+      match (va, vb) with
+      | Vuint x, Vuint y -> Vbool (x.value = y.value)
+      | Vbool x, Vbool y -> Vbool (x = y)
+      | _ -> fail pos "operands of == must have the same type")
+  | Ne -> (
+      match (va, vb) with
+      | Vuint x, Vuint y -> Vbool (x.value <> y.value)
+      | Vbool x, Vbool y -> Vbool (x <> y)
+      | _ -> fail pos "operands of != must have the same type")
+  | And -> (
+      match (va, vb) with
+      | Vbool x, Vbool y -> Vbool (x && y)
+      | Vuint x, Vuint y -> uint ~width:(max x.width y.width) (x.value land y.value)
+      | _ -> fail pos "operands of & must both be bool or both integers")
+  | Or -> (
+      match (va, vb) with
+      | Vbool x, Vbool y -> Vbool (x || y)
+      | Vuint x, Vuint y -> uint ~width:(max x.width y.width) (x.value lor y.value)
+      | _ -> fail pos "operands of | must both be bool or both integers")
+  | Xor -> (
+      match (va, vb) with
+      | Vbool x, Vbool y -> Vbool (x <> y)
+      | Vuint x, Vuint y -> uint ~width:(max x.width y.width) (x.value lxor y.value)
+      | _ -> fail pos "operands of ^ must both be bool or both integers")
+  | Land ->
+      let x, y = bools () in
+      Vbool (x && y)
+  | Lor ->
+      let x, y = bools () in
+      Vbool (x || y)
+
+(* ---- declarations, statements, program ---- *)
+
+let resolve_scalar_ty env pos = function
+  | Tbool -> Rbool
+  | Tuint w ->
+      let width = eval_pub env w in
+      if width < 1 || width > 62 then fail pos "uint width %d out of range [1, 62]" width;
+      Ruint width
+  | Tarray _ -> fail pos "nested arrays are not supported"
+
+let resolve_ty env pos ty =
+  match ty with
+  | Tarray (elem, len_e) ->
+      let len = eval_pub env len_e in
+      if len < 1 then fail pos "array length %d must be positive" len;
+      (resolve_scalar_ty env pos elem, len)
+  | Tbool | Tuint _ -> (resolve_scalar_ty env pos ty, 1)
+
+let zero_value = function Rbool -> Vbool false | Ruint w -> uint ~width:w 0
+
+let coerce rty value pos =
+  match (rty, value) with
+  | Rbool, Vbool _ -> value
+  | Ruint width, Vuint { value; _ } -> uint ~width (mask width value)
+  | Rbool, Vuint _ -> fail pos "cannot assign an integer to a bool"
+  | Ruint _, Vbool _ -> fail pos "cannot assign a bool to an integer"
+
+(* Secret [if] mirrors the compiler exactly: both branches are elaborated
+   (so static rejections — bad constants, out-of-bounds indexes — surface
+   whichever branch the condition selects), and the resulting state is the
+   taken branch's.  [slots] is the fixed set of mutable slots declared by
+   the program, in declaration order. *)
+let snapshot slots = List.map (fun (_, slot) -> Array.copy slot.cells) slots
+
+let restore slots saved =
+  List.iter2
+    (fun (_, slot) cells -> Array.blit cells 0 slot.cells 0 (Array.length cells))
+    slots saved
+
+let rec exec env slots stmt =
+  match stmt.sdesc with
+  | Assign (lv, rhs) -> (
+      let v = eval env rhs in
+      match lv with
+      | Lvar name -> (
+          match lookup env stmt.spos name with
+          | Kslot slot when Array.length slot.cells = 1 ->
+              slot.cells.(0) <- coerce slot.rty v stmt.spos
+          | Kslot _ -> fail stmt.spos "cannot assign whole array %s" name
+          | _ -> fail stmt.spos "cannot assign to %s" name)
+      | Lindex (name, idx) -> (
+          let i = eval_pub env idx in
+          match lookup env stmt.spos name with
+          | Kslot slot ->
+              if i < 0 || i >= Array.length slot.cells then
+                fail idx.pos "index %d out of bounds for %s (length %d)" i name
+                  (Array.length slot.cells);
+              slot.cells.(i) <- coerce slot.rty v stmt.spos
+          | _ -> fail stmt.spos "cannot assign to %s" name))
+  | For (var, lo_e, hi_e, body) ->
+      let lo = eval_pub env lo_e and hi = eval_pub env hi_e in
+      for i = lo to hi do
+        Hashtbl.add env var (Kloop i);
+        List.iter (exec env slots) body;
+        Hashtbl.remove env var
+      done
+  | If (cond, then_branch, else_branch) ->
+      if is_public env cond then begin
+        (* Public condition: the compiler selects a branch statically. *)
+        if eval_pub env cond <> 0 then List.iter (exec env slots) then_branch
+        else List.iter (exec env slots) else_branch
+      end
+      else begin
+        let sel =
+          match eval env cond with
+          | Vbool v -> v
+          | Vuint _ -> fail cond.pos "if condition must be bool"
+        in
+        let saved = snapshot slots in
+        List.iter (exec env slots) then_branch;
+        let then_state = snapshot slots in
+        restore slots saved;
+        List.iter (exec env slots) else_branch;
+        if sel then restore slots then_state
+      end
+
+let data_of_slot pos name rty len scalar (cells : value array) : Compile.data =
+  let as_bool = function
+    | Vbool v -> v
+    | Vuint _ -> fail pos "internal: %s cell type confusion" name
+  in
+  let as_int = function
+    | Vuint { value; _ } -> value
+    | Vbool _ -> fail pos "internal: %s cell type confusion" name
+  in
+  match (rty, scalar) with
+  | Rbool, true -> Dbool (as_bool cells.(0))
+  | Ruint _, true -> Dint (as_int cells.(0))
+  | Rbool, false -> Dbools (Array.map as_bool (Array.sub cells 0 len))
+  | Ruint _, false -> Dints (Array.map as_int (Array.sub cells 0 len))
+
+let run program ~inputs =
+  let env : env = Hashtbl.create 16 in
+  let outputs = ref [] in
+  let slots = ref [] in
+  List.iter
+    (fun (decl, pos) ->
+      match decl with
+      | Dconst (name, Cscalar e) -> Hashtbl.add env name (Kconst (eval_pub env e))
+      | Dconst (name, Carray es) ->
+          Hashtbl.add env name (Kconstarr (Array.of_list (List.map (eval_pub env) es)))
+      | Dparty name -> Hashtbl.add env name Kparty
+      | Dinput (name, ty, _owner) ->
+          let rty, len = resolve_ty env pos ty in
+          let data =
+            match List.assoc_opt name inputs with
+            | Some d -> d
+            | None -> fail pos "missing input %s" name
+          in
+          let check_fit v w =
+            if v < 0 || (w < 62 && v lsr w <> 0) then
+              fail pos "input %s: %d does not fit in %d bits" name v w
+          in
+          let cells =
+            match (rty, len, data) with
+            | Rbool, 1, Compile.Dbool v -> [| Vbool v |]
+            | Ruint w, 1, Compile.Dint v ->
+                check_fit v w;
+                [| uint ~width:w v |]
+            | Rbool, _, Compile.Dbools vs when Array.length vs = len ->
+                Array.map (fun v -> Vbool v) vs
+            | Ruint w, _, Compile.Dints vs when Array.length vs = len ->
+                Array.map
+                  (fun v ->
+                    check_fit v w;
+                    uint ~width:w v)
+                  vs
+            | _ -> fail pos "input %s: shape mismatch" name
+          in
+          let slot = { rty; cells } in
+          Hashtbl.add env name (Kslot slot);
+          slots := (name, slot) :: !slots
+      | Doutput (name, ty) ->
+          let rty, len = resolve_ty env pos ty in
+          let scalar = match ty with Tarray _ -> false | Tbool | Tuint _ -> true in
+          let slot = { rty; cells = Array.init len (fun _ -> zero_value rty) } in
+          Hashtbl.add env name (Kslot slot);
+          slots := (name, slot) :: !slots;
+          outputs := (name, pos, rty, len, scalar, slot) :: !outputs
+      | Dvar (name, ty) ->
+          let rty, len = resolve_ty env pos ty in
+          let slot = { rty; cells = Array.init len (fun _ -> zero_value rty) } in
+          Hashtbl.add env name (Kslot slot);
+          slots := (name, slot) :: !slots)
+    program.decls;
+  let slots = List.rev !slots in
+  List.iter (exec env slots) program.body;
+  List.rev_map
+    (fun (name, pos, rty, len, scalar, slot) ->
+      (name, data_of_slot pos name rty len scalar slot.cells))
+    !outputs
+
+let run_source src ~inputs =
+  let program = Parser.parse src in
+  (match Typecheck.check_result program with
+  | Ok () -> ()
+  | Result.Error { message; pos } -> raise (Error (message, pos)));
+  run program ~inputs

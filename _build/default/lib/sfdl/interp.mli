@@ -1,0 +1,30 @@
+(** Reference interpreter for mini-SFDL.
+
+    Executes a program directly on concrete values, with {i exactly} the
+    semantics the circuit compiler implements — including the width
+    behaviour, which the interpreter tracks explicitly: every integer value
+    carries the width its circuit counterpart would have (literals at
+    [bits_for v]; [+] grows by one bit; [*] to the sum of widths; [-] wraps
+    two's-complement at the common width; division by zero saturates the
+    quotient and truncates the remainder to the divisor width, the hardware
+    convention of {!Eppi_circuit.Word.divmod}; assignment truncates or
+    zero-extends to the declared width).
+
+    Its purpose is differential testing: for any well-typed program and any
+    inputs, [Interp.run] must agree with compiling via {!Compile} and
+    evaluating the circuit.  The test suite checks this on hand-written and
+    randomly generated programs. *)
+
+exception Error of string * Ast.position
+
+val run : Ast.program -> inputs:(string * Compile.data) list -> (string * Compile.data) list
+(** Interpret the program; returns outputs in declaration order, shaped like
+    {!Compile.decode_outputs}.
+    @raise Error on runtime errors (bad index, missing input, type
+    confusion); programs accepted by {!Typecheck.check} with compile-time
+    constant bounds only fail here for out-of-range indexes, mirroring
+    {!Compile.Error}. *)
+
+val run_source : string -> inputs:(string * Compile.data) list -> (string * Compile.data) list
+(** Parse, typecheck and interpret.
+    @raise Lexer.Error, Parser.Error, Typecheck.Error, or Error. *)

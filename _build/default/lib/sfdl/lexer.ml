@@ -1,0 +1,96 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexeme = { token : token; pos : Ast.position }
+
+exception Error of string * Ast.position
+
+let keywords =
+  [ "program"; "const"; "party"; "input"; "output"; "var"; "main"; "for"; "in";
+    "if"; "else"; "of"; "uint"; "bool"; "true"; "false" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | KW s -> Printf.sprintf "keyword %S" s
+  | PUNCT s -> Printf.sprintf "%S" s
+  | EOF -> "end of input"
+
+let tokenize src =
+  let len = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let out = ref [] in
+  let pos () : Ast.position = { line = !line; col = !col } in
+  let advance () =
+    if !i < len then begin
+      if src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    end
+  in
+  let peek off = if !i + off < len then Some src.[!i + off] else None in
+  let emit tok p = out := { token = tok; pos = p } :: !out in
+  while !i < len do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < len && src.[!i] <> '\n' do
+        advance ()
+      done
+    else begin
+      let p = pos () in
+      if is_ident_start c then begin
+        let start = !i in
+        while !i < len && is_ident_char src.[!i] do
+          advance ()
+        done;
+        let word = String.sub src start (!i - start) in
+        emit (if List.mem word keywords then KW word else IDENT word) p
+      end
+      else if is_digit c then begin
+        let start = !i in
+        while !i < len && is_digit src.[!i] do
+          advance ()
+        done;
+        let word = String.sub src start (!i - start) in
+        match int_of_string_opt word with
+        | Some n -> emit (INT n) p
+        | None -> raise (Error (Printf.sprintf "integer literal too large: %s" word, p))
+      end
+      else begin
+        (* Longest-match punctuation. *)
+        let two =
+          match peek 1 with
+          | Some c2 -> Some (Printf.sprintf "%c%c" c c2)
+          | None -> None
+        in
+        let doubles = [ "<="; ">="; "=="; "!="; "&&"; "||"; ".." ] in
+        match two with
+        | Some d when List.mem d doubles ->
+            advance ();
+            advance ();
+            emit (PUNCT d) p
+        | _ ->
+            let singles = ";:,()[]{}<>+-*/%&|^!?=" in
+            if String.contains singles c then begin
+              advance ();
+              emit (PUNCT (String.make 1 c)) p
+            end
+            else raise (Error (Printf.sprintf "unexpected character %C" c, p))
+      end
+    end
+  done;
+  emit EOF (pos ());
+  List.rev !out

@@ -1,0 +1,22 @@
+(** Hand-rolled lexer for the mini-SFDL language.
+
+    Supports line comments ([// ...]) and the token set used by the grammar
+    in {!Parser}.  Positions are 1-based (line, column) for error
+    reporting. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW of string  (** program const party input output var main for in if else of uint bool true false *)
+  | PUNCT of string
+      (** one of: ; : , ( ) [ ] {{ }} < > <= >= == != + - * / % & | ^ && || ! ? = .. *)
+  | EOF
+
+type lexeme = { token : token; pos : Ast.position }
+
+exception Error of string * Ast.position
+
+val tokenize : string -> lexeme list
+(** @raise Error on an unexpected character or malformed literal. *)
+
+val token_to_string : token -> string

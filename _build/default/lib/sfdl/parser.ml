@@ -1,0 +1,262 @@
+open Ast
+
+exception Error of string * position
+
+type state = { lexemes : Lexer.lexeme array; mutable cursor : int }
+
+let current st = st.lexemes.(st.cursor)
+let peek_token st = (current st).token
+let peek_pos st = (current st).pos
+
+let advance st = if st.cursor < Array.length st.lexemes - 1 then st.cursor <- st.cursor + 1
+
+let fail st msg =
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string (peek_token st)), peek_pos st))
+
+let eat_punct st p =
+  match peek_token st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail st (Printf.sprintf "expected %S" p)
+
+let eat_kw st k =
+  match peek_token st with
+  | Lexer.KW q when q = k -> advance st
+  | _ -> fail st (Printf.sprintf "expected keyword %S" k)
+
+let eat_ident st =
+  match peek_token st with
+  | Lexer.IDENT name ->
+      advance st;
+      name
+  | _ -> fail st "expected identifier"
+
+let accept_punct st p =
+  match peek_token st with
+  | Lexer.PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_kw st k =
+  match peek_token st with
+  | Lexer.KW q when q = k ->
+      advance st;
+      true
+  | _ -> false
+
+(* Expression precedence ladder.  Each level takes the parser for the level
+   above it. *)
+
+let rec parse_expr st = parse_cond st
+
+and parse_cond st =
+  let pos = peek_pos st in
+  let c = parse_lor st in
+  if accept_punct st "?" then begin
+    let a = parse_expr st in
+    eat_punct st ":";
+    let b = parse_expr st in
+    { desc = Cond (c, a, b); pos }
+  end
+  else c
+
+and parse_left_assoc st ops next =
+  let pos = peek_pos st in
+  let rec loop acc =
+    match peek_token st with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+        advance st;
+        let rhs = next st in
+        loop { desc = Binop (List.assoc p ops, acc, rhs); pos }
+    | _ -> acc
+  in
+  loop (next st)
+
+and parse_lor st = parse_left_assoc st [ ("||", Lor) ] parse_land
+and parse_land st = parse_left_assoc st [ ("&&", Land) ] parse_bitor
+and parse_bitor st = parse_left_assoc st [ ("|", Or) ] parse_bitxor
+and parse_bitxor st = parse_left_assoc st [ ("^", Xor) ] parse_bitand
+and parse_bitand st = parse_left_assoc st [ ("&", And) ] parse_equality
+and parse_equality st = parse_left_assoc st [ ("==", Eq); ("!=", Ne) ] parse_rel
+
+and parse_rel st =
+  parse_left_assoc st [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ] parse_additive
+
+and parse_additive st = parse_left_assoc st [ ("+", Add); ("-", Sub) ] parse_mult
+and parse_mult st = parse_left_assoc st [ ("*", Mul); ("/", Div); ("%", Mod) ] parse_unary
+
+and parse_unary st =
+  let pos = peek_pos st in
+  if accept_punct st "!" then { desc = Unop (Not, parse_unary st); pos }
+  else if accept_punct st "-" then { desc = Unop (Neg, parse_unary st); pos }
+  else parse_primary st
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Lexer.INT n ->
+      advance st;
+      { desc = Int n; pos }
+  | Lexer.KW "true" ->
+      advance st;
+      { desc = Bool true; pos }
+  | Lexer.KW "false" ->
+      advance st;
+      { desc = Bool false; pos }
+  | Lexer.IDENT name ->
+      advance st;
+      if accept_punct st "[" then begin
+        let idx = parse_expr st in
+        eat_punct st "]";
+        { desc = Index (name, idx); pos }
+      end
+      else { desc = Var name; pos }
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      eat_punct st ")";
+      e
+  | _ -> fail st "expected an expression"
+
+let parse_ty st =
+  let base =
+    if accept_kw st "bool" then Tbool
+    else if accept_kw st "uint" then begin
+      eat_punct st "<";
+      (* Width expressions stop at additive precedence so '>' closes. *)
+      let w = parse_additive st in
+      eat_punct st ">";
+      Tuint w
+    end
+    else fail st "expected a type (bool or uint<...>)"
+  in
+  if accept_punct st "[" then begin
+    let len = parse_expr st in
+    eat_punct st "]";
+    Tarray (base, len)
+  end
+  else base
+
+let rec parse_stmt st =
+  let spos = peek_pos st in
+  match peek_token st with
+  | Lexer.KW "for" ->
+      advance st;
+      let var = eat_ident st in
+      eat_kw st "in";
+      let lo = parse_additive st in
+      eat_punct st "..";
+      let hi = parse_additive st in
+      eat_punct st "{";
+      let body = parse_stmts st in
+      eat_punct st "}";
+      { sdesc = For (var, lo, hi, body); spos }
+  | Lexer.KW "if" ->
+      advance st;
+      eat_punct st "(";
+      let cond = parse_expr st in
+      eat_punct st ")";
+      eat_punct st "{";
+      let then_branch = parse_stmts st in
+      eat_punct st "}";
+      let else_branch =
+        if accept_kw st "else" then begin
+          eat_punct st "{";
+          let stmts = parse_stmts st in
+          eat_punct st "}";
+          stmts
+        end
+        else []
+      in
+      { sdesc = If (cond, then_branch, else_branch); spos }
+  | Lexer.IDENT name ->
+      advance st;
+      let lv =
+        if accept_punct st "[" then begin
+          let idx = parse_expr st in
+          eat_punct st "]";
+          Lindex (name, idx)
+        end
+        else Lvar name
+      in
+      eat_punct st "=";
+      let rhs = parse_expr st in
+      eat_punct st ";";
+      { sdesc = Assign (lv, rhs); spos }
+  | _ -> fail st "expected a statement"
+
+and parse_stmts st =
+  let rec loop acc =
+    match peek_token st with
+    | Lexer.PUNCT "}" -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_decl st =
+  let pos = peek_pos st in
+  if accept_kw st "const" then begin
+    let name = eat_ident st in
+    eat_punct st "=";
+    let init =
+      if accept_punct st "[" then begin
+        let rec elems acc =
+          let e = parse_expr st in
+          if accept_punct st "," then elems (e :: acc) else List.rev (e :: acc)
+        in
+        let es = elems [] in
+        eat_punct st "]";
+        Carray es
+      end
+      else Cscalar (parse_expr st)
+    in
+    eat_punct st ";";
+    Some (Dconst (name, init), pos)
+  end
+  else if accept_kw st "party" then begin
+    let name = eat_ident st in
+    eat_punct st ";";
+    Some (Dparty name, pos)
+  end
+  else if accept_kw st "input" then begin
+    let name = eat_ident st in
+    eat_punct st ":";
+    let ty = parse_ty st in
+    eat_kw st "of";
+    let owner = eat_ident st in
+    eat_punct st ";";
+    Some (Dinput (name, ty, owner), pos)
+  end
+  else if accept_kw st "output" then begin
+    let name = eat_ident st in
+    eat_punct st ":";
+    let ty = parse_ty st in
+    eat_punct st ";";
+    Some (Doutput (name, ty), pos)
+  end
+  else if accept_kw st "var" then begin
+    let name = eat_ident st in
+    eat_punct st ":";
+    let ty = parse_ty st in
+    eat_punct st ";";
+    Some (Dvar (name, ty), pos)
+  end
+  else None
+
+let parse src =
+  let st = { lexemes = Array.of_list (Lexer.tokenize src); cursor = 0 } in
+  eat_kw st "program";
+  let name = eat_ident st in
+  eat_punct st ";";
+  let rec decls acc =
+    match parse_decl st with Some d -> decls (d :: acc) | None -> List.rev acc
+  in
+  let decls = decls [] in
+  eat_kw st "main";
+  eat_punct st "{";
+  let body = parse_stmts st in
+  eat_punct st "}";
+  (match peek_token st with
+  | Lexer.EOF -> ()
+  | _ -> fail st "expected end of input after main block");
+  { name; decls; body }

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for mini-SFDL.
+
+    Grammar (arrays are one-dimensional; [uint] width expressions parse at
+    additive precedence so the closing [>] is unambiguous):
+
+    {v
+    program   := "program" IDENT ";" decl* "main" "{" stmt* "}"
+    decl      := "const" IDENT "=" (expr | "[" expr,* "]") ";"
+               | "party" IDENT ";"
+               | "input" IDENT ":" ty "of" IDENT ";"
+               | "output" IDENT ":" ty ";"
+               | "var" IDENT ":" ty ";"
+    ty        := ("bool" | "uint" "<" width ">") ("[" expr "]")?
+    stmt      := lvalue "=" expr ";"
+               | "for" IDENT "in" expr ".." expr "{" stmt* "}"
+               | "if" "(" expr ")" "{" stmt* "}" ("else" "{" stmt* "}")?
+    expr      := full C-like precedence ladder with "?:", "||", "&&",
+                 "|", "^", "&", equality, relations, additive,
+                 multiplicative, unary "!" and "-"
+    v} *)
+
+exception Error of string * Ast.position
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, with source position.
+    @raise Lexer.Error on lexical errors. *)

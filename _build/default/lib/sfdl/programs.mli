@@ -1,0 +1,32 @@
+(** Canned SFDL programs.
+
+    [count_below] is the program the ε-PPI construction runs inside generic
+    MPC (paper Algorithm 2): the c coordinators feed their share vectors, the
+    circuit reconstructs each identity's frequency under the additive
+    sharing, classifies it against a public per-identity threshold, and
+    reveals (a) the common/non-common bit, (b) the frequency masked to zero
+    for common identities — safe to release because non-common frequencies
+    are exactly the ones the paper deems non-sensitive — and (c) the number
+    of common identities, which drives the mixing ratio λ.
+
+    Note the paper's naming wrinkle (see DESIGN.md): Algorithm 2 is called
+    CountBelow and counts [S\[j\] < t], while Algorithm 1 uses the result as
+    the number of identities {i at or above} the threshold.  We implement the
+    semantics Algorithm 1 needs. *)
+
+val count_below : c:int -> q:int -> thresholds:int array -> string
+(** SFDL source for [c] coordinators, modulus [q] and one public threshold
+    per identity (array length = identity count).
+    @raise Invalid_argument if [c < 2], [q < 2], or [thresholds] is empty or
+    contains a value outside [0, q). *)
+
+val millionaires : width:int -> string
+(** Yao's classic two-party comparison, used by tests and the MPC example. *)
+
+val sum3 : width:int -> string
+(** Three parties add their inputs; exercises width growth. *)
+
+val vickrey_auction : width:int -> bidders:int -> string
+(** Second-price sealed-bid auction among [bidders] parties: outputs the
+    winner index and the price (the second-highest bid).  A stress test for
+    the compiler's secret-if merging. *)

@@ -1,0 +1,232 @@
+open Ast
+
+type error = { message : string; pos : Ast.position }
+
+exception Error of error
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Error { message; pos })) fmt
+
+(* Typechecking view of a value.  Widths are best-effort (literals and
+   loop-variable-dependent widths stay symbolic as [AnyUint]); the compiler
+   recomputes exact widths after unrolling. *)
+type vty = Bool | AnyUint | Arr of vty * unit
+
+type binding =
+  | Public  (* const scalar, const array cell, loop variable *)
+  | PublicArr
+  | Secret of vty
+  | Party
+
+let rec scalar = function Bool -> "bool" | AnyUint -> "uint" | Arr _ -> "array"
+
+and pp_vty v = scalar v
+
+type env = (string, binding) Hashtbl.t
+
+let lookup env pos name =
+  match Hashtbl.find_opt env name with
+  | Some b -> b
+  | None -> fail pos "unknown identifier %s" name
+
+(* An expression is public when it touches no secret variable. *)
+let rec is_public env e =
+  match e.desc with
+  | Int _ | Bool _ -> true
+  | Var name -> (
+      match Hashtbl.find_opt env name with
+      | Some (Public | PublicArr) -> true
+      | _ -> false)
+  | Index (name, idx) -> (
+      match Hashtbl.find_opt env name with
+      | Some PublicArr -> is_public env idx
+      | _ -> false)
+  | Binop (_, a, b) -> is_public env a && is_public env b
+  | Unop (_, a) -> is_public env a
+  | Cond (c, a, b) -> is_public env c && is_public env a && is_public env b
+
+let rec type_of env e : vty =
+  match e.desc with
+  | Int _ -> AnyUint
+  | Bool _ -> Bool
+  | Var name -> (
+      match lookup env e.pos name with
+      | Public -> AnyUint
+      | PublicArr -> fail e.pos "constant array %s must be indexed" name
+      | Party -> fail e.pos "%s is a party, not a value" name
+      | Secret (Arr _) -> fail e.pos "array %s must be indexed" name
+      | Secret v -> v)
+  | Index (name, idx) ->
+      (* Reads may use a secret index (lowered to a mux chain); writes are
+         restricted to public indexes in [check_stmt]. *)
+      (match type_of env idx with
+      | AnyUint -> ()
+      | t -> fail idx.pos "array index must be an integer, got %s" (pp_vty t));
+      (match lookup env e.pos name with
+      | PublicArr -> AnyUint
+      | Secret (Arr (elem, ())) -> elem
+      | Public -> fail e.pos "%s is a scalar constant, not an array" name
+      | Party -> fail e.pos "%s is a party, not a value" name
+      | Secret _ -> fail e.pos "%s is not an array" name)
+  | Unop (Not, a) -> (
+      match type_of env a with
+      | Bool -> Bool
+      | t -> fail e.pos "operand of ! must be bool, got %s" (pp_vty t))
+  | Unop (Neg, a) ->
+      if not (is_public env a) then
+        fail e.pos "unary minus applies to public (constant) expressions only";
+      (match type_of env a with
+      | AnyUint -> AnyUint
+      | t -> fail e.pos "operand of unary minus must be an integer, got %s" (pp_vty t))
+  | Binop (op, a, b) -> (
+      let ta = type_of env a and tb = type_of env b in
+      let both_uint () =
+        match (ta, tb) with
+        | AnyUint, AnyUint -> ()
+        | _ -> fail e.pos "operands of %s must be integers (%s, %s)" (binop_name op) (pp_vty ta) (pp_vty tb)
+      in
+      let both_bool () =
+        match (ta, tb) with
+        | Bool, Bool -> ()
+        | _ -> fail e.pos "operands of %s must be bool (%s, %s)" (binop_name op) (pp_vty ta) (pp_vty tb)
+      in
+      match op with
+      | Add | Sub | Mul | Div | Mod ->
+          both_uint ();
+          AnyUint
+      | Lt | Le | Gt | Ge ->
+          both_uint ();
+          Bool
+      | Eq | Ne ->
+          (match (ta, tb) with
+          | AnyUint, AnyUint | Bool, Bool -> ()
+          | _ ->
+              fail e.pos "operands of %s must have the same type (%s, %s)" (binop_name op)
+                (pp_vty ta) (pp_vty tb));
+          Bool
+      | And | Or | Xor -> (
+          match (ta, tb) with
+          | Bool, Bool -> Bool
+          | AnyUint, AnyUint -> AnyUint
+          | _ ->
+              fail e.pos "operands of %s must both be bool or both integers" (binop_name op))
+      | Land | Lor ->
+          both_bool ();
+          Bool)
+  | Cond (c, a, b) -> (
+      (match type_of env c with
+      | Bool -> ()
+      | t -> fail c.pos "condition of ?: must be bool, got %s" (pp_vty t));
+      let ta = type_of env a and tb = type_of env b in
+      match (ta, tb) with
+      | AnyUint, AnyUint -> AnyUint
+      | Bool, Bool -> Bool
+      | _ -> fail e.pos "branches of ?: must have the same type (%s, %s)" (pp_vty ta) (pp_vty tb))
+
+(* Widths and lengths must themselves be public integer expressions. *)
+let rec check_ty env pos = function
+  | Tbool -> Bool
+  | Tuint w ->
+      if not (is_public env w) then fail w.pos "uint width must be a public expression";
+      (match type_of env w with
+      | AnyUint -> AnyUint
+      | t -> fail w.pos "uint width must be an integer, got %s" (pp_vty t))
+  | Tarray (elem, len) ->
+      if not (is_public env len) then fail len.pos "array length must be a public expression";
+      (match type_of env len with
+      | AnyUint -> ()
+      | t -> fail len.pos "array length must be an integer, got %s" (pp_vty t));
+      (match elem with
+      | Tarray _ -> fail pos "nested arrays are not supported"
+      | Tbool | Tuint _ -> Arr (check_ty env pos elem, ()))
+
+let compatible declared actual =
+  match (declared, actual) with
+  | Bool, Bool | AnyUint, AnyUint -> true
+  | _ -> false
+
+let rec check_stmt env ~assignable stmt =
+  match stmt.sdesc with
+  | Assign (lv, rhs) -> (
+      let trhs = type_of env rhs in
+      match lv with
+      | Lvar name -> (
+          match lookup env stmt.spos name with
+          | Secret (Arr _) -> fail stmt.spos "cannot assign whole array %s" name
+          | Secret v ->
+              if not (List.mem name assignable) then
+                fail stmt.spos "cannot assign to input %s" name;
+              if not (compatible v trhs) then
+                fail stmt.spos "assigning %s to %s variable %s" (pp_vty trhs) (pp_vty v) name
+          | Public | PublicArr -> fail stmt.spos "cannot assign to constant %s" name
+          | Party -> fail stmt.spos "cannot assign to party %s" name)
+      | Lindex (name, idx) -> (
+          if not (is_public env idx) then fail idx.pos "array index must be a public expression";
+          match lookup env stmt.spos name with
+          | Secret (Arr (elem, ())) ->
+              if not (List.mem name assignable) then
+                fail stmt.spos "cannot assign to input %s" name;
+              if not (compatible elem trhs) then
+                fail stmt.spos "assigning %s to %s array %s" (pp_vty trhs) (pp_vty elem) name
+          | Secret _ -> fail stmt.spos "%s is not an array" name
+          | Public | PublicArr -> fail stmt.spos "cannot assign to constant %s" name
+          | Party -> fail stmt.spos "cannot assign to party %s" name))
+  | For (var, lo, hi, body) ->
+      if not (is_public env lo && is_public env hi) then
+        fail stmt.spos "loop bounds must be public expressions";
+      (match (type_of env lo, type_of env hi) with
+      | AnyUint, AnyUint -> ()
+      | _ -> fail stmt.spos "loop bounds must be integers");
+      if Hashtbl.mem env var then fail stmt.spos "loop variable %s shadows an existing name" var;
+      Hashtbl.add env var Public;
+      List.iter (check_stmt env ~assignable) body;
+      Hashtbl.remove env var
+  | If (cond, then_branch, else_branch) ->
+      (match type_of env cond with
+      | Bool -> ()
+      | t -> fail cond.pos "if condition must be bool, got %s" (pp_vty t));
+      List.iter (check_stmt env ~assignable) then_branch;
+      List.iter (check_stmt env ~assignable) else_branch
+
+let check program =
+  let env : env = Hashtbl.create 16 in
+  let assignable = ref [] in
+  let parties = ref [] in
+  let declare pos name binding =
+    if Hashtbl.mem env name then fail pos "duplicate declaration of %s" name;
+    Hashtbl.add env name binding
+  in
+  List.iter
+    (fun (decl, pos) ->
+      match decl with
+      | Dconst (name, Cscalar e) ->
+          if not (is_public env e) then fail e.pos "constant initializer must be public";
+          (match type_of env e with
+          | AnyUint -> ()
+          | t -> fail e.pos "constant %s must be an integer, got %s" name (pp_vty t));
+          declare pos name Public
+      | Dconst (name, Carray es) ->
+          List.iter
+            (fun e ->
+              if not (is_public env e) then fail e.pos "constant initializer must be public";
+              match type_of env e with
+              | AnyUint -> ()
+              | t -> fail e.pos "constant array element must be an integer, got %s" (pp_vty t))
+            es;
+          declare pos name PublicArr
+      | Dparty name ->
+          declare pos name Party;
+          parties := name :: !parties
+      | Dinput (name, ty, owner) ->
+          (match Hashtbl.find_opt env owner with
+          | Some Party -> ()
+          | _ -> fail pos "input %s: unknown party %s" name owner);
+          declare pos name (Secret (check_ty env pos ty))
+      | Doutput (name, ty) | Dvar (name, ty) ->
+          declare pos name (Secret (check_ty env pos ty));
+          assignable := name :: !assignable)
+    program.decls;
+  if !parties = [] then
+    fail { line = 1; col = 1 } "program %s declares no parties" program.name;
+  List.iter (check_stmt env ~assignable:!assignable) program.body
+
+let check_result program = try Ok (check program) with Error e -> Result.Error e

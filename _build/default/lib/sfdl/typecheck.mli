@@ -1,0 +1,23 @@
+(** Static checks for mini-SFDL programs.
+
+    Beyond classical typing (bool vs uint, operand compatibility), the
+    checker enforces the two security-relevant structural rules the compiler
+    relies on:
+
+    - array indexes and loop bounds must be {i public} expressions (built
+      from literals, constants and loop variables) — secret-dependent
+      indexing has no circuit counterpart in this language;
+    - unary minus only appears in public (constant) expressions, since
+      secret values are unsigned words.
+
+    Width and bound {i values} involving loop variables are validated later,
+    during compilation (after unrolling). *)
+
+type error = { message : string; pos : Ast.position }
+
+exception Error of error
+
+val check : Ast.program -> unit
+(** @raise Error with a source position on the first problem found. *)
+
+val check_result : Ast.program -> (unit, error) result

@@ -1,0 +1,1 @@
+lib/simnet/simnet.ml: Array Eppi_prelude Heap Rng

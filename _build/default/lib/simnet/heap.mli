@@ -1,0 +1,17 @@
+(** Binary min-heap keyed by (float, int).
+
+    The integer component is a monotone sequence number, so events with equal
+    timestamps pop in insertion order — this is what keeps the discrete-event
+    simulator deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> key:float -> 'a -> unit
+(** Insertion order among equal keys is preserved on pop. *)
+
+val pop : 'a t -> (float * 'a) option
+val peek_key : 'a t -> float option

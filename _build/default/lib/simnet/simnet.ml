@@ -1,0 +1,162 @@
+open Eppi_prelude
+
+type node_id = int
+
+type config = {
+  latency : float;
+  bandwidth : float;
+  drop_probability : float;
+  seed : int;
+}
+
+let default_config =
+  { latency = 0.0005; bandwidth = 100_000_000.0; drop_probability = 0.0; seed = 1 }
+
+type 'msg event =
+  | Deliver of { src : node_id; dst : node_id; msg : 'msg }
+  | Timer of { node : node_id; callback : 'msg t -> unit }
+
+and 'msg t = {
+  config : config;
+  n : int;
+  queue : 'msg event Heap.t;
+  handlers : ('msg t -> src:node_id -> 'msg -> unit) option array;
+  busy_until : float array;
+  busy_total : float array;
+  crashed : bool array;
+  rng : Rng.t;
+  mutable clock : float;
+  mutable current_node : node_id;  (* node whose handler is running, -1 otherwise *)
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable messages_dropped : int;
+  mutable bytes_sent : int;
+  mutable completion_time : float;
+}
+
+let create ?(config = default_config) ~nodes () =
+  if nodes <= 0 then invalid_arg "Simnet.create: need at least one node";
+  {
+    config;
+    n = nodes;
+    queue = Heap.create ();
+    handlers = Array.make nodes None;
+    busy_until = Array.make nodes 0.0;
+    busy_total = Array.make nodes 0.0;
+    crashed = Array.make nodes false;
+    rng = Rng.create config.seed;
+    clock = 0.0;
+    current_node = -1;
+    messages_sent = 0;
+    messages_delivered = 0;
+    messages_dropped = 0;
+    bytes_sent = 0;
+    completion_time = 0.0;
+  }
+
+let nodes t = t.n
+let now t = t.clock
+
+let check_node t id = if id < 0 || id >= t.n then invalid_arg "Simnet: unknown node"
+
+let on_receive t id handler =
+  check_node t id;
+  t.handlers.(id) <- Some handler
+
+let send t ~src ~dst ~size msg =
+  check_node t src;
+  check_node t dst;
+  if size < 0 then invalid_arg "Simnet.send: negative size";
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + size;
+  if Rng.bernoulli t.rng t.config.drop_probability then
+    t.messages_dropped <- t.messages_dropped + 1
+  else begin
+    let delay =
+      if src = dst then 0.0
+      else t.config.latency +. (float_of_int size /. t.config.bandwidth)
+    in
+    Heap.push t.queue ~key:(t.clock +. delay) (Deliver { src; dst; msg })
+  end
+
+let broadcast t ~src ~size msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst ~size msg
+  done
+
+let at t ~delay node callback =
+  check_node t node;
+  if delay < 0.0 then invalid_arg "Simnet.at: negative delay";
+  Heap.push t.queue ~key:(t.clock +. delay) (Timer { node; callback })
+
+let work t node duration =
+  check_node t node;
+  if duration < 0.0 then invalid_arg "Simnet.work: negative duration";
+  t.busy_total.(node) <- t.busy_total.(node) +. duration;
+  t.busy_until.(node) <- max t.busy_until.(node) t.clock +. duration;
+  if t.busy_until.(node) > t.completion_time then t.completion_time <- t.busy_until.(node)
+
+let crash t node =
+  check_node t node;
+  t.crashed.(node) <- true
+
+let is_crashed t node =
+  check_node t node;
+  t.crashed.(node)
+
+let max_events = 50_000_000
+
+let dispatch t node fire =
+  if not t.crashed.(node) then begin
+    (* A node handles one event at a time: queue behind its busy clock. *)
+    let start = max t.clock t.busy_until.(node) in
+    t.clock <- start;
+    t.busy_until.(node) <- start;
+    t.current_node <- node;
+    fire ();
+    t.current_node <- -1;
+    if t.busy_until.(node) > t.completion_time then t.completion_time <- t.busy_until.(node);
+    if t.clock > t.completion_time then t.completion_time <- t.clock
+  end
+
+let run t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.queue with
+    | None -> continue := false
+    | Some (time, event) ->
+        incr count;
+        if !count > max_events then failwith "Simnet.run: event budget exceeded (runaway protocol?)";
+        t.clock <- max t.clock time;
+        (match event with
+        | Deliver { src; dst; msg } ->
+            dispatch t dst (fun () ->
+                match t.handlers.(dst) with
+                | Some handler ->
+                    t.messages_delivered <- t.messages_delivered + 1;
+                    handler t ~src msg
+                | None -> ())
+        | Timer { node; callback } -> dispatch t node (fun () -> callback t))
+  done
+
+type metrics = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  bytes_sent : int;
+  completion_time : float;
+}
+
+let metrics (t : _ t) =
+  {
+    messages_sent = t.messages_sent;
+    messages_delivered = t.messages_delivered;
+    messages_dropped = t.messages_dropped;
+    bytes_sent = t.bytes_sent;
+    completion_time = t.completion_time;
+  }
+
+let node_busy_time t node =
+  check_node t node;
+  t.busy_total.(node)

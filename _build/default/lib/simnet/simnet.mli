@@ -1,0 +1,70 @@
+(** Deterministic discrete-event network simulator.
+
+    Stands in for the paper's Emulab testbed and Netty transport: parties are
+    nodes exchanging typed messages over links with a latency + bandwidth
+    model, and each node owns a busy clock so local computation serializes
+    with message handling.  The protocol experiments (Fig. 6) read their
+    "execution time" from {!completion_time}: the instant the last node
+    finishes its last event — the same start-to-end metric the paper uses.
+
+    Determinism: event ties break by insertion order, and any randomness a
+    protocol needs must come from its own seeded {!Eppi_prelude.Rng}. *)
+
+type node_id = int
+
+type 'msg t
+
+type config = {
+  latency : float;  (** Per-message propagation delay, seconds. *)
+  bandwidth : float;  (** Bytes per second. *)
+  drop_probability : float;  (** Uniform message loss rate (fault injection). *)
+  seed : int;  (** Seed for loss draws only. *)
+}
+
+val default_config : config
+(** LAN-like: 0.5 ms latency, 100 MB/s, no loss. *)
+
+val create : ?config:config -> nodes:int -> unit -> 'msg t
+val nodes : 'msg t -> int
+val now : 'msg t -> float
+
+val on_receive : 'msg t -> node_id -> ('msg t -> src:node_id -> 'msg -> unit) -> unit
+(** Install the message handler of a node (replaces any previous one). *)
+
+val send : 'msg t -> src:node_id -> dst:node_id -> size:int -> 'msg -> unit
+(** Enqueue a message of [size] bytes; it is delivered at
+    [now + latency + size/bandwidth], queued behind the destination's busy
+    clock.  Self-sends are delivered with zero network delay. *)
+
+val broadcast : 'msg t -> src:node_id -> size:int -> 'msg -> unit
+(** Send to every node except [src]. *)
+
+val at : 'msg t -> delay:float -> node_id -> ('msg t -> unit) -> unit
+(** Schedule a local timer callback on a node. *)
+
+val work : 'msg t -> node_id -> float -> unit
+(** Charge computation time to a node; subsequent events on that node are
+    delayed accordingly.  Call from within a handler. *)
+
+val crash : 'msg t -> node_id -> unit
+(** From now on the node silently drops everything addressed to it. *)
+
+val is_crashed : 'msg t -> node_id -> bool
+
+val run : 'msg t -> unit
+(** Process events until quiescence.
+    @raise Failure if the event count exceeds a safety bound (runaway
+    protocol). *)
+
+(** Traffic and timing accounting. *)
+type metrics = {
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  bytes_sent : int;
+  completion_time : float;  (** When the last node went idle. *)
+}
+
+val metrics : 'msg t -> metrics
+val node_busy_time : 'msg t -> node_id -> float
+(** Total computation time charged to the node via {!work}. *)

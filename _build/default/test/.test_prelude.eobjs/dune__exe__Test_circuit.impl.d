@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Eppi_circuit Fixedpoint Float List Printf QCheck QCheck_alcotest Test Word

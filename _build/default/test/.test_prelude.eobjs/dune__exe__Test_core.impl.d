@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Attack Bitmatrix Bitvec Construct Eppi Eppi_prelude Float Fun Index List Metrics Mixing Policy Printf Publish QCheck QCheck_alcotest Rng Stats Test

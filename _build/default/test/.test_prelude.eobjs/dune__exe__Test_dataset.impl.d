@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Bitmatrix Dataset Eppi_dataset Eppi_prelude Float Hashtbl Option Printf Rng String

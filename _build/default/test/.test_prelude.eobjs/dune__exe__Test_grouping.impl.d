@@ -1,0 +1,1 @@
+test/test_grouping.ml: Alcotest Array Bitmatrix Eppi Eppi_grouping Eppi_prelude Float Grouping List Printf QCheck QCheck_alcotest Rng Test

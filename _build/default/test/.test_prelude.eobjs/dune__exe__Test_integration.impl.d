@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bitmatrix Eppi Eppi_dataset Eppi_grouping Eppi_locator Eppi_mpc Eppi_prelude Eppi_protocol Eppi_sfdl Eppi_simnet Fun List Printf Rng

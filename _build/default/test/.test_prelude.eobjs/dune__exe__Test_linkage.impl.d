@@ -1,0 +1,1 @@
+test/test_linkage.ml: Alcotest Array Bitmatrix Bloom Demographic Eppi Eppi_linkage Eppi_prelude Float Gen Hashtbl Linkage List Printf QCheck QCheck_alcotest Rng Test Text

@@ -1,0 +1,1 @@
+test/test_locator.ml: Alcotest Anonymity Eppi Eppi_locator Eppi_prelude Float List Locator Option Printf Rng

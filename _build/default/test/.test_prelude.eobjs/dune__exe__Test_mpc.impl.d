@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Array Circuit Cost Eppi_circuit Eppi_mpc Eppi_prelude Eppi_secretshare Eppi_sfdl Float Garbled Gmw Int64 List Printf QCheck QCheck_alcotest Rng Test

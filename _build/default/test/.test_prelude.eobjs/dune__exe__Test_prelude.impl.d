@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Bitmatrix Bitvec Eppi_prelude Float Fun Gen Hashtbl Int64 List Modarith Printf QCheck QCheck_alcotest Rng Sampling Stats String Table Test

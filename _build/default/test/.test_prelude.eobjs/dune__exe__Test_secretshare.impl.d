@@ -1,0 +1,1 @@
+test/test_secretshare.ml: Additive Alcotest Array Eppi_prelude Eppi_secretshare Float List Modarith Printf QCheck QCheck_alcotest Rng Shamir Test

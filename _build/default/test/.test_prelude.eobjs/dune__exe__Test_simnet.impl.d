@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Eppi_simnet Float Gen Heap List QCheck QCheck_alcotest Simnet Test

@@ -1,0 +1,263 @@
+(* Tests for the locator-service application layer: delegation, access
+   control, the two-phase search and its cost accounting. *)
+
+open Eppi_locator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_network () =
+  let t = Locator.create ~providers:10 ~owners:5 in
+  (* Owner 0 at providers 0 and 1; owner 1 at provider 2. *)
+  Locator.delegate t ~owner:0 ~epsilon:0.5 ~provider:0 ~body:"records-a";
+  Locator.delegate t ~owner:0 ~epsilon:0.5 ~provider:1 ~body:"records-b";
+  Locator.delegate t ~owner:1 ~epsilon:0.9 ~provider:2 ~body:"records-c";
+  t
+
+let test_create_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Locator.create: empty network") (fun () ->
+      ignore (Locator.create ~providers:0 ~owners:1))
+
+let test_delegate_records_membership () =
+  let t = small_network () in
+  let m = Locator.membership t in
+  check_bool "owner 0 at provider 0" true (Eppi_prelude.Bitmatrix.get m ~row:0 ~col:0);
+  check_bool "owner 0 at provider 1" true (Eppi_prelude.Bitmatrix.get m ~row:0 ~col:1);
+  check_bool "owner 1 at provider 2" true (Eppi_prelude.Bitmatrix.get m ~row:1 ~col:2);
+  check_bool "no stray membership" false (Eppi_prelude.Bitmatrix.get m ~row:0 ~col:2)
+
+let test_delegate_sets_epsilon () =
+  let t = small_network () in
+  Alcotest.(check (float 0.0)) "epsilon stored" 0.9 (Locator.epsilon_of t ~owner:1);
+  Alcotest.check_raises "bad epsilon"
+    (Invalid_argument "Locator.delegate: epsilon out of [0, 1]") (fun () ->
+      Locator.delegate t ~owner:0 ~epsilon:2.0 ~provider:0 ~body:"x")
+
+let test_query_requires_index () =
+  let t = small_network () in
+  Alcotest.check_raises "no index yet" (Failure "Locator.query_ppi: no index constructed yet")
+    (fun () -> ignore (Locator.query_ppi t ~owner:0));
+  check_bool "index initially absent" true (Locator.index t = None)
+
+let test_query_recall () =
+  let t = small_network () in
+  Locator.construct_ppi t ~policy:(Eppi.Policy.Chernoff 0.9);
+  let result = Locator.query_ppi t ~owner:0 in
+  check_bool "true positives included" true (List.mem 0 result && List.mem 1 result)
+
+let test_owner_can_search_own_records () =
+  let t = small_network () in
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  (* Delegation grants the owner herself access. *)
+  let outcome = Locator.search t ~searcher:"owner:0" ~owner:0 in
+  check_int "both providers found" 2 (List.length outcome.records);
+  let providers = List.map fst outcome.records in
+  check_bool "providers 0 and 1" true (List.mem 0 providers && List.mem 1 providers)
+
+let test_unauthorized_searcher_denied () =
+  let t = small_network () in
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  let outcome = Locator.search t ~searcher:"stranger" ~owner:0 in
+  check_int "nothing found" 0 (List.length outcome.records);
+  check_bool "denials recorded" true (outcome.denied > 0)
+
+let test_grant_enables_search () =
+  let t = small_network () in
+  Locator.grant t ~provider:0 ~searcher:"dr-lee" ~owner:0;
+  Locator.grant t ~provider:1 ~searcher:"dr-lee" ~owner:0;
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  let outcome = Locator.search t ~searcher:"dr-lee" ~owner:0 in
+  check_int "found at both" 2 (List.length outcome.records);
+  (* Partial grants only reveal the granted provider. *)
+  let t2 = small_network () in
+  Locator.grant t2 ~provider:0 ~searcher:"dr-kim" ~owner:0;
+  Locator.construct_ppi t2 ~policy:Eppi.Policy.Basic;
+  let outcome2 = Locator.search t2 ~searcher:"dr-kim" ~owner:0 in
+  check_int "found at one" 1 (List.length outcome2.records)
+
+let test_search_cost_accounting () =
+  let t = small_network () in
+  (* Beta = 1 everywhere: the query returns all 10 providers. *)
+  let eps = 1.0 in
+  Locator.delegate t ~owner:0 ~epsilon:eps ~provider:0 ~body:"more";
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  Locator.grant t ~provider:0 ~searcher:"s" ~owner:0;
+  Locator.grant t ~provider:1 ~searcher:"s" ~owner:0;
+  for p = 2 to 9 do
+    Locator.grant t ~provider:p ~searcher:"s" ~owner:0
+  done;
+  let outcome = Locator.search t ~searcher:"s" ~owner:0 in
+  check_int "contacted everyone" 10 outcome.contacted;
+  check_int "records at 2" 2 (List.length outcome.records);
+  check_int "eight wasted contacts" 8 outcome.wasted;
+  check_int "no denials" 0 outcome.denied
+
+let test_multiple_records_per_provider () =
+  let t = Locator.create ~providers:2 ~owners:1 in
+  Locator.delegate t ~owner:0 ~epsilon:0.0 ~provider:0 ~body:"visit-1";
+  Locator.delegate t ~owner:0 ~epsilon:0.0 ~provider:0 ~body:"visit-2";
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  let outcome = Locator.search t ~searcher:"owner:0" ~owner:0 in
+  (match outcome.records with
+  | [ (0, records) ] ->
+      check_int "both visits" 2 (List.length records);
+      Alcotest.(check (list string))
+        "record bodies in delegation order"
+        [ "visit-1"; "visit-2" ]
+        (List.map (fun (r : Locator.record) -> r.body) records)
+  | _ -> Alcotest.fail "expected both records at provider 0")
+
+let test_epsilon_zero_returns_exact_providers () =
+  let t = Locator.create ~providers:50 ~owners:1 in
+  Locator.delegate t ~owner:0 ~epsilon:0.0 ~provider:7 ~body:"r";
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  Alcotest.(check (list int)) "no noise at eps 0" [ 7 ] (Locator.query_ppi t ~owner:0)
+
+let test_high_epsilon_adds_noise () =
+  let t = Locator.create ~providers:200 ~owners:1 in
+  Locator.delegate t ~owner:0 ~epsilon:0.9 ~provider:7 ~body:"r";
+  Locator.construct_ppi t ~policy:(Eppi.Policy.Chernoff 0.9);
+  let result = Locator.query_ppi t ~owner:0 in
+  check_bool "noise providers present" true (List.length result > 5);
+  check_bool "true provider present" true (List.mem 7 result)
+
+let test_provider_sensitivity_floor () =
+  (* A sensitive clinic gets cover noise in everyone's rows. *)
+  let t = Locator.create ~providers:300 ~owners:40 in
+  for owner = 0 to 39 do
+    Locator.delegate t ~owner ~epsilon:0.1 ~provider:(owner mod 7) ~body:"r"
+  done;
+  Locator.set_provider_sensitivity t ~provider:299 ~floor:0.95;
+  Locator.construct_ppi ~seed:5 t ~policy:Eppi.Policy.Basic;
+  let index = Option.get (Locator.index t) in
+  (* Provider 299 holds nobody, yet appears in most rows. *)
+  let hits = ref 0 in
+  for owner = 0 to 39 do
+    if List.mem 299 (Eppi.Index.query index ~owner) then incr hits
+  done;
+  check_bool (Printf.sprintf "sensitive provider covered (%d/40)" !hits) true (!hits > 30);
+  Alcotest.check_raises "bad floor"
+    (Invalid_argument "Locator.set_provider_sensitivity: floor out of [0, 1]") (fun () ->
+      Locator.set_provider_sensitivity t ~provider:0 ~floor:(-0.1))
+
+let test_reconstruct_after_new_delegation () =
+  let t = small_network () in
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  let before = List.length (Locator.query_ppi t ~owner:2) in
+  check_int "owner 2 unknown before" 0 before;
+  Locator.delegate t ~owner:2 ~epsilon:0.0 ~provider:5 ~body:"new";
+  Locator.construct_ppi t ~policy:Eppi.Policy.Basic;
+  Alcotest.(check (list int)) "visible after rebuild" [ 5 ] (Locator.query_ppi t ~owner:2)
+
+(* ---------- searcher anonymity (Crowds layer) ---------- *)
+
+open Eppi_prelude
+
+let crowd = { Anonymity.members = 20; forward_probability = 0.75 }
+
+let test_anonymity_path_structure () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 50 do
+    let outcome = Anonymity.simulate_query rng crowd ~initiator:3 in
+    (match outcome.path with
+    | first :: _ -> check_int "path starts at initiator" 3 first
+    | [] -> Alcotest.fail "empty path");
+    check_bool "submitter on path" true (List.mem outcome.submitted_by outcome.path);
+    check_bool "members valid" true
+      (List.for_all (fun p -> p >= 0 && p < 20) outcome.path);
+    check_bool "latency positive" true (outcome.latency > 0.0);
+    check_int "hops = path length" (List.length outcome.path) outcome.hops
+  done
+
+let test_anonymity_path_length () =
+  let rng = Rng.create 2 in
+  let trials = 4000 in
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let outcome = Anonymity.simulate_query rng crowd ~initiator:0 in
+    total := !total + outcome.hops
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expected = Anonymity.expected_path_length ~forward_probability:0.75 in
+  check_bool
+    (Printf.sprintf "mean path %f near %f" mean expected)
+    true
+    (Float.abs (mean -. expected) < 0.2)
+
+let test_anonymity_probable_innocence_condition () =
+  (* Reiter-Rubin: n >= pf/(pf - 1/2) (c+1). *)
+  check_bool "holds" true
+    (Anonymity.probable_innocence ~members:20 ~forward_probability:0.75 ~colluders:3);
+  check_bool "fails for big collusion" false
+    (Anonymity.probable_innocence ~members:20 ~forward_probability:0.75 ~colluders:10);
+  check_bool "never holds at pf <= 1/2" false
+    (Anonymity.probable_innocence ~members:1000 ~forward_probability:0.5 ~colluders:1)
+
+let test_anonymity_predecessor_attack_bounded () =
+  (* With probable innocence satisfied, the observed predecessor is the
+     initiator at most half the time. *)
+  let rng = Rng.create 3 in
+  let conf = Anonymity.predecessor_confidence rng crowd ~colluders:3 ~trials:2000 in
+  check_bool (Printf.sprintf "confidence %f > 0" conf) true (conf > 0.0);
+  check_bool (Printf.sprintf "probable innocence: %f <= 0.55" conf) true (conf <= 0.55)
+
+let test_anonymity_no_forwarding_exposes () =
+  (* pf = 0: the first member contacted is always the submitter and the
+     predecessor is always the initiator: no anonymity. *)
+  let rng = Rng.create 4 in
+  let direct = { Anonymity.members = 10; forward_probability = 0.0 } in
+  let conf = Anonymity.predecessor_confidence rng direct ~colluders:2 ~trials:1000 in
+  check_bool (Printf.sprintf "exposed (%f)" conf) true (conf > 0.99)
+
+let test_anonymity_validation () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "bad pf"
+    (Invalid_argument "Anonymity: forward probability must be in [0, 1)") (fun () ->
+      ignore
+        (Anonymity.simulate_query rng { Anonymity.members = 5; forward_probability = 1.0 }
+           ~initiator:0));
+  Alcotest.check_raises "bad initiator"
+    (Invalid_argument "Anonymity.simulate_query: bad initiator") (fun () ->
+      ignore (Anonymity.simulate_query rng crowd ~initiator:99))
+
+let () =
+  Alcotest.run "locator"
+    [
+      ( "setup",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "delegate membership" `Quick test_delegate_records_membership;
+          Alcotest.test_case "delegate epsilon" `Quick test_delegate_sets_epsilon;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "query requires index" `Quick test_query_requires_index;
+          Alcotest.test_case "query recall" `Quick test_query_recall;
+          Alcotest.test_case "owner self-search" `Quick test_owner_can_search_own_records;
+          Alcotest.test_case "unauthorized denied" `Quick test_unauthorized_searcher_denied;
+          Alcotest.test_case "grants enable search" `Quick test_grant_enables_search;
+          Alcotest.test_case "cost accounting" `Quick test_search_cost_accounting;
+          Alcotest.test_case "multiple records" `Quick test_multiple_records_per_provider;
+        ] );
+      ( "privacy knob",
+        [
+          Alcotest.test_case "epsilon 0 exact" `Quick test_epsilon_zero_returns_exact_providers;
+          Alcotest.test_case "high epsilon noisy" `Quick test_high_epsilon_adds_noise;
+          Alcotest.test_case "provider sensitivity floor" `Quick
+            test_provider_sensitivity_floor;
+          Alcotest.test_case "rebuild after delegation" `Quick
+            test_reconstruct_after_new_delegation;
+        ] );
+      ( "anonymity",
+        [
+          Alcotest.test_case "path structure" `Quick test_anonymity_path_structure;
+          Alcotest.test_case "path length" `Quick test_anonymity_path_length;
+          Alcotest.test_case "probable innocence condition" `Quick
+            test_anonymity_probable_innocence_condition;
+          Alcotest.test_case "predecessor attack bounded" `Quick
+            test_anonymity_predecessor_attack_bounded;
+          Alcotest.test_case "no forwarding exposes" `Quick
+            test_anonymity_no_forwarding_exposes;
+          Alcotest.test_case "validation" `Quick test_anonymity_validation;
+        ] );
+    ]
