@@ -23,6 +23,7 @@ let targets : (string * (unit -> unit)) list =
     ("anonymity", Extensions.anonymity);
     ("backends", Extensions.backends);
     ("micro", Micro.run);
+    ("scaling", Scaling.run);
   ]
 
 let () =

@@ -123,14 +123,26 @@ let construct_cmd =
   let c_arg =
     Arg.(value & opt int 3 & info [ "c" ] ~docv:"INT" ~doc:"Coordinator count (secure path).")
   in
-  let run seed dataset_path policy secure c output =
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "domains" ] ~docv:"INT"
+          ~doc:
+            "Domain-pool size for the secure construction's sharded MPC stage: 1 forces the \
+             sequential fallback, 0 (default) uses the runtime's recommended domain count.  \
+             The constructed index is identical at every setting (see docs/PERF.md).")
+  in
+  let run seed dataset_path policy secure c domains output =
     let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
     let rng = Rng.create seed in
     let index =
       if secure then begin
+        let size = if domains <= 0 then None else Some domains in
         let r =
-          Eppi_protocol.Construct.run ~c rng ~membership:dataset.membership
-            ~epsilons:dataset.epsilons ~policy
+          Eppi_prelude.Pool.with_pool ?size (fun pool ->
+              Eppi_protocol.Construct.run ~pool ~c rng ~membership:dataset.membership
+                ~epsilons:dataset.epsilons ~policy)
         in
         Printf.eprintf
           "secure construction: %.4fs simulated (secsumshare %.4fs + mpc %.4fs), %d \
@@ -155,7 +167,9 @@ let construct_cmd =
     write_output output (Eppi.Index.to_csv index)
   in
   let term =
-    Term.(const run $ seed_arg $ dataset_arg $ policy_term $ secure $ c_arg $ output_arg)
+    Term.(
+      const run $ seed_arg $ dataset_arg $ policy_term $ secure $ c_arg $ domains_arg
+      $ output_arg)
   in
   Cmd.v (Cmd.info "construct" ~doc:"Build an e-PPI over a dataset") term
 

@@ -5,7 +5,7 @@ type comm_stats = { rounds : int; messages : int; bytes : int }
 
 type view = {
   party : int;
-  wire_shares : bool array;
+  wire_shares : Bitvec.t;
   opened : (bool * bool) array;
 }
 
@@ -33,48 +33,74 @@ let comm_estimate ~parties (stats : Circuit.stats) ~outputs =
     bytes = input_bytes + ((and_bits + 7) / 8) + output_bytes;
   }
 
-(* XOR-share a bit among p parties: p-1 random shares, last fixes the parity. *)
-let share_bit rng ~p v =
-  let shares = Array.init p (fun i -> if i < p - 1 then Rng.bool rng else false) in
-  let parity = Array.fold_left ( <> ) false shares in
-  shares.(p - 1) <- parity <> v;
-  shares
-
 let execute rng circuit ~inputs =
   let p = Circuit.num_parties circuit in
   let gates = Circuit.gates circuit in
   let n_wires = Array.length gates in
-  (* shares.(party).(wire) *)
-  let shares = Array.init p (fun _ -> Array.make n_wires false) in
-  let opened = ref [] in
+  let stats = Circuit.stats circuit in
+  (* One bit-packed share row per party (Bytes-backed): 1 bit per wire
+     instead of the word-per-bool of a [bool array], which keeps the whole
+     working set cache-resident on wide circuits. *)
+  let shares = Array.init p (fun _ -> Bitvec.create n_wires) in
+  (* The opened (d, e) pairs are exactly one per And gate: preallocate. *)
+  let opened = Array.make stats.and_gates (false, false) in
+  let n_opened = ref 0 in
+  (* Scratch share buffers reused across gates instead of three fresh
+     allocations per And gate. *)
+  let sa = Array.make p false in
+  let sb = Array.make p false in
+  let sc = Array.make p false in
+  (* XOR-share a bit among p parties into [dst]: p-1 random shares, last
+     fixes the parity.  Same draw order as the historical allocating
+     version. *)
+  let share_bit_into dst v =
+    let parity = ref false in
+    for i = 0 to p - 2 do
+      let s = Rng.bool rng in
+      dst.(i) <- s;
+      parity := !parity <> s
+    done;
+    dst.(p - 1) <- !parity <> v
+  in
   Array.iteri
     (fun w g ->
       match g with
       | Circuit.Input { party; index } ->
           if party >= Array.length inputs || index >= Array.length inputs.(party) then
             invalid_arg "Gmw.execute: missing input bit";
-          let bit_shares = share_bit rng ~p inputs.(party).(index) in
-          Array.iteri (fun i s -> shares.(i).(w) <- s) bit_shares
+          share_bit_into sa inputs.(party).(index);
+          for i = 0 to p - 1 do
+            Bitvec.assign shares.(i) w sa.(i)
+          done
       | Const b ->
           (* Public constant: party 0 holds it, everyone else holds zero. *)
-          shares.(0).(w) <- b
+          if b then Bitvec.set shares.(0) w
       | Not a ->
-          Array.iteri (fun i sh -> sh.(w) <- if i = 0 then not sh.(a) else sh.(a)) shares
-      | Xor (a, b) -> Array.iter (fun sh -> sh.(w) <- sh.(a) <> sh.(b)) shares
+          for i = 0 to p - 1 do
+            let s = Bitvec.get shares.(i) a in
+            Bitvec.assign shares.(i) w (if i = 0 then not s else s)
+          done
+      | Xor (a, b) ->
+          for i = 0 to p - 1 do
+            let sh = shares.(i) in
+            Bitvec.assign sh w (Bitvec.get sh a <> Bitvec.get sh b)
+          done
       | And (a, b) ->
           (* Beaver triple (ta, tb, tc) with tc = ta && tb, dealt XOR-shared. *)
           let ta = Rng.bool rng and tb = Rng.bool rng in
           let tc = ta && tb in
-          let sa = share_bit rng ~p ta in
-          let sb = share_bit rng ~p tb in
-          let sc = share_bit rng ~p tc in
+          share_bit_into sa ta;
+          share_bit_into sb tb;
+          share_bit_into sc tc;
           (* Open d = x ^ ta and e = y ^ tb (each party broadcasts its share). *)
           let d = ref false and e = ref false in
           for i = 0 to p - 1 do
-            d := !d <> (shares.(i).(a) <> sa.(i));
-            e := !e <> (shares.(i).(b) <> sb.(i))
+            let sh = shares.(i) in
+            d := !d <> (Bitvec.get sh a <> sa.(i));
+            e := !e <> (Bitvec.get sh b <> sb.(i))
           done;
-          opened := (!d, !e) :: !opened;
+          opened.(!n_opened) <- (!d, !e);
+          incr n_opened;
           for i = 0 to p - 1 do
             let z =
               sc.(i)
@@ -82,7 +108,7 @@ let execute rng circuit ~inputs =
               <> (!e && sa.(i))
               <> (i = 0 && !d && !e)
             in
-            shares.(i).(w) <- z
+            Bitvec.assign shares.(i) w z
           done)
     gates;
   let outputs =
@@ -90,17 +116,15 @@ let execute rng circuit ~inputs =
       (fun w ->
         let v = ref false in
         for i = 0 to p - 1 do
-          v := !v <> shares.(i).(w)
+          v := !v <> Bitvec.get shares.(i) w
         done;
         !v)
       (Circuit.outputs circuit)
   in
-  let opened = Array.of_list (List.rev !opened) in
   let views =
     Array.init p (fun i -> { party = i; wire_shares = shares.(i); opened })
   in
   let comm =
-    comm_estimate ~parties:p (Circuit.stats circuit)
-      ~outputs:(Array.length (Circuit.outputs circuit))
+    comm_estimate ~parties:p stats ~outputs:(Array.length (Circuit.outputs circuit))
   in
   { outputs; comm; views }

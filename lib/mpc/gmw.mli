@@ -25,10 +25,12 @@ type comm_stats = {
 }
 
 (** What one party saw during the protocol: its own wire shares plus the
-    publicly opened masked values.  Used by the secrecy tests. *)
+    publicly opened masked values.  Used by the secrecy tests.  Shares are
+    bit-packed ({!Eppi_prelude.Bitvec}, one bit per wire) so a party's view
+    of a wide circuit costs wires/8 bytes rather than a word per wire. *)
 type view = {
   party : int;
-  wire_shares : bool array;
+  wire_shares : Bitvec.t;
   opened : (bool * bool) array;  (** (d, e) openings, one per And gate in gate order. *)
 }
 

@@ -68,15 +68,32 @@ let union = binop ( lor )
 let inter = binop ( land )
 let diff = binop (fun x y -> x land lnot y land 0xff)
 
+(* Byte-at-a-time scans: all-zero bytes (the common case in sparse rows) are
+   skipped in one comparison, and bit indexes are loop-controlled so no
+   per-bit bounds check is needed.  The padding bits of the last byte are
+   maintained zero by [set]/[clear]/[fill] and the byte-wise operators, so
+   scanning whole bytes never yields an out-of-range index. *)
 let iter_set f t =
-  for i = 0 to t.len - 1 do
-    if get t i then f i
+  for b = 0 to Bytes.length t.data - 1 do
+    let byte = Char.code (Bytes.unsafe_get t.data b) in
+    if byte <> 0 then begin
+      let base = b lsl 3 in
+      for k = 0 to 7 do
+        if byte land (1 lsl k) <> 0 then f (base + k)
+      done
+    end
   done
 
 let to_index_list t =
   let acc = ref [] in
-  for i = t.len - 1 downto 0 do
-    if get t i then acc := i :: !acc
+  for b = Bytes.length t.data - 1 downto 0 do
+    let byte = Char.code (Bytes.unsafe_get t.data b) in
+    if byte <> 0 then begin
+      let base = b lsl 3 in
+      for k = 7 downto 0 do
+        if byte land (1 lsl k) <> 0 then acc := (base + k) :: !acc
+      done
+    end
   done;
   !acc
 

@@ -1,0 +1,137 @@
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  (* The job all workers run for the current epoch; workers re-check the
+     epoch so a job is executed exactly once per worker. *)
+  mutable job : (unit -> unit) option;
+  mutable epoch : int;
+  mutable pending : int;
+  mutable stopped : bool;
+}
+
+let make_record size =
+  {
+    size;
+    workers = [||];
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    work_done = Condition.create ();
+    job = None;
+    epoch = 0;
+    pending = 0;
+    stopped = false;
+  }
+
+let sequential = make_record 1
+
+let rec worker_loop t seen =
+  Mutex.lock t.lock;
+  while (not t.stopped) && t.epoch = seen do
+    Condition.wait t.work_ready t.lock
+  done;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    let epoch = t.epoch in
+    let job = match t.job with Some j -> j | None -> fun () -> () in
+    Mutex.unlock t.lock;
+    job ();
+    Mutex.lock t.lock;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.work_done;
+    Mutex.unlock t.lock;
+    worker_loop t epoch
+  end
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s ->
+        if s < 1 then invalid_arg "Pool.create: size must be >= 1";
+        s
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t = make_record size in
+  if size > 1 then
+    t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body] on every worker and on the caller; [body] must not raise. *)
+let run_everywhere t body =
+  if Array.length t.workers = 0 then body ()
+  else begin
+    Mutex.lock t.lock;
+    t.job <- Some body;
+    t.epoch <- t.epoch + 1;
+    t.pending <- Array.length t.workers;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    body ();
+    Mutex.lock t.lock;
+    while t.pending > 0 do
+      Condition.wait t.work_done t.lock
+    done;
+    t.job <- None;
+    Mutex.unlock t.lock
+  end
+
+(* Domains cooperatively grab index chunks from an atomic counter.  Chunk
+   boundaries affect only the schedule, never the result: slot [i] always
+   receives [f arr.(i)]. *)
+let chunked_run t ~start ~stop work =
+  let n = stop - start in
+  let chunk = max 1 (n / (t.size * 4)) in
+  let next = Atomic.make start in
+  let err : exn option Atomic.t = Atomic.make None in
+  let body () =
+    try
+      let continue_ = ref true in
+      while !continue_ do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= stop || Atomic.get err <> None then continue_ := false
+        else
+          for i = lo to min stop (lo + chunk) - 1 do
+            work i
+          done
+      done
+    with e -> ignore (Atomic.compare_and_set err None (Some e))
+  in
+  run_everywhere t body;
+  match Atomic.get err with Some e -> raise e | None -> ()
+
+let parallel_map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then Array.map f arr
+  else begin
+    (* Seed the result array with the first element (computed inline) so no
+       dummy value is ever observable. *)
+    let first = f arr.(0) in
+    let results = Array.make n first in
+    chunked_run t ~start:1 ~stop:n (fun i -> results.(i) <- f arr.(i));
+    results
+  end
+
+let parallel_iter t f arr =
+  let n = Array.length arr in
+  if n = 0 then ()
+  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then Array.iter f arr
+  else chunked_run t ~start:0 ~stop:n (fun i -> f arr.(i))

@@ -1,0 +1,52 @@
+(** A reusable fixed-size domain work pool (OCaml 5 multicore).
+
+    The construction pipeline shards embarrassingly-parallel work — one GMW
+    comparator evaluation per identity — across CPU cores.  This module owns
+    the domains: a pool of [size - 1] worker domains plus the calling domain
+    cooperatively drain an atomic chunk queue, so the same pool is reused
+    across protocol stages without re-spawning domains.
+
+    Determinism: [parallel_map] writes result [i] from input [i] regardless
+    of which domain or chunk schedule computed it, so the output is
+    bit-identical to the sequential [Array.map] at every pool size.  Work
+    functions must therefore not share mutable state (give each item its own
+    {!Rng.t} via {!Rng.split} before entering the pool).
+
+    A pool of size 1 (and {!sequential}) spawns no domains and runs
+    everything inline in the caller; this is also the fallback on
+    single-core hosts where [Domain.recommended_domain_count () = 1].
+
+    The pool is not reentrant: calling [parallel_map] from inside a work
+    function deadlocks.  Shut pools down (or use {!with_pool}) so worker
+    domains are joined before process exit. *)
+
+type t
+
+val sequential : t
+(** The always-available size-1 pool: no domains, pure inline execution. *)
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains.  [size] defaults to
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [size < 1]. *)
+
+val size : t -> int
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map t f arr] is [Array.map f arr], evaluated cooperatively by
+    the pool in deterministic index-addressed chunks.  The first exception
+    raised by [f] (on any domain) is re-raised in the caller after all
+    domains have quiesced; remaining chunks are abandoned. *)
+
+val parallel_iter : t -> ('a -> unit) -> 'a array -> unit
+(** [parallel_iter t f arr] is [Array.iter f arr] with the same contract as
+    {!parallel_map}; [f] is called for side effects (each call must touch
+    disjoint state). *)
+
+val shutdown : t -> unit
+(** Signal and join the worker domains.  Idempotent; after shutdown the pool
+    degrades to inline sequential execution. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool ~size f] runs [f] with a fresh pool and always shuts it down,
+    including on exception. *)

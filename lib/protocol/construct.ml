@@ -30,22 +30,34 @@ let modulus_for m = Modarith.modulus (Modarith.next_prime (m + 1))
 (* Publication is a local scan of each provider's n bits. *)
 let publication_cost ~n = 2e-8 *. float_of_int n
 
-let run ?config ?reliability ?network ?transport ?(c = 3) ?(mixing = Eppi.Mixing.Bernoulli) rng ~membership ~epsilons ~policy =
+let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
+    ?(mixing = Eppi.Mixing.Bernoulli) rng ~membership ~epsilons ~policy =
   let n = Bitmatrix.rows membership in
   let m = Bitmatrix.cols membership in
   if Array.length epsilons <> n then invalid_arg "Protocol.Construct.run: epsilons length mismatch";
   let q = modulus_for m in
+  (* Each phase draws from its own child stream: how many draws one phase
+     makes (which varies with the CountBelow strategy and circuit shapes)
+     can never perturb the next phase, so the construction output is
+     bit-identical across strategies and domain counts. *)
+  let rng_sss = Rng.split rng in
+  let rng_mpc = Rng.split rng in
+  let rng_release = Rng.split rng in
+  let rng_publish = Rng.split rng in
   (* Providers' private inputs: their own membership column, one bit per
      identity. *)
   let inputs =
     Array.init m (fun i ->
         Array.init n (fun j -> if Bitmatrix.get membership ~row:j ~col:i then 1 else 0))
   in
-  let sss = Secsumshare.run ?config ?reliability rng ~inputs ~c ~q in
+  let sss = Secsumshare.run ?config ?reliability rng_sss ~inputs ~c ~q in
   let thresholds =
     Array.map (fun epsilon -> Countbelow.integer_threshold ~policy ~epsilon ~m) epsilons
   in
-  let cb = Countbelow.run ?network ?transport rng ~shares:sss.coordinator_shares ~q ~thresholds in
+  let cb =
+    Countbelow.run ?network ?transport ?pool ?strategy rng_mpc
+      ~shares:sss.coordinator_shares ~q ~thresholds
+  in
   (* Release phase (public computation at a designated coordinator):
      xi, lambda, mixing draws, final betas. *)
   let xi =
@@ -58,7 +70,7 @@ let run ?config ?reliability ?network ?transport ?(c = 3) ?(mixing = Eppi.Mixing
   let candidates =
     Array.of_list (List.filteri (fun j _ -> not cb.common.(j)) (List.init n Fun.id))
   in
-  let decoys = Eppi.Mixing.select_decoys rng ~mode:mixing ~lambda ~candidates in
+  let decoys = Eppi.Mixing.select_decoys rng_release ~mode:mixing ~lambda ~candidates in
   Array.iteri (fun slot j -> if decoys.(slot) then mixed.(j) <- true) candidates;
   let betas =
     Array.init n (fun j ->
@@ -73,7 +85,7 @@ let run ?config ?reliability ?network ?transport ?(c = 3) ?(mixing = Eppi.Mixing
         end)
   in
   (* Phase 2: local randomized publication at every provider. *)
-  let published = Eppi.Publish.publish_matrix rng ~betas membership in
+  let published = Eppi.Publish.publish_matrix rng_publish ~betas membership in
   let publication_time = publication_cost ~n in
   let sss_messages_bytes = (sss.net.messages_sent, sss.net.bytes_sent) in
   let metrics =

@@ -47,6 +47,8 @@ val run :
   ?reliability:Secsumshare.reliability ->
   ?network:Eppi_mpc.Cost.network ->
   ?transport:Countbelow.transport ->
+  ?pool:Pool.t ->
+  ?strategy:Countbelow.strategy ->
   ?c:int ->
   ?mixing:Eppi.Mixing.mode ->
   Rng.t ->
@@ -56,6 +58,12 @@ val run :
   result
 (** [c] defaults to 3 (the paper's configuration).  The matrix is
     owner-major.
+
+    [pool] and [strategy] select the CountBelow execution pipeline (see
+    {!Countbelow.run}); every phase draws from its own {!Rng.split} child
+    stream, so for a fixed seed the construction output — [common],
+    [betas], the published [index] — is bit-identical across strategies and
+    pool sizes.
     @raise Invalid_argument on dimension mismatches, [c < 2] or [m < c]. *)
 
 val beta_phase_time_estimate :

@@ -33,6 +33,21 @@ type result = {
     emerges from message passing. *)
 type transport = [ `Cost_model | `Simnet of Eppi_simnet.Simnet.config ]
 
+(** How the count-below computation is organized:
+
+    - [`Monolithic] — the paper-literal formulation: one circuit over all n
+      identities, walked sequentially.  Always used under the [`Simnet]
+      transport (the network simulation replays a single protocol instance).
+    - [`Sharded] — the multicore pipeline (default under [`Cost_model]):
+      one comparator circuit per identity, memo-compiled per distinct
+      [(c, q, threshold)], evaluated on the domain pool with a per-shard
+      {!Rng.split}.  Classification outputs are bit-identical to
+      [`Monolithic] (GMW outputs are deterministic given the inputs); the
+      reported [circuit_stats]/[comm] sum the shards, with the
+      multiplicative depth taken as the max — shards batch into common
+      broadcast rounds. *)
+type strategy = [ `Monolithic | `Sharded ]
+
 val integer_threshold : policy:Eppi.Policy.t -> epsilon:float -> m:int -> int
 (** Smallest frequency count at which the policy's raw β reaches 1; [m + 1]
     when no frequency is common (ε = 0). *)
@@ -40,6 +55,8 @@ val integer_threshold : policy:Eppi.Policy.t -> epsilon:float -> m:int -> int
 val run :
   ?network:Eppi_mpc.Cost.network ->
   ?transport:transport ->
+  ?pool:Pool.t ->
+  ?strategy:strategy ->
   Rng.t ->
   shares:int array array ->
   q:Modarith.modulus ->
@@ -49,4 +66,11 @@ val run :
     [thresholds.(j)] is the count above which identity j is common (values
     above [q - 1] are clamped to [q - 1], which is unreachable by any sum of
     memberships since q > m).
-    @raise Invalid_argument on shape violations. *)
+
+    [pool] (default {!Pool.sequential}) supplies the domains the sharded
+    strategy evaluates on; it is ignored by [`Monolithic] and [`Simnet]
+    runs.  [strategy] defaults to [`Sharded] under [`Cost_model] and is
+    forced to [`Monolithic] under [`Simnet].  Outputs ([common],
+    [frequencies], [n_common]) are identical for every strategy and pool
+    size.
+    @raise Invalid_argument on shape violations or zero identities. *)

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full repository check: build, tests, and a short multicore-scaling smoke.
+# This is exactly what CI runs; run it locally before pushing.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+# A ~5 s smoke of the scaling bench: small n, 1 and 2 domains. Exercises the
+# domain pool, the sharded CountBelow path, the circuit cache, and the
+# bench's own cross-strategy output-equality check (it exits non-zero if the
+# sharded construction ever diverges from the monolithic reference).
+echo "== scaling smoke =="
+SCALING_N=200 SCALING_M=6 SCALING_DOMAINS=1,2 dune exec bench/main.exe -- scaling
+rm -f BENCH_construct.json
+
+echo "== check.sh: all green =="

@@ -129,7 +129,7 @@ let test_gmw_views_shapes () =
   Array.iter
     (fun (v : Gmw.view) ->
       check_int "view covers all wires" (Circuit.num_wires compiled.circuit)
-        (Array.length v.wire_shares);
+        (Bitvec.length v.wire_shares);
       check_int "one opening pair per and gate" stats.and_gates (Array.length v.opened))
     result.views
 

@@ -1,0 +1,205 @@
+(* Tests for the domain work pool and for the determinism contract of the
+   multicore construction pipeline: every pool size — and the sharded vs.
+   monolithic CountBelow strategies — must produce bit-identical protocol
+   output. *)
+
+open Eppi_prelude
+open Eppi_protocol
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- Pool.parallel_map / parallel_iter ---------- *)
+
+let test_map_matches_sequential () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          List.iter
+            (fun n ->
+              let rng = Rng.create (size + (1000 * n)) in
+              let arr = Array.init n (fun _ -> Rng.int rng 1_000_000) in
+              let f x = (x * 31) lxor (x lsr 3) in
+              Alcotest.(check (array int))
+                (Printf.sprintf "size %d, n %d" size n)
+                (Array.map f arr)
+                (Pool.parallel_map pool f arr))
+            [ 0; 1; 2; 7; 64; 1001 ]))
+    [ 1; 2; 3; 4 ]
+
+let test_map_heterogeneous_cost () =
+  (* Uneven per-item work exercises chunk stealing; results must still be
+     index-exact. *)
+  Pool.with_pool ~size:4 (fun pool ->
+      let arr = Array.init 200 (fun i -> i) in
+      let f i =
+        let acc = ref 0 in
+        for k = 0 to (i mod 17) * 100 do
+          acc := !acc + (k land i)
+        done;
+        !acc
+      in
+      Alcotest.(check (array int)) "heterogeneous" (Array.map f arr) (Pool.parallel_map pool f arr))
+
+let test_iter_covers_all_indices () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let n = 500 in
+          let hits = Array.make n 0 in
+          (* Each index is written by exactly one chunk, so no two domains
+             ever touch the same slot. *)
+          Pool.parallel_iter pool (fun i -> hits.(i) <- hits.(i) + 1) (Array.init n Fun.id);
+          Array.iteri (fun i h -> check_int (Printf.sprintf "index %d hit once" i) 1 h) hits))
+    [ 1; 2; 4 ]
+
+let test_exception_propagates () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          match
+            Pool.parallel_map pool
+              (fun i -> if i = 37 then failwith "boom" else i)
+              (Array.init 100 Fun.id)
+          with
+          | _ -> Alcotest.fail "expected failure"
+          | exception Failure m -> check_bool "message" true (m = "boom")))
+    [ 1; 4 ]
+
+let test_pool_reuse_and_shutdown () =
+  let pool = Pool.create ~size:3 () in
+  check_int "size" 3 (Pool.size pool);
+  let a = Pool.parallel_map pool (fun x -> x + 1) (Array.init 50 Fun.id) in
+  let b = Pool.parallel_map pool (fun x -> x * 2) (Array.init 50 Fun.id) in
+  Alcotest.(check (array int)) "first job" (Array.init 50 (fun i -> i + 1)) a;
+  Alcotest.(check (array int)) "second job" (Array.init 50 (fun i -> i * 2)) b;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* After shutdown the pool degrades to inline execution. *)
+  let c = Pool.parallel_map pool (fun x -> x - 1) (Array.init 10 Fun.id) in
+  Alcotest.(check (array int)) "after shutdown" (Array.init 10 (fun i -> i - 1)) c
+
+let test_create_rejects_zero () =
+  Alcotest.check_raises "size 0" (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
+      ignore (Pool.create ~size:0 ()))
+
+(* ---------- CountBelow determinism across strategies and pool sizes ---------- *)
+
+let make_shares rng ~c ~q ~freqs =
+  let n = Array.length freqs in
+  let shares = Array.init c (fun _ -> Array.make n 0) in
+  Array.iteri
+    (fun j f ->
+      let s = Eppi_secretshare.Additive.share rng ~q ~c f in
+      Array.iteri (fun k v -> shares.(k).(j) <- v) s)
+    freqs;
+  shares
+
+let countbelow_result = Alcotest.testable (fun ppf (r : Countbelow.result) ->
+    Format.fprintf ppf "n_common=%d" r.n_common)
+    (fun a b ->
+      a.common = b.common && a.frequencies = b.frequencies && a.n_common = b.n_common)
+
+let test_countbelow_strategies_agree () =
+  let rng = Rng.create 301 in
+  let m = 60 in
+  let q = Construct.modulus_for m in
+  let n = 40 in
+  let freqs = Array.init n (fun _ -> Rng.int rng (m + 1)) in
+  let thresholds = Array.init n (fun _ -> Rng.int rng (m + 2)) in
+  let shares = make_shares rng ~c:3 ~q ~freqs in
+  let mono =
+    Countbelow.run ~strategy:`Monolithic (Rng.create 302) ~shares ~q ~thresholds
+  in
+  let seq = Countbelow.run ~strategy:`Sharded (Rng.create 302) ~shares ~q ~thresholds in
+  let par =
+    Pool.with_pool ~size:4 (fun pool ->
+        Countbelow.run ~pool ~strategy:`Sharded (Rng.create 302) ~shares ~q ~thresholds)
+  in
+  Alcotest.check countbelow_result "sharded(1 domain) = monolithic" mono seq;
+  Alcotest.check countbelow_result "sharded(4 domains) = sharded(1 domain)" seq par;
+  (* The sharded accounting must be self-identical across pool sizes. *)
+  check_bool "same aggregated stats" true (seq.circuit_stats = par.circuit_stats);
+  check_bool "same comm accounting" true (seq.comm = par.comm);
+  check_bool "same cost-model time" true (seq.time = par.time)
+
+let test_countbelow_classification_reference () =
+  (* Against the plain integer reference: common iff frequency >= threshold. *)
+  let rng = Rng.create 303 in
+  let m = 30 in
+  let q = Construct.modulus_for m in
+  let n = 25 in
+  let freqs = Array.init n (fun _ -> Rng.int rng (m + 1)) in
+  let thresholds = Array.init n (fun _ -> Rng.int rng (m + 2)) in
+  let shares = make_shares rng ~c:3 ~q ~freqs in
+  let r =
+    Pool.with_pool ~size:2 (fun pool -> Countbelow.run ~pool (Rng.create 304) ~shares ~q ~thresholds)
+  in
+  Array.iteri
+    (fun j f ->
+      let qi = Modarith.to_int q in
+      let t = max 0 (min thresholds.(j) (qi - 1)) in
+      check_bool (Printf.sprintf "identity %d" j) (f >= t) r.common.(j);
+      match r.frequencies.(j) with
+      | Some released -> check_int (Printf.sprintf "freq %d" j) f released
+      | None -> check_bool (Printf.sprintf "freq %d withheld iff common" j) true r.common.(j))
+    freqs
+
+(* ---------- full Construct.run determinism ---------- *)
+
+let make_matrix ~m ~freqs =
+  let membership = Bitmatrix.create ~rows:(Array.length freqs) ~cols:m in
+  let rng = Rng.create 777 in
+  Array.iteri
+    (fun j f ->
+      let chosen = Rng.sample_without_replacement rng ~k:f ~n:m in
+      Array.iter (fun p -> Bitmatrix.set membership ~row:j ~col:p true) chosen)
+    freqs;
+  membership
+
+let construct_equal (a : Construct.result) (b : Construct.result) =
+  a.common = b.common && a.mixed = b.mixed && a.betas = b.betas
+  && a.lambda = b.lambda && a.xi = b.xi
+  && Bitmatrix.equal (Eppi.Index.matrix a.index) (Eppi.Index.matrix b.index)
+
+let test_construct_identical_across_domains () =
+  let m = 35 in
+  let rng = Rng.create 305 in
+  let n = 30 in
+  let freqs = Array.init n (fun _ -> 1 + Rng.int rng m) in
+  let membership = make_matrix ~m ~freqs in
+  let epsilons = Array.init n (fun _ -> Rng.float rng 1.0) in
+  let policy = Eppi.Policy.Chernoff 0.9 in
+  let run ?pool ?strategy () =
+    Construct.run ?pool ?strategy (Rng.create 306) ~membership ~epsilons ~policy
+  in
+  let mono = run ~strategy:`Monolithic () in
+  let seq = run () in
+  let par2 = Pool.with_pool ~size:2 (fun pool -> run ~pool ()) in
+  let par4 = Pool.with_pool ~size:4 (fun pool -> run ~pool ()) in
+  check_bool "sharded(1) = pre-shard monolithic" true (construct_equal mono seq);
+  check_bool "2 domains = 1 domain" true (construct_equal seq par2);
+  check_bool "4 domains = 1 domain" true (construct_equal seq par4)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "heterogeneous cost" `Quick test_map_heterogeneous_cost;
+          Alcotest.test_case "iter covers all indices" `Quick test_iter_covers_all_indices;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "reuse and shutdown" `Quick test_pool_reuse_and_shutdown;
+          Alcotest.test_case "rejects size 0" `Quick test_create_rejects_zero;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "countbelow strategies agree" `Quick
+            test_countbelow_strategies_agree;
+          Alcotest.test_case "countbelow matches integer reference" `Quick
+            test_countbelow_classification_reference;
+          Alcotest.test_case "construct identical across domains" `Quick
+            test_construct_identical_across_domains;
+        ] );
+    ]
