@@ -24,6 +24,7 @@ let targets : (string * (unit -> unit)) list =
     ("backends", Extensions.backends);
     ("micro", Micro.run);
     ("scaling", Scaling.run);
+    ("serve", Serve_bench.run);
   ]
 
 let () =

@@ -1,0 +1,227 @@
+(* Online serving bench: replay a Zipf workload against the published index
+   three ways — naive Index.query row scans, the compiled postings store
+   (cache off), and the full engine (cache on) — then sweep domain counts
+   and exercise admission control.  Writes BENCH_serve.json.
+
+   Timed phases consume results as they are produced (Serve.replay and a
+   consuming naive loop) rather than retaining 200k posting lists: holding
+   every result live charges the *caller's* retention to whichever phase
+   runs next, which once made the postings store read slower than the row
+   scan it beats 8x.  Each phase is preceded by Gc.compact so no phase
+   pays for a predecessor's garbage.  Correctness is re-checked untimed:
+   a per-owner sweep against Index.query over the whole id space, plus an
+   aggregate response-volume identity per timed phase.
+
+   Environment knobs: SERVE_N (owners, default 2000), SERVE_M (providers,
+   default 4096), SERVE_QUERIES (default 200000), SERVE_DOMAINS (comma
+   list, default 1,2,4). *)
+
+open Eppi_prelude
+open Eppi_serve
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let domain_counts () =
+  match Sys.getenv_opt "SERVE_DOMAINS" with
+  | None -> [ 1; 2; 4 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+      |> List.filter (fun d -> d >= 1)
+
+let wall f =
+  Gc.compact ();
+  let t0 = Clock.seconds () in
+  let result = f () in
+  (Clock.seconds () -. t0, result)
+
+let engine_config ~shards ~cache ~admission =
+  {
+    Serve.default_config with
+    shards;
+    cache_capacity = cache;
+    negative_capacity = (if cache = 0 then 0 else 1024);
+    admission;
+  }
+
+let run () =
+  let n = getenv_int "SERVE_N" 2000 in
+  let m = getenv_int "SERVE_M" 4096 in
+  let queries = getenv_int "SERVE_QUERIES" 200_000 in
+  Bench_util.heading
+    (Printf.sprintf "Online serving: postings + cache + shards (n=%d owners, m=%d providers, %d queries)"
+       n m queries);
+  let rng = Rng.create 2026 in
+  let freqs = Array.init n (fun j -> 1 + (j mod 8)) in
+  let membership = Bench_util.matrix_of_frequencies rng ~m ~freqs in
+  let epsilons = Array.init n (fun j -> 0.2 +. (0.6 *. float_of_int (j mod 5) /. 4.0)) in
+  let r =
+    Eppi.Construct.run (Rng.create 7) ~membership ~epsilons ~policy:(Eppi.Policy.Chernoff 0.9)
+  in
+  let index = r.index in
+  let workload = Workload.zipf (Rng.create 11) ~n ~count:queries in
+  (* Per-owner ground truth (n lists — small, unlike one list per request)
+     and the total response volume of the workload, both untimed. *)
+  let truth = Array.init n (fun owner -> Eppi.Index.query index ~owner) in
+  let truth_len = Array.map List.length truth in
+  let expect_listed =
+    Array.fold_left (fun acc owner -> acc + truth_len.(owner)) 0 workload
+  in
+  (* Untimed per-owner sweep over the whole id space: first query misses the
+     cache, the second must hit it; both must equal Index.query exactly. *)
+  let check_engine label engine =
+    for owner = 0 to n - 1 do
+      for _pass = 0 to 1 do
+        match Serve.query engine ~owner with
+        | Serve.Providers providers ->
+            if providers <> truth.(owner) then
+              failwith
+                (Printf.sprintf "serve: %s diverged from Index.query at owner %d" label owner)
+        | _ -> failwith (Printf.sprintf "serve: %s did not serve owner %d" label owner)
+      done
+    done;
+    (match Serve.query engine ~owner:(n + 1) with
+    | Serve.Unknown_owner -> ()
+    | _ -> failwith (Printf.sprintf "serve: %s served an out-of-range owner" label))
+  in
+  let check_tally label (tally : Serve.tally) =
+    if tally.served <> queries then
+      failwith (Printf.sprintf "serve: %s served %d of %d" label tally.served queries);
+    if tally.providers_listed <> expect_listed then
+      failwith (Printf.sprintf "serve: %s response volume diverged from Index.query" label)
+  in
+  (* Naive replay: one Index.query row scan per request, result consumed. *)
+  let naive_seconds, naive_listed =
+    wall (fun () ->
+        Array.fold_left
+          (fun acc owner -> acc + List.length (Eppi.Index.query index ~owner))
+          0 workload)
+  in
+  if naive_listed <> expect_listed then failwith "serve: naive replay volume diverged";
+  Bench_util.note "naive Index.query replay: %.3f s (%.0f q/s)" naive_seconds
+    (float_of_int queries /. naive_seconds);
+  (* Postings store, cache off: the raw read-path speedup. *)
+  let postings_engine = Serve.create ~config:(engine_config ~shards:1 ~cache:0 ~admission:None) index in
+  let postings_seconds, tally = wall (fun () -> Serve.replay postings_engine workload) in
+  check_tally "postings" tally;
+  Bench_util.note "postings store (cache off): %.3f s (%.0f q/s, x%.1f vs naive)"
+    postings_seconds
+    (float_of_int queries /. postings_seconds)
+    (naive_seconds /. postings_seconds);
+  check_engine "postings" postings_engine;
+  (* Full engine, cache on. *)
+  let cached_engine =
+    Serve.create ~config:(engine_config ~shards:1 ~cache:4096 ~admission:None) index
+  in
+  let cache_seconds, tally = wall (fun () -> Serve.replay cached_engine workload) in
+  check_tally "cached" tally;
+  let snap = Serve.metrics cached_engine in
+  let hit_rate = Metrics.hit_rate snap in
+  check_engine "cached" cached_engine;
+  Bench_util.note "engine (cache on): %.3f s (%.0f q/s, x%.1f vs naive), hit rate %.3f"
+    cache_seconds
+    (float_of_int queries /. cache_seconds)
+    (naive_seconds /. cache_seconds) hit_rate;
+  Bench_util.note "latency (sampled): p50 %.2g s, p95 %.2g s, p99 %.2g s (%d samples)"
+    snap.p50 snap.p95 snap.p99 snap.latency_count;
+  (* Shard the engine across domains. *)
+  let domain_runs =
+    List.map
+      (fun domains ->
+        let engine =
+          Serve.create ~config:(engine_config ~shards:domains ~cache:4096 ~admission:None) index
+        in
+        let _, tally =
+          wall (fun () ->
+              if domains = 1 then Serve.replay engine workload
+              else Pool.with_pool ~size:domains (fun pool -> Serve.replay ~pool engine workload))
+        in
+        check_tally (Printf.sprintf "%d-domain" domains) tally;
+        (* The engine's own dispatch time — excludes domain spawn cost. *)
+        let seconds = tally.tally_wall_seconds in
+        let qps = float_of_int queries /. seconds in
+        Bench_util.note "%d domain%s: %.3f s (%.0f q/s)" domains
+          (if domains = 1 then " " else "s")
+          seconds qps;
+        (domains, seconds, qps))
+      (domain_counts ())
+  in
+  (* Admission control: a token bucket that cannot keep up and a queue
+     shorter than the per-shard batch; every shed must be reported. *)
+  let admission =
+    {
+      Admission.rate = 100_000.0;
+      burst = max 1 (queries / 40);
+      queue_capacity = max 1 (queries / 8);
+    }
+  in
+  let shed_engine =
+    Serve.create ~config:(engine_config ~shards:4 ~cache:4096 ~admission:(Some admission)) index
+  in
+  let shed_report = Serve.run shed_engine workload in
+  let shed_snap = Serve.metrics shed_engine in
+  let served_replies =
+    Array.fold_left
+      (fun acc reply -> match reply with Serve.Providers _ -> acc + 1 | _ -> acc)
+      0 shed_report.replies
+  in
+  if shed_snap.queries <> queries then failwith "serve: admission lost requests";
+  if
+    shed_snap.served + shed_snap.unknown + shed_snap.shed_rate + shed_snap.shed_queue
+    <> queries
+  then failwith "serve: shed accounting does not add up";
+  if served_replies <> shed_snap.served then
+    failwith "serve: reply array disagrees with metrics";
+  if shed_snap.shed_queue = 0 then failwith "serve: expected queue shedding";
+  Bench_util.note "admission: served %d, shed %d by rate limit, %d by queue bound"
+    shed_snap.served shed_snap.shed_rate shed_snap.shed_queue;
+  (* JSON out. *)
+  let seconds_at d =
+    List.find_map (fun (d', s, _) -> if d' = d then Some s else None) domain_runs
+  in
+  let speedup num den =
+    match (num, den) with Some a, Some b when b > 0.0 -> Printf.sprintf "%.4f" (a /. b) | _ -> "null"
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"serve\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"n_owners\": %d,\n" n);
+  Buffer.add_string b (Printf.sprintf "  \"m_providers\": %d,\n" m);
+  Buffer.add_string b (Printf.sprintf "  \"queries\": %d,\n" queries);
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"naive_seconds\": %.6f,\n" naive_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"postings_seconds\": %.6f,\n" postings_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"cache_seconds\": %.6f,\n" cache_seconds);
+  Buffer.add_string b
+    (Printf.sprintf "  \"speedup_postings_vs_naive\": %.4f,\n" (naive_seconds /. postings_seconds));
+  Buffer.add_string b
+    (Printf.sprintf "  \"speedup_cache_vs_naive\": %.4f,\n" (naive_seconds /. cache_seconds));
+  Buffer.add_string b (Printf.sprintf "  \"cache_hit_rate\": %.4f,\n" hit_rate);
+  Buffer.add_string b
+    (Printf.sprintf "  \"latency_s\": { \"count\": %d, \"mean\": %.9f, \"p50\": %.9f, \"p95\": %.9f, \"p99\": %.9f },\n"
+       snap.latency_count snap.latency_mean snap.p50 snap.p95 snap.p99);
+  Buffer.add_string b "  \"domain_runs\": [\n";
+  List.iteri
+    (fun i (d, s, qps) ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"domains\": %d, \"seconds\": %.6f, \"qps\": %.0f }%s\n" d s qps
+           (if i = List.length domain_runs - 1 then "" else ",")))
+    domain_runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"speedup_4_domains_vs_1_domain\": %s,\n"
+       (speedup (seconds_at 1) (seconds_at 4)));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"admission\": { \"queries\": %d, \"served\": %d, \"shed_rate\": %d, \"shed_queue\": %d },\n"
+       shed_snap.queries shed_snap.served shed_snap.shed_rate shed_snap.shed_queue);
+  Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (Metrics.to_json snap));
+  Buffer.add_string b "}\n";
+  let out = open_out "BENCH_serve.json" in
+  output_string out (Buffer.contents b);
+  close_out out;
+  Bench_util.note "wrote BENCH_serve.json"

@@ -338,6 +338,100 @@ let link_cmd =
           privacy-preservingly), and emit the linked dataset for `construct`")
     term
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let queries =
+    Arg.(value & opt int 100_000 & info [ "queries" ] ~docv:"INT" ~doc:"Workload size to replay.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"INT" ~doc:"Independent shard states.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"INT"
+          ~doc:"Domain-pool size for the replay; 1 runs the shards sequentially.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache" ] ~docv:"INT" ~doc:"Result-cache capacity per shard; 0 disables caching.")
+  in
+  let zipf_exponent =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"FLOAT" ~doc:"Zipf exponent of the synthetic workload.")
+  in
+  let unknown_fraction =
+    Arg.(
+      value & opt float 0.0
+      & info [ "unknown-fraction" ] ~docv:"FLOAT"
+          ~doc:"Fraction of requests targeting unknown owner ids (negative-cache traffic).")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"FLOAT"
+          ~doc:
+            "Enable admission control: token-bucket refill rate per shard (requests/s).  \
+             Off by default.")
+  in
+  let burst =
+    Arg.(
+      value & opt int 1000
+      & info [ "burst" ] ~docv:"INT" ~doc:"Token-bucket burst capacity (with $(b,--rate)).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 100_000
+      & info [ "queue" ] ~docv:"INT" ~doc:"Bounded per-shard queue (with $(b,--rate)).")
+  in
+  let run seed index_path queries shards domains cache zipf_exponent unknown_fraction rate burst
+      queue =
+    let index = Eppi.Index.of_csv (read_file index_path) in
+    let n = Eppi.Index.owners index in
+    let admission =
+      Option.map (fun rate -> { Eppi_serve.Admission.rate; burst; queue_capacity = queue }) rate
+    in
+    let config =
+      { Eppi_serve.Serve.default_config with shards; cache_capacity = cache; admission }
+    in
+    let engine = Eppi_serve.Serve.create ~config index in
+    let postings = Eppi_serve.Serve.postings engine in
+    Printf.eprintf "index: %d owners, %d providers; postings store %d bytes\n" n
+      (Eppi.Index.providers index)
+      (Eppi_serve.Postings.memory_bytes postings);
+    let workload =
+      Eppi_serve.Workload.zipf ~exponent:zipf_exponent ~unknown_fraction (Rng.create seed) ~n
+        ~count:queries
+    in
+    let tally =
+      if domains > 1 then
+        Eppi_prelude.Pool.with_pool ~size:domains (fun pool ->
+            Eppi_serve.Serve.replay ~pool engine workload)
+      else Eppi_serve.Serve.replay engine workload
+    in
+    Printf.eprintf
+      "replayed %d queries in %.4f s (%.0f q/s): %d served, %d unknown, %d shed (rate), %d \
+       shed (queue)\n"
+      queries tally.tally_wall_seconds
+      (float_of_int queries /. tally.tally_wall_seconds)
+      tally.served tally.unknown tally.shed_rate tally.shed_queue;
+    print_endline (Eppi_serve.Metrics.to_json (Eppi_serve.Serve.metrics engine))
+  in
+  let term =
+    Term.(
+      const run $ seed_arg $ index_arg $ queries $ shards $ domains $ cache $ zipf_exponent
+      $ unknown_fraction $ rate $ burst $ queue)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Load a published index, compile it into the read-optimized serving engine, replay a \
+          synthetic workload and print the metrics snapshot as JSON")
+    term
+
 (* ---- inspect ---- *)
 
 let inspect_cmd =
@@ -351,4 +445,16 @@ let inspect_cmd =
 let () =
   let doc = "e-PPI: locator service with personalized privacy preservation" in
   let info = Cmd.info "eppi" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; construct_cmd; query_cmd; evaluate_cmd; attack_cmd; link_cmd; inspect_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            construct_cmd;
+            query_cmd;
+            serve_cmd;
+            evaluate_cmd;
+            attack_cmd;
+            link_cmd;
+            inspect_cmd;
+          ]))

@@ -32,7 +32,8 @@ let of_csv text =
   match lines with
   | header :: rest ->
       let owners, providers =
-        try Scanf.sscanf header "# eppi-index owners=%d providers=%d" (fun o p -> (o, p))
+        try
+          Scanf.sscanf header "# eppi-index owners=%d providers=%d%!" (fun o p -> (o, p))
         with Scanf.Scan_failure _ | Failure _ | End_of_file ->
           failwith "Index.of_csv: bad header"
       in
@@ -42,8 +43,18 @@ let of_csv text =
         (fun lineno line ->
           if line <> "" then
             match String.split_on_char ',' line with
-            | [ j; p ] ->
-                Bitmatrix.set matrix ~row:(int_of_string j) ~col:(int_of_string p) true
+            | [ j; p ] -> (
+                match (int_of_string_opt j, int_of_string_opt p) with
+                | Some row, Some col ->
+                    if row < 0 || row >= owners || col < 0 || col >= providers then
+                      failwith
+                        (Printf.sprintf "Index.of_csv: cell out of range at line %d"
+                           (lineno + 2));
+                    if Bitmatrix.get matrix ~row ~col then
+                      failwith
+                        (Printf.sprintf "Index.of_csv: duplicate cell at line %d" (lineno + 2));
+                    Bitmatrix.set matrix ~row ~col true
+                | _ -> failwith (Printf.sprintf "Index.of_csv: bad line %d" (lineno + 2)))
             | _ -> failwith (Printf.sprintf "Index.of_csv: bad line %d" (lineno + 2)))
         rest;
       { matrix }

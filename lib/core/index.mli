@@ -34,4 +34,7 @@ val to_csv : t -> string
     [owner,provider] line per published positive. *)
 
 val of_csv : string -> t
-(** Inverse of {!to_csv}. @raise Failure on malformed input. *)
+(** Inverse of {!to_csv}.  Input is validated: the dimension header must be
+    complete and positive, every line must be an in-range [owner,provider]
+    pair, and duplicate cells are rejected.
+    @raise Failure on malformed input, naming the offending line. *)

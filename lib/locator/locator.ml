@@ -85,11 +85,23 @@ let epsilon_of t ~owner =
 
 let index t = t.index
 
-let query_ppi t ~owner =
+type query_error = No_index
+
+let query_ppi_result t ~owner =
   check_owner t owner;
   match t.index with
-  | None -> failwith "Locator.query_ppi: no index constructed yet"
-  | Some index -> Eppi.Index.query index ~owner
+  | None -> Error No_index
+  | Some index -> Ok (Eppi.Index.query index ~owner)
+
+let query_ppi t ~owner =
+  match query_ppi_result t ~owner with
+  | Ok providers -> providers
+  | Error No_index -> failwith "Locator.query_ppi: no index constructed yet"
+
+let serve_engine ?config t =
+  match t.index with
+  | None -> Error No_index
+  | Some index -> Ok (Eppi_serve.Serve.create ?config index)
 
 type search_outcome = {
   records : (int * record list) list;

@@ -58,8 +58,20 @@ val membership : t -> Eppi_prelude.Bitmatrix.t
 val index : t -> Eppi.Index.t option
 (** The published index, once constructed. *)
 
+type query_error = No_index  (** ConstructPPI has not run yet. *)
+
+val query_ppi_result : t -> owner:int -> (int list, query_error) result
+(** QueryPPI with a typed failure — the variant the serving path consumes.
+    @raise Invalid_argument on a bad owner id. *)
+
 val query_ppi : t -> owner:int -> int list
-(** @raise Failure if no index has been constructed yet. *)
+(** @deprecated Raising wrapper over {!query_ppi_result}, kept for existing
+    callers.  @raise Failure if no index has been constructed yet. *)
+
+val serve_engine :
+  ?config:Eppi_serve.Serve.config -> t -> (Eppi_serve.Serve.t, query_error) result
+(** Compile the published index into an online serving engine
+    ({!Eppi_serve.Serve}): the locator's QueryPPI at service scale. *)
 
 type search_outcome = {
   records : (int * record list) list;  (** (provider, matching records). *)

@@ -57,6 +57,67 @@ let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f p50=%.4f p95=%.4f max=%.4f"
     s.n s.mean s.stddev s.min s.p50 s.p95 s.max
 
+module Log2_histogram = struct
+  type t = {
+    lo : float;
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+  }
+
+  let create ?(lo = 1e-9) ?(buckets = 64) () =
+    if lo <= 0.0 then invalid_arg "Log2_histogram.create: lo must be positive";
+    if buckets <= 0 then invalid_arg "Log2_histogram.create: buckets must be positive";
+    { lo; counts = Array.make buckets 0; total = 0; sum = 0.0 }
+
+  let bucket_of t x =
+    if x <= t.lo then 0
+    else begin
+      let i = int_of_float (Float.floor (Float.log2 (x /. t.lo))) in
+      if i < 0 then 0 else min (Array.length t.counts - 1) i
+    end
+
+  let add t x =
+    let i = bucket_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. x
+
+  let total t = t.total
+  let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+  let counts t = Array.copy t.counts
+
+  let merge a b =
+    if a.lo <> b.lo || Array.length a.counts <> Array.length b.counts then
+      invalid_arg "Log2_histogram.merge: incompatible histograms";
+    let t = { a with counts = Array.copy a.counts } in
+    Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+    t.total <- a.total + b.total;
+    t.sum <- a.sum +. b.sum;
+    t
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Log2_histogram.quantile: q out of [0,1]";
+    if t.total = 0 then 0.0
+    else begin
+      (* Rank of the q-th sample, then the geometric midpoint of its bucket. *)
+      let rank = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+      let rank = max 1 rank in
+      let seen = ref 0 and bucket = ref (Array.length t.counts - 1) in
+      (try
+         Array.iteri
+           (fun i c ->
+             seen := !seen + c;
+             if !seen >= rank then begin
+               bucket := i;
+               raise Exit
+             end)
+           t.counts
+       with Exit -> ());
+      t.lo *. Float.pow 2.0 (float_of_int !bucket +. 0.5)
+    end
+end
+
 module Histogram = struct
   type t = { lo : float; hi : float; counts : int array }
 

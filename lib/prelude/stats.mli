@@ -27,6 +27,40 @@ val median : float array -> float
 val summary : float array -> summary
 val pp_summary : Format.formatter -> summary -> unit
 
+(** Log-scaled histogram for long-tailed positive samples (latencies).
+
+    Bucket [i] covers [[lo * 2^i, lo * 2^{i+1})]; with the defaults (lo =
+    1 ns, 64 buckets) the range spans nanoseconds to centuries, so a serving
+    engine can record per-query latencies with one array increment and no
+    per-sample allocation, then report p50/p95/p99 within a factor of
+    [sqrt 2]. *)
+module Log2_histogram : sig
+  type t
+
+  val create : ?lo:float -> ?buckets:int -> unit -> t
+  (** [lo] defaults to 1e-9 (one nanosecond), [buckets] to 64.
+      @raise Invalid_argument on a non-positive [lo] or bucket count. *)
+
+  val add : t -> float -> unit
+  (** Record a sample; values at or below [lo] land in bucket 0, values past
+      the top bucket are clamped into it. *)
+
+  val total : t -> int
+  val mean : t -> float
+  (** Exact mean of the recorded samples (0 when empty). *)
+
+  val counts : t -> int array
+
+  val merge : t -> t -> t
+  (** Pointwise sum, for aggregating per-shard histograms into one snapshot.
+      @raise Invalid_argument when the shapes differ. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] is the geometric midpoint of the bucket holding the
+      q-th sample — exact rank, bucket-resolution value.  0 when empty.
+      @raise Invalid_argument for [q] outside [0, 1]. *)
+end
+
 (** Fixed-bin histogram over a closed interval. *)
 module Histogram : sig
   type t

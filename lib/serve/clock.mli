@@ -1,0 +1,11 @@
+(** Monotonic wall clock, nanosecond resolution.
+
+    The engine's latency histograms need to resolve cache hits (tens of
+    nanoseconds); [Unix.gettimeofday] bottoms out at a microsecond, so this
+    wraps [clock_gettime(CLOCK_MONOTONIC)] directly.  Allocation-free. *)
+
+val monotonic_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin; never goes backwards. *)
+
+val seconds : unit -> float
+(** {!monotonic_ns} scaled to seconds — the engine's default clock. *)

@@ -1,0 +1,15 @@
+/* Monotonic nanosecond clock for the serving engine's latency histograms.
+   OCaml 5.1's Unix library exposes only gettimeofday (microsecond
+   resolution), which cannot resolve a cache hit; CLOCK_MONOTONIC can.
+   Returned as a tagged immediate (62 bits of nanoseconds covers ~146
+   years of uptime), so the hot path never allocates. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value eppi_serve_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,87 @@
+(* Slots 0..capacity-1 hold the entries; [prev]/[next] link them into a
+   recency list by index, with -1 as the null link.  [head] is the
+   most-recently-used slot, [tail] the eviction candidate. *)
+type 'a t = {
+  cap : int;
+  table : (int, int) Hashtbl.t;  (* key -> slot *)
+  keys : int array;
+  values : 'a option array;
+  prev : int array;
+  next : int array;
+  mutable head : int;
+  mutable tail : int;
+  mutable len : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    keys = Array.make capacity 0;
+    values = Array.make capacity None;
+    prev = Array.make capacity (-1);
+    next = Array.make capacity (-1);
+    head = -1;
+    tail = -1;
+    len = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = t.len
+let evictions t = t.evictions
+
+let detach t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- slot;
+  t.head <- slot;
+  if t.tail < 0 then t.tail <- slot
+
+let promote t slot =
+  if t.head <> slot then begin
+    detach t slot;
+    push_front t slot
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some slot ->
+      promote t slot;
+      t.values.(slot)
+
+let mem t key = Hashtbl.mem t.table key
+
+let put t key value =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some slot ->
+        t.values.(slot) <- Some value;
+        promote t slot
+    | None ->
+        let slot =
+          if t.len < t.cap then begin
+            let s = t.len in
+            t.len <- t.len + 1;
+            s
+          end
+          else begin
+            let s = t.tail in
+            Hashtbl.remove t.table t.keys.(s);
+            t.evictions <- t.evictions + 1;
+            detach t s;
+            s
+          end
+        in
+        t.keys.(slot) <- key;
+        t.values.(slot) <- Some value;
+        push_front t slot;
+        Hashtbl.replace t.table key slot

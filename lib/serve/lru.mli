@@ -1,0 +1,33 @@
+(** Fixed-capacity LRU map over int keys.
+
+    The serving engine keeps one per shard for materialized query results
+    and another as a negative cache of unknown owner ids.  All storage is
+    preallocated at [create] (slot arrays linked by int indices), so steady
+    state performs no allocation beyond hash-table internals.
+
+    Not thread-safe: each instance must have a single writer — the serving
+    engine guarantees this by owning one cache per shard and routing every
+    shard to exactly one domain. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity 0] is a valid always-miss cache ([find] is [None], [put] a
+    no-op) — how the engine disables caching without branching.
+    @raise Invalid_argument on a negative capacity. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used. *)
+
+val mem : 'a t -> int -> bool
+(** Membership test without promotion. *)
+
+val put : 'a t -> int -> 'a -> unit
+(** Insert or replace, promoting to most-recently-used; evicts the
+    least-recently-used entry when full. *)
+
+val evictions : 'a t -> int
+(** Entries displaced by capacity pressure since [create]. *)

@@ -1,0 +1,103 @@
+open Eppi_prelude
+
+type t = {
+  mutable queries : int;
+  mutable served : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable negative_hits : int;
+  mutable unknown : int;
+  mutable shed_rate : int;
+  mutable shed_queue : int;
+  mutable audits : int;
+  latency : Stats.Log2_histogram.t;
+}
+
+let create () =
+  {
+    queries = 0;
+    served = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    negative_hits = 0;
+    unknown = 0;
+    shed_rate = 0;
+    shed_queue = 0;
+    audits = 0;
+    latency = Stats.Log2_histogram.create ();
+  }
+
+let incr_queries t = t.queries <- t.queries + 1
+let incr_served t = t.served <- t.served + 1
+let incr_cache_hit t = t.cache_hits <- t.cache_hits + 1
+let incr_cache_miss t = t.cache_misses <- t.cache_misses + 1
+let incr_negative_hit t = t.negative_hits <- t.negative_hits + 1
+let incr_unknown t = t.unknown <- t.unknown + 1
+let incr_shed_rate t = t.shed_rate <- t.shed_rate + 1
+let incr_shed_queue t = t.shed_queue <- t.shed_queue + 1
+let incr_audits t = t.audits <- t.audits + 1
+let record_latency t seconds = Stats.Log2_histogram.add t.latency seconds
+
+type snapshot = {
+  queries : int;
+  served : int;
+  cache_hits : int;
+  cache_misses : int;
+  negative_hits : int;
+  unknown : int;
+  shed_rate : int;
+  shed_queue : int;
+  audits : int;
+  latency_count : int;
+  latency_mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let snapshot shards =
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 shards in
+  let latency =
+    match shards with
+    | [] -> Stats.Log2_histogram.create ()
+    | first :: rest ->
+        List.fold_left
+          (fun acc t -> Stats.Log2_histogram.merge acc t.latency)
+          first.latency rest
+  in
+  {
+    queries = sum (fun t -> t.queries);
+    served = sum (fun t -> t.served);
+    cache_hits = sum (fun t -> t.cache_hits);
+    cache_misses = sum (fun t -> t.cache_misses);
+    negative_hits = sum (fun t -> t.negative_hits);
+    unknown = sum (fun t -> t.unknown);
+    shed_rate = sum (fun t -> t.shed_rate);
+    shed_queue = sum (fun t -> t.shed_queue);
+    audits = sum (fun t -> t.audits);
+    latency_count = Stats.Log2_histogram.total latency;
+    latency_mean = Stats.Log2_histogram.mean latency;
+    p50 = Stats.Log2_histogram.quantile latency 0.5;
+    p95 = Stats.Log2_histogram.quantile latency 0.95;
+    p99 = Stats.Log2_histogram.quantile latency 0.99;
+  }
+
+let hit_rate s =
+  let lookups = s.cache_hits + s.cache_misses in
+  if lookups = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int lookups
+
+let to_json s =
+  Printf.sprintf
+    "{ \"queries\": %d, \"served\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+     \"cache_hit_rate\": %.4f, \"negative_hits\": %d, \"unknown\": %d, \"shed_rate\": %d, \
+     \"shed_queue\": %d, \"audits\": %d, \"latency_count\": %d, \"latency_mean_s\": %.9f, \
+     \"p50_s\": %.9f, \"p95_s\": %.9f, \"p99_s\": %.9f }"
+    s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
+    s.shed_rate s.shed_queue s.audits s.latency_count s.latency_mean s.p50 s.p95 s.p99
+
+let pp ppf s =
+  Format.fprintf ppf
+    "queries=%d served=%d hits=%d misses=%d hit_rate=%.3f negative=%d unknown=%d \
+     shed_rate=%d shed_queue=%d audits=%d p50=%.2gs p95=%.2gs p99=%.2gs"
+    s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
+    s.shed_rate s.shed_queue s.audits s.p50 s.p95 s.p99

@@ -1,0 +1,52 @@
+(** Observability surface of the serving engine.
+
+    Each shard owns one [t] and is its only writer (the engine routes a
+    shard to exactly one domain), so the hot path is plain-int increments
+    with no cross-core contention; a snapshot merges all shards.  Latencies
+    go into a log2-scaled histogram ({!Eppi_prelude.Stats.Log2_histogram}),
+    so p50/p95/p99 come out of a 64-int array, not a sample buffer. *)
+
+type t
+
+val create : unit -> t
+
+val incr_queries : t -> unit
+val incr_served : t -> unit
+val incr_cache_hit : t -> unit
+val incr_cache_miss : t -> unit
+val incr_negative_hit : t -> unit
+val incr_unknown : t -> unit
+val incr_shed_rate : t -> unit
+val incr_shed_queue : t -> unit
+val incr_audits : t -> unit
+
+val record_latency : t -> float -> unit
+(** Record one query's service time in seconds. *)
+
+type snapshot = {
+  queries : int;  (** Requests that reached the engine (including shed). *)
+  served : int;  (** Requests answered with a provider list. *)
+  cache_hits : int;
+  cache_misses : int;
+  negative_hits : int;  (** Unknown owners answered from the negative cache. *)
+  unknown : int;  (** Requests for out-of-range owner ids. *)
+  shed_rate : int;  (** Shed by the token bucket. *)
+  shed_queue : int;  (** Shed by the bounded per-shard queue. *)
+  audits : int;  (** Provider-side audit queries. *)
+  latency_count : int;  (** Latency samples recorded (sampling may skip). *)
+  latency_mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** Seconds; 0 when no samples were recorded. *)
+}
+
+val snapshot : t list -> snapshot
+(** Merge per-shard metrics into one view. *)
+
+val hit_rate : snapshot -> float
+(** cache_hits / (cache_hits + cache_misses); 0 when no lookups ran. *)
+
+val to_json : snapshot -> string
+(** A single JSON object with every snapshot field. *)
+
+val pp : Format.formatter -> snapshot -> unit

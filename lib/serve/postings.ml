@@ -1,0 +1,111 @@
+open Eppi_prelude
+
+(* One packed direction: [offsets.(i)] .. [offsets.(i+1)] - 1 are the entry
+   slots of list [i]; entry [e] lives at bit position [e * width].  The data
+   buffer is padded by 8 bytes so every entry can be read with a single
+   unaligned 64-bit load (width <= 30 and a bit offset <= 7 keep the value
+   inside the loaded word). *)
+type side = {
+  offsets : int array;
+  data : Bytes.t;
+  width : int;
+}
+
+type t = {
+  fwd : side;
+  inv : side;
+  owners : int;
+  providers : int;
+}
+
+let width_for bound =
+  let rec go w = if 1 lsl w >= bound then w else go (w + 1) in
+  max 1 (go 1)
+
+let make_side ~width counts =
+  let n = Array.length counts in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + counts.(i)
+  done;
+  let entries = offsets.(n) in
+  let data = Bytes.make (((entries * width) + 7) / 8 + 8) '\000' in
+  { offsets; data; width }
+
+let write_entry side ~slot v =
+  let bitpos = slot * side.width in
+  let byte = bitpos lsr 3 and shift = bitpos land 7 in
+  let cur = Bytes.get_int64_le side.data byte in
+  Bytes.set_int64_le side.data byte (Int64.logor cur (Int64.shift_left (Int64.of_int v) shift))
+
+let read_entry side e =
+  let bitpos = e * side.width in
+  let byte = bitpos lsr 3 and shift = bitpos land 7 in
+  Int64.to_int (Int64.shift_right_logical (Bytes.get_int64_le side.data byte) shift)
+  land ((1 lsl side.width) - 1)
+
+let of_matrix matrix =
+  let owners = Bitmatrix.rows matrix and providers = Bitmatrix.cols matrix in
+  let row_counts = Array.make owners 0 in
+  let col_counts = Array.make providers 0 in
+  for j = 0 to owners - 1 do
+    Bitvec.iter_set
+      (fun p ->
+        row_counts.(j) <- row_counts.(j) + 1;
+        col_counts.(p) <- col_counts.(p) + 1)
+      (Bitmatrix.row matrix j)
+  done;
+  let fwd = make_side ~width:(width_for providers) row_counts in
+  let inv = make_side ~width:(width_for owners) col_counts in
+  let inv_cursor = Array.sub inv.offsets 0 providers in
+  for j = 0 to owners - 1 do
+    let slot = ref fwd.offsets.(j) in
+    Bitvec.iter_set
+      (fun p ->
+        write_entry fwd ~slot:!slot p;
+        incr slot;
+        write_entry inv ~slot:inv_cursor.(p) j;
+        inv_cursor.(p) <- inv_cursor.(p) + 1)
+      (Bitmatrix.row matrix j)
+  done;
+  { fwd; inv; owners; providers }
+
+let of_index index = of_matrix (Eppi.Index.matrix index)
+let owners t = t.owners
+let providers t = t.providers
+
+let check_range what i bound =
+  if i < 0 || i >= bound then invalid_arg (Printf.sprintf "Postings.%s: id out of range" what)
+
+let side_list side i =
+  let lo = side.offsets.(i) and hi = side.offsets.(i + 1) in
+  let rec go e acc = if e < lo then acc else go (e - 1) (read_entry side e :: acc) in
+  go (hi - 1) []
+
+let query t ~owner =
+  check_range "query" owner t.owners;
+  side_list t.fwd owner
+
+let query_count t ~owner =
+  check_range "query_count" owner t.owners;
+  t.fwd.offsets.(owner + 1) - t.fwd.offsets.(owner)
+
+let iter_query t ~owner f =
+  check_range "iter_query" owner t.owners;
+  for e = t.fwd.offsets.(owner) to t.fwd.offsets.(owner + 1) - 1 do
+    f (read_entry t.fwd e)
+  done
+
+let owners_of t ~provider =
+  check_range "owners_of" provider t.providers;
+  side_list t.inv provider
+
+let audit_count t ~provider =
+  check_range "audit_count" provider t.providers;
+  t.inv.offsets.(provider + 1) - t.inv.offsets.(provider)
+
+let entry_bits t = (t.fwd.width, t.inv.width)
+
+let memory_bytes t =
+  let side s = Bytes.length s.data + (8 * Array.length s.offsets) in
+  side t.fwd + side t.inv

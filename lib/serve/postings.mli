@@ -1,0 +1,48 @@
+(** Read-optimized postings compiled from a published index.
+
+    [Eppi.Index.query] scans a whole Bitmatrix row — O(m) per call no matter
+    how sparse the row is.  The online serving path instead compiles the
+    index once into two bit-packed posting arrays:
+
+    - forward: owner -> the ascending provider ids of her published row
+      (exactly [Eppi.Index.query], the QueryPPI contract);
+    - inverse: provider -> the ascending owner ids published at it, opening
+      the provider-side audit workload ("which identities does my column
+      expose?") that a row-major matrix cannot answer efficiently.
+
+    Each entry is packed at the minimal fixed bit width for its id space, so
+    a query decodes only the entries that exist: O(result) instead of O(m),
+    and the whole store is two flat buffers plus two offset tables — no
+    per-query allocation beyond the result list. *)
+
+type t
+
+val of_index : Eppi.Index.t -> t
+val of_matrix : Eppi_prelude.Bitmatrix.t -> t
+(** Rows are owners, columns providers, as everywhere in the repo. *)
+
+val owners : t -> int
+val providers : t -> int
+
+val query : t -> owner:int -> int list
+(** Ascending provider ids; identical to [Eppi.Index.query] on the source
+    index.  @raise Invalid_argument on an out-of-range owner. *)
+
+val query_count : t -> owner:int -> int
+(** O(1): the length of the owner's posting list. *)
+
+val iter_query : t -> owner:int -> (int -> unit) -> unit
+(** Allocation-free traversal of the owner's posting list, ascending. *)
+
+val owners_of : t -> provider:int -> int list
+(** The inverse postings: ascending owner ids whose published rows list
+    [provider].  @raise Invalid_argument on an out-of-range provider. *)
+
+val audit_count : t -> provider:int -> int
+(** O(1): how many identities the provider's column exposes. *)
+
+val entry_bits : t -> int * int
+(** (forward, inverse) packed bit width per entry. *)
+
+val memory_bytes : t -> int
+(** Total bytes held by the packed buffers and offset tables. *)

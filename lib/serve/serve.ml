@@ -1,0 +1,232 @@
+open Eppi_prelude
+
+type config = {
+  shards : int;
+  cache_capacity : int;
+  negative_capacity : int;
+  admission : Admission.config option;
+  latency_sample_every : int;
+}
+
+let default_config =
+  {
+    shards = 1;
+    cache_capacity = 4096;
+    negative_capacity = 1024;
+    admission = None;
+    latency_sample_every = 16;
+  }
+
+type reply =
+  | Providers of int list
+  | Unknown_owner
+  | Shed_rate_limit
+  | Shed_queue_full
+
+type shard = {
+  cache : int list Lru.t;
+  negative : unit Lru.t;
+  bucket : Admission.t option;
+  metrics : Metrics.t;
+  mutable tick : int;
+}
+
+type t = {
+  postings : Postings.t;
+  shard_states : shard array;
+  sample_every : int;
+  queue_capacity : int;  (* max_int when admission is off *)
+}
+
+let of_postings ?(config = default_config) postings =
+  if config.shards < 1 then invalid_arg "Serve: shards must be >= 1";
+  if config.cache_capacity < 0 || config.negative_capacity < 0 then
+    invalid_arg "Serve: negative cache capacity";
+  if config.latency_sample_every < 1 then
+    invalid_arg "Serve: latency_sample_every must be >= 1";
+  let shard_states =
+    Array.init config.shards (fun _ ->
+        {
+          cache = Lru.create ~capacity:config.cache_capacity;
+          negative = Lru.create ~capacity:config.negative_capacity;
+          bucket = Option.map Admission.create config.admission;
+          metrics = Metrics.create ();
+          tick = 0;
+        })
+  in
+  {
+    postings;
+    shard_states;
+    sample_every = config.latency_sample_every;
+    queue_capacity =
+      (match config.admission with Some a -> a.queue_capacity | None -> max_int);
+  }
+
+let create ?config index = of_postings ?config (Postings.of_index index)
+let postings t = t.postings
+let shards t = Array.length t.shard_states
+
+let shard_of t owner =
+  let n = Array.length t.shard_states in
+  let s = owner mod n in
+  if s < 0 then s + n else s
+
+(* The cache/postings lookup, after admission. *)
+let lookup t sh ~owner =
+  if owner < 0 || owner >= Postings.owners t.postings then begin
+    Metrics.incr_unknown sh.metrics;
+    (match Lru.find sh.negative owner with
+    | Some () -> Metrics.incr_negative_hit sh.metrics
+    | None -> Lru.put sh.negative owner ());
+    Unknown_owner
+  end
+  else
+    match Lru.find sh.cache owner with
+    | Some providers ->
+        Metrics.incr_cache_hit sh.metrics;
+        Metrics.incr_served sh.metrics;
+        Providers providers
+    | None ->
+        let providers = Postings.query t.postings ~owner in
+        Metrics.incr_cache_miss sh.metrics;
+        Metrics.incr_served sh.metrics;
+        Lru.put sh.cache owner providers;
+        Providers providers
+
+let serve_one t sh ~clock ~now ~owner =
+  Metrics.incr_queries sh.metrics;
+  let admitted =
+    match sh.bucket with None -> true | Some b -> Admission.try_admit b ~now
+  in
+  if not admitted then begin
+    Metrics.incr_shed_rate sh.metrics;
+    Shed_rate_limit
+  end
+  else begin
+    sh.tick <- sh.tick + 1;
+    if sh.tick >= t.sample_every then begin
+      sh.tick <- 0;
+      let t0 = clock () in
+      let reply = lookup t sh ~owner in
+      Metrics.record_latency sh.metrics (clock () -. t0);
+      reply
+    end
+    else lookup t sh ~owner
+  end
+
+let query ?now t ~owner =
+  let now = match now with Some n -> n | None -> Clock.seconds () in
+  serve_one t t.shard_states.(shard_of t owner) ~clock:Clock.seconds ~now ~owner
+
+let audit t ~provider =
+  if provider < 0 || provider >= Postings.providers t.postings then None
+  else begin
+    (* Audits are rare administrative reads; account them on shard 0. *)
+    Metrics.incr_audits t.shard_states.(0).metrics;
+    Some (Postings.owners_of t.postings ~provider)
+  end
+
+type report = {
+  replies : reply array;
+  wall_seconds : float;
+}
+
+(* Partition request positions by shard, preserving request order within
+   each shard, then run [work shard positions] for every shard — in
+   parallel when a pool is given.  Each shard's state is touched by exactly
+   one domain, so no locking is needed anywhere. *)
+let dispatch ?pool ~clock t requests work =
+  let nshards = Array.length t.shard_states in
+  let counts = Array.make nshards 0 in
+  Array.iter
+    (fun owner ->
+      let s = shard_of t owner in
+      counts.(s) <- counts.(s) + 1)
+    requests;
+  let buckets = Array.map (fun c -> Array.make c 0) counts in
+  let cursor = Array.make nshards 0 in
+  Array.iteri
+    (fun pos owner ->
+      let s = shard_of t owner in
+      buckets.(s).(cursor.(s)) <- pos;
+      cursor.(s) <- cursor.(s) + 1)
+    requests;
+  let t0 = clock () in
+  (match pool with
+  | Some pool when nshards > 1 ->
+      Pool.parallel_iter pool (fun s -> work s buckets.(s)) (Array.init nshards Fun.id)
+  | _ ->
+      for s = 0 to nshards - 1 do
+        work s buckets.(s)
+      done);
+  clock () -. t0
+
+let run ?pool ?(clock = Clock.seconds) t requests =
+  let replies = Array.make (Array.length requests) Unknown_owner in
+  let work s positions =
+    let sh = t.shard_states.(s) in
+    let len = Array.length positions in
+    (* The batch arrives at once; the shard's queue absorbs at most
+       [queue_capacity] requests — the overflow is shed, explicitly. *)
+    let admitted = min len t.queue_capacity in
+    for k = 0 to admitted - 1 do
+      let pos = positions.(k) in
+      replies.(pos) <- serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos)
+    done;
+    for k = admitted to len - 1 do
+      Metrics.incr_queries sh.metrics;
+      Metrics.incr_shed_queue sh.metrics;
+      replies.(positions.(k)) <- Shed_queue_full
+    done
+  in
+  let wall_seconds = dispatch ?pool ~clock t requests work in
+  { replies; wall_seconds }
+
+type tally = {
+  served : int;
+  unknown : int;
+  shed_rate : int;
+  shed_queue : int;
+  providers_listed : int;
+  tally_wall_seconds : float;
+}
+
+let replay ?pool ?(clock = Clock.seconds) t requests =
+  let nshards = Array.length t.shard_states in
+  (* Per-shard counter blocks: served, unknown, shed_rate, shed_queue,
+     providers_listed.  Single-writer, summed after the barrier. *)
+  let tallies = Array.init nshards (fun _ -> Array.make 5 0) in
+  let work s positions =
+    let sh = t.shard_states.(s) in
+    let tl = tallies.(s) in
+    let len = Array.length positions in
+    let admitted = min len t.queue_capacity in
+    for k = 0 to admitted - 1 do
+      let pos = positions.(k) in
+      match serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos) with
+      | Providers providers ->
+          tl.(0) <- tl.(0) + 1;
+          tl.(4) <- tl.(4) + List.length providers
+      | Unknown_owner -> tl.(1) <- tl.(1) + 1
+      | Shed_rate_limit -> tl.(2) <- tl.(2) + 1
+      | Shed_queue_full -> tl.(3) <- tl.(3) + 1
+    done;
+    for _ = admitted to len - 1 do
+      Metrics.incr_queries sh.metrics;
+      Metrics.incr_shed_queue sh.metrics;
+      tl.(3) <- tl.(3) + 1
+    done
+  in
+  let wall = dispatch ?pool ~clock t requests work in
+  let sum i = Array.fold_left (fun acc tl -> acc + tl.(i)) 0 tallies in
+  {
+    served = sum 0;
+    unknown = sum 1;
+    shed_rate = sum 2;
+    shed_queue = sum 3;
+    providers_listed = sum 4;
+    tally_wall_seconds = wall;
+  }
+
+let metrics t =
+  Metrics.snapshot (Array.to_list (Array.map (fun sh -> sh.metrics) t.shard_states))

@@ -1,0 +1,91 @@
+(** The online locator query engine — QueryPPI as a service.
+
+    Layered on a published {!Eppi.Index}: requests are routed by owner id to
+    one of [shards] independent shard states, each holding its own result
+    cache (LRU of materialized posting lists), negative cache of unknown
+    owner ids, token bucket and metrics.  All shared data (the compiled
+    {!Postings} store) is read-only, and each shard's mutable state has a
+    single writer, so batch replay across an {!Eppi_prelude.Pool} of
+    domains runs without locks or contention.
+
+    Correctness contract: for every in-range owner, the engine's reply
+    (cached or not) is exactly [Eppi.Index.query index ~owner]; every
+    request is answered with an explicit {!reply} — shed requests are
+    reported, never silently dropped. *)
+
+open Eppi_prelude
+
+type config = {
+  shards : int;  (** Independent shard states (>= 1). *)
+  cache_capacity : int;  (** Result-cache entries per shard; 0 disables. *)
+  negative_capacity : int;  (** Negative-cache entries per shard; 0 disables. *)
+  admission : Admission.config option;  (** [None]: admit everything. *)
+  latency_sample_every : int;
+      (** Record the latency of every k-th query per shard (1 = all).
+          Sampling keeps the clock calls off the common path. *)
+}
+
+val default_config : config
+(** 1 shard, 4096-entry cache, 1024-entry negative cache, no admission
+    control, latency sampled every 16th query. *)
+
+type reply =
+  | Providers of int list  (** The QueryPPI answer, ascending provider ids. *)
+  | Unknown_owner  (** The owner id is outside the published index. *)
+  | Shed_rate_limit  (** Rejected by the shard's token bucket. *)
+  | Shed_queue_full  (** Rejected by the bounded per-shard queue (batch). *)
+
+type t
+
+val create : ?config:config -> Eppi.Index.t -> t
+(** Compile the index into the read-optimized store and set up shard
+    state.  @raise Invalid_argument on a non-positive shard count, negative
+    capacities or a non-positive sample interval. *)
+
+val of_postings : ?config:config -> Postings.t -> t
+(** Reuse an already-compiled store (e.g. shared across engines). *)
+
+val postings : t -> Postings.t
+val shards : t -> int
+
+val query : ?now:float -> t -> owner:int -> reply
+(** Serve one request.  [now] (seconds, default {!Clock.seconds}) drives the
+    token bucket and latency measurement.  Concurrent callers must not share
+    a shard; use {!run} for parallel replay. *)
+
+val audit : t -> provider:int -> int list option
+(** Provider-side audit: the owners the published index lists at
+    [provider]; [None] when the provider id is out of range. *)
+
+type report = {
+  replies : reply array;  (** One per request, in request order. *)
+  wall_seconds : float;
+}
+
+val run : ?pool:Pool.t -> ?clock:(unit -> float) -> t -> int array -> report
+(** Replay a workload (owner id per request).  Requests are partitioned by
+    shard, preserving request order within each shard, and shards execute in
+    parallel across the pool's domains; replies land at their request's
+    position.  With admission control configured, each shard queues at most
+    [queue_capacity] requests per batch — the overflow is answered
+    [Shed_queue_full] — and its token bucket is consulted per request. *)
+
+type tally = {
+  served : int;
+  unknown : int;
+  shed_rate : int;
+  shed_queue : int;
+  providers_listed : int;  (** Sum of reply list lengths (response volume). *)
+  tally_wall_seconds : float;
+}
+
+val replay : ?pool:Pool.t -> ?clock:(unit -> float) -> t -> int array -> tally
+(** Like {!run}, but replies are consumed (counted) as they are produced
+    instead of being retained — the streaming-server shape.  Use this for
+    throughput measurement: {!run} keeps every materialized posting list
+    live, which charges the measurement with the caller's retention, not
+    the engine's work. *)
+
+val metrics : t -> Metrics.snapshot
+(** Merged view over all shards.  Reading while {!run} executes on other
+    domains yields a consistent-enough approximation (plain int reads). *)

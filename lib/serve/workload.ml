@@ -1,0 +1,39 @@
+open Eppi_prelude
+
+let check ~n ~count ~unknown_fraction =
+  if n <= 0 then invalid_arg "Workload: n must be positive";
+  if count <= 0 then invalid_arg "Workload: count must be positive";
+  if unknown_fraction < 0.0 || unknown_fraction > 1.0 then
+    invalid_arg "Workload: unknown fraction out of [0, 1]"
+
+let with_unknowns rng ~n ~unknown_fraction draw =
+  if unknown_fraction > 0.0 && Rng.bernoulli rng unknown_fraction then n + Rng.int rng n
+  else draw ()
+
+let zipf ?(exponent = 1.1) ?(unknown_fraction = 0.0) rng ~n ~count =
+  check ~n ~count ~unknown_fraction;
+  if exponent <= 0.0 then invalid_arg "Workload.zipf: exponent must be positive";
+  (* Cumulative weights 1/(k+1)^s; a draw is a binary search for the least
+     rank whose cumulative weight covers the uniform sample. *)
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) exponent);
+    cdf.(k) <- !acc
+  done;
+  let total = !acc in
+  let draw () =
+    let u = Rng.float rng total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.init count (fun _ -> with_unknowns rng ~n ~unknown_fraction draw)
+
+let uniform ?(unknown_fraction = 0.0) rng ~n ~count =
+  check ~n ~count ~unknown_fraction;
+  Array.init count (fun _ ->
+      with_unknowns rng ~n ~unknown_fraction (fun () -> Rng.int rng n))

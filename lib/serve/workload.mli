@@ -1,0 +1,21 @@
+(** Query workload generation for the serving bench and CLI.
+
+    Real locator traffic is heavily skewed — a few identities (celebrities,
+    common surnames) draw most lookups — so the reference workload draws
+    owners from a Zipf distribution over [0, n): owner 0 is the hottest.
+    Deterministic from the {!Eppi_prelude.Rng.t}, like everything else in
+    the repo. *)
+
+open Eppi_prelude
+
+val zipf :
+  ?exponent:float -> ?unknown_fraction:float -> Rng.t -> n:int -> count:int -> int array
+(** [zipf rng ~n ~count] draws [count] owner ids Zipf-distributed over
+    [0, n) with [exponent] (default 1.1).  A fraction [unknown_fraction]
+    (default 0) of requests instead target ids in [n, 2n) — unknown owners,
+    exercising the negative cache.
+    @raise Invalid_argument on non-positive [n] or [count], a non-positive
+    exponent, or an unknown fraction outside [0, 1]. *)
+
+val uniform : ?unknown_fraction:float -> Rng.t -> n:int -> count:int -> int array
+(** The unskewed control workload (worst case for caching). *)

@@ -18,4 +18,25 @@ echo "== scaling smoke =="
 SCALING_N=200 SCALING_M=6 SCALING_DOMAINS=1,2 dune exec bench/main.exe -- scaling
 rm -f BENCH_construct.json
 
+# A ~5 s smoke of the serving bench: tiny index, short replay, 1 and 2
+# domains. Exercises the postings compiler, caches, admission control and
+# the bench's reply-equality + shed-conservation assertions, then checks
+# the emitted JSON is well-formed and carries the headline fields.
+echo "== serve smoke =="
+SERVE_N=120 SERVE_M=64 SERVE_QUERIES=4000 SERVE_DOMAINS=1,2 dune exec bench/main.exe -- serve
+test -s BENCH_serve.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_serve.json") as f:
+    data = json.load(f)
+for key in ("speedup_postings_vs_naive", "cache_hit_rate", "latency_s",
+            "domain_runs", "admission", "metrics"):
+    if key not in data:
+        raise SystemExit(f"BENCH_serve.json missing {key!r}")
+print("BENCH_serve.json well-formed")
+EOF
+fi
+rm -f BENCH_serve.json
+
 echo "== check.sh: all green =="

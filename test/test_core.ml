@@ -334,6 +334,52 @@ let test_index_recall () =
   Bitmatrix.set broken ~row:0 ~col:1 false;
   check_bool "recall broken" false (Index.recall_ok ~membership (Index.of_matrix broken) ~owner:0)
 
+let test_index_csv_round_trip () =
+  let rng = Rng.create 41 in
+  let matrix = Bitmatrix.create ~rows:17 ~cols:29 in
+  for row = 0 to 16 do
+    for col = 0 to 28 do
+      if Rng.float rng 1.0 < 0.2 then Bitmatrix.set matrix ~row ~col true
+    done
+  done;
+  let index = Index.of_matrix matrix in
+  let reloaded = Index.of_csv (Index.to_csv index) in
+  check_int "owners survive" (Index.owners index) (Index.owners reloaded);
+  check_int "providers survive" (Index.providers index) (Index.providers reloaded);
+  for owner = 0 to 16 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "row %d survives" owner)
+      (Index.query index ~owner)
+      (Index.query reloaded ~owner)
+  done;
+  (* The serialization itself is also a fixed point. *)
+  Alcotest.(check string) "csv idempotent" (Index.to_csv index) (Index.to_csv reloaded)
+
+let test_index_csv_malformed () =
+  let reject name text error =
+    Alcotest.check_raises name (Failure error) (fun () -> ignore (Index.of_csv text))
+  in
+  reject "empty input" "" "Index.of_csv: bad header";
+  reject "alien header" "not an index\n0,0\n" "Index.of_csv: bad header";
+  reject "truncated header" "# eppi-index owners=3\n" "Index.of_csv: bad header";
+  reject "trailing junk in header" "# eppi-index owners=3 providers=4 x\n"
+    "Index.of_csv: bad header";
+  reject "zero dimension" "# eppi-index owners=0 providers=4\n" "Index.of_csv: bad dimensions";
+  reject "non-numeric line" "# eppi-index owners=3 providers=4\na,b\n" "Index.of_csv: bad line 2";
+  reject "missing column" "# eppi-index owners=3 providers=4\n1\n" "Index.of_csv: bad line 2";
+  reject "extra column" "# eppi-index owners=3 providers=4\n1,2,3\n" "Index.of_csv: bad line 2";
+  reject "owner out of range" "# eppi-index owners=3 providers=4\n3,0\n"
+    "Index.of_csv: cell out of range at line 2";
+  reject "provider out of range" "# eppi-index owners=3 providers=4\n0,4\n"
+    "Index.of_csv: cell out of range at line 2";
+  reject "negative cell" "# eppi-index owners=3 providers=4\n-1,0\n"
+    "Index.of_csv: cell out of range at line 2";
+  reject "duplicate cell" "# eppi-index owners=3 providers=4\n1,2\n1,2\n"
+    "Index.of_csv: duplicate cell at line 3";
+  (* Blank lines are tolerated (to_csv ends with a newline). *)
+  let index = Index.of_csv "# eppi-index owners=2 providers=3\n\n1,2\n\n" in
+  Alcotest.(check (list int)) "parsed around blanks" [ 2 ] (Index.query index ~owner:1)
+
 let test_metrics_fp_rate () =
   let membership, published = tiny_scenario () in
   check_close "fp = 2/4" 0.5 (Metrics.false_positive_rate ~membership ~published ~owner:0);
@@ -878,6 +924,8 @@ let () =
         [
           Alcotest.test_case "query" `Quick test_index_query;
           Alcotest.test_case "recall" `Quick test_index_recall;
+          Alcotest.test_case "csv round trip" `Quick test_index_csv_round_trip;
+          Alcotest.test_case "csv malformed input" `Quick test_index_csv_malformed;
           Alcotest.test_case "fp rate" `Quick test_metrics_fp_rate;
           Alcotest.test_case "empty row" `Quick test_metrics_empty_row;
           Alcotest.test_case "success ratio" `Quick test_metrics_success_ratio;

@@ -39,6 +39,37 @@ let test_query_requires_index () =
     (fun () -> ignore (Locator.query_ppi t ~owner:0));
   check_bool "index initially absent" true (Locator.index t = None)
 
+let test_query_ppi_result_variants () =
+  let t = small_network () in
+  (* Typed error before construction, where the legacy wrapper raises. *)
+  check_bool "Error No_index before construction" true
+    (Locator.query_ppi_result t ~owner:0 = Error Locator.No_index);
+  Locator.construct_ppi t ~policy:(Eppi.Policy.Chernoff 0.9);
+  (match Locator.query_ppi_result t ~owner:0 with
+  | Ok providers ->
+      Alcotest.(check (list int)) "Ok equals raising wrapper" (Locator.query_ppi t ~owner:0)
+        providers
+  | Error Locator.No_index -> Alcotest.fail "index exists, expected Ok");
+  (* Both surfaces validate the owner id the same way. *)
+  Alcotest.check_raises "result validates owner" (Invalid_argument "Locator: unknown owner")
+    (fun () -> ignore (Locator.query_ppi_result t ~owner:99))
+
+let test_serve_engine_over_locator () =
+  let t = small_network () in
+  check_bool "no engine before construction" true (Locator.serve_engine t = Error Locator.No_index);
+  Locator.construct_ppi t ~policy:(Eppi.Policy.Chernoff 0.9);
+  match Locator.serve_engine t with
+  | Error Locator.No_index -> Alcotest.fail "index exists, expected an engine"
+  | Ok engine ->
+      for owner = 0 to 4 do
+        match Eppi_serve.Serve.query engine ~owner with
+        | Eppi_serve.Serve.Providers providers ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "engine equals query_ppi for owner %d" owner)
+              (Locator.query_ppi t ~owner) providers
+        | _ -> Alcotest.fail "engine failed to serve a delegated owner"
+      done
+
 let test_query_recall () =
   let t = small_network () in
   Locator.construct_ppi t ~policy:(Eppi.Policy.Chernoff 0.9);
@@ -209,6 +240,49 @@ let test_anonymity_no_forwarding_exposes () =
   let conf = Anonymity.predecessor_confidence rng direct ~colluders:2 ~trials:1000 in
   check_bool (Printf.sprintf "exposed (%f)" conf) true (conf > 0.99)
 
+let test_anonymity_expected_path_length_empirical () =
+  (* The closed form 1/(1-pf) + 1 against the simulated mean at several
+     forwarding probabilities; pf = 0 must give exactly 2 hops per query. *)
+  let rng = Rng.create 12 in
+  let direct = { Anonymity.members = 10; forward_probability = 0.0 } in
+  Alcotest.(check (float 1e-9)) "pf 0 closed form" 2.0
+    (Anonymity.expected_path_length ~forward_probability:0.0);
+  for _ = 1 to 50 do
+    let outcome = Anonymity.simulate_query rng direct ~initiator:0 in
+    check_int "pf 0: always exactly 2 hops" 2 outcome.hops
+  done;
+  List.iter
+    (fun pf ->
+      let config = { Anonymity.members = 15; forward_probability = pf } in
+      let trials = 4000 in
+      let total = ref 0 in
+      for _ = 1 to trials do
+        total := !total + (Anonymity.simulate_query rng config ~initiator:1).hops
+      done;
+      let mean = float_of_int !total /. float_of_int trials in
+      let expected = Anonymity.expected_path_length ~forward_probability:pf in
+      check_bool
+        (Printf.sprintf "pf %.2f: mean %f near %f" pf mean expected)
+        true
+        (Float.abs (mean -. expected) < 0.15))
+    [ 0.25; 0.5 ]
+
+let test_anonymity_predecessor_degenerate () =
+  (* No colluders: nobody observes anything, confidence is exactly 0. *)
+  let rng = Rng.create 13 in
+  Alcotest.(check (float 0.0)) "0 colluders" 0.0
+    (Anonymity.predecessor_confidence rng crowd ~colluders:0 ~trials:200);
+  (* The whole crowd colluding leaves no honest initiator to attack. *)
+  Alcotest.check_raises "colluders = members"
+    (Invalid_argument "Anonymity.predecessor_confidence: bad colluder count") (fun () ->
+      ignore (Anonymity.predecessor_confidence rng crowd ~colluders:20 ~trials:10));
+  Alcotest.check_raises "negative colluders"
+    (Invalid_argument "Anonymity.predecessor_confidence: bad colluder count") (fun () ->
+      ignore (Anonymity.predecessor_confidence rng crowd ~colluders:(-1) ~trials:10));
+  Alcotest.check_raises "no trials"
+    (Invalid_argument "Anonymity.predecessor_confidence: trials must be positive") (fun () ->
+      ignore (Anonymity.predecessor_confidence rng crowd ~colluders:2 ~trials:0))
+
 let test_anonymity_validation () =
   let rng = Rng.create 5 in
   Alcotest.check_raises "bad pf"
@@ -232,6 +306,8 @@ let () =
       ( "search",
         [
           Alcotest.test_case "query requires index" `Quick test_query_requires_index;
+          Alcotest.test_case "typed query result" `Quick test_query_ppi_result_variants;
+          Alcotest.test_case "serve engine over locator" `Quick test_serve_engine_over_locator;
           Alcotest.test_case "query recall" `Quick test_query_recall;
           Alcotest.test_case "owner self-search" `Quick test_owner_can_search_own_records;
           Alcotest.test_case "unauthorized denied" `Quick test_unauthorized_searcher_denied;
@@ -252,6 +328,10 @@ let () =
         [
           Alcotest.test_case "path structure" `Quick test_anonymity_path_structure;
           Alcotest.test_case "path length" `Quick test_anonymity_path_length;
+          Alcotest.test_case "expected path length empirical" `Quick
+            test_anonymity_expected_path_length_empirical;
+          Alcotest.test_case "predecessor degenerate cases" `Quick
+            test_anonymity_predecessor_degenerate;
           Alcotest.test_case "probable innocence condition" `Quick
             test_anonymity_probable_innocence_condition;
           Alcotest.test_case "predecessor attack bounded" `Quick
