@@ -3,7 +3,12 @@
    two ablations and a bechamel micro-benchmark suite.
 
    Run everything:       dune exec bench/main.exe
-   Run a single target:  dune exec bench/main.exe -- fig4a fig6c micro *)
+   Run a single target:  dune exec bench/main.exe -- fig4a fig6c micro
+
+   Pass [--trace FILE] anywhere in the argument list to record every
+   instrumented span of the selected targets into a Chrome trace-event
+   file (open in Perfetto or chrome://tracing); a summary table is
+   printed to stderr.  See docs/OBSERVABILITY.md. *)
 
 let targets : (string * (unit -> unit)) list =
   [
@@ -27,8 +32,21 @@ let targets : (string * (unit -> unit)) list =
     ("serve", Serve_bench.run);
   ]
 
+(* Strip [--trace FILE] out of argv; the rest are target names. *)
+let rec split_trace = function
+  | [] -> (None, [])
+  | "--trace" :: file :: rest ->
+      let _, names = split_trace rest in
+      (Some file, names)
+  | [ "--trace" ] ->
+      prerr_endline "--trace needs a file argument";
+      exit 2
+  | name :: rest ->
+      let trace, names = split_trace rest in
+      (trace, name :: names)
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let trace, requested = split_trace (List.tl (Array.to_list Sys.argv)) in
   let to_run =
     match requested with
     | [] -> targets
@@ -45,4 +63,16 @@ let () =
   in
   print_endline "e-PPI experiment harness (ICDCS'14 reproduction)";
   print_endline "see EXPERIMENTS.md for the paper-vs-measured discussion";
-  List.iter (fun (_, f) -> f ()) to_run
+  match trace with
+  | None -> List.iter (fun (_, f) -> f ()) to_run
+  | Some file ->
+      Eppi_obs.Trace.enable ();
+      let finish () =
+        Eppi_obs.Trace.disable ();
+        Eppi_obs.Chrome.write file;
+        Eppi_obs.Summary.print Format.err_formatter
+          (Eppi_obs.Summary.compute (Eppi_obs.Trace.tracks ()));
+        Printf.eprintf "trace written to %s\n" file
+      in
+      Fun.protect ~finally:finish (fun () ->
+          List.iter (fun (_, f) -> f ()) to_run)

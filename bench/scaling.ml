@@ -27,9 +27,9 @@ let domain_counts () =
       |> List.filter (fun d -> d >= 1)
 
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.seconds () in
   let result = f () in
-  (Unix.gettimeofday () -. t0, result)
+  (Clock.seconds () -. t0, result)
 
 let run () =
   let n = getenv_int "SCALING_N" 2000 in

@@ -178,6 +178,50 @@ let run () =
   if shed_snap.shed_queue = 0 then failwith "serve: expected queue shedding";
   Bench_util.note "admission: served %d, shed %d by rate limit, %d by queue bound"
     shed_snap.served shed_snap.shed_rate shed_snap.shed_queue;
+  (* Trace overhead: serving is instrumented (lib/obs spans per shard
+     batch), and the disabled path must stay free — one atomic load per
+     batch, no allocation.  Measure a warm best-of-3 replay twice with
+     tracing off (baseline, then again) and require the re-measurement to
+     stay within 2% plus a 20 ms noise floor; then, unless an outer
+     [--trace] already owns the trace session, measure once with tracing
+     enabled for reference. *)
+  let trace_engine =
+    Serve.create ~config:(engine_config ~shards:1 ~cache:4096 ~admission:None) index
+  in
+  let _warm = Serve.replay trace_engine workload in
+  let best_of_3 label =
+    Gc.compact ();
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let tally = Serve.replay trace_engine workload in
+      check_tally label tally;
+      if tally.tally_wall_seconds < !best then best := tally.tally_wall_seconds
+    done;
+    !best
+  in
+  let no_trace_baseline = best_of_3 "trace-baseline" in
+  let disabled_seconds = best_of_3 "trace-disabled" in
+  if disabled_seconds > (1.02 *. no_trace_baseline) +. 0.02 then
+    failwith
+      (Printf.sprintf
+         "serve: disabled tracing costs too much: %.6f s vs %.6f s baseline (limit 2%% + 20 ms)"
+         disabled_seconds no_trace_baseline);
+  let enabled_seconds =
+    if Eppi_obs.Trace.enabled () then None
+    else begin
+      Eppi_obs.Trace.enable ();
+      let s = best_of_3 "trace-enabled" in
+      Eppi_obs.Trace.disable ();
+      Eppi_obs.Trace.reset ();
+      Some s
+    end
+  in
+  Bench_util.note "trace overhead: baseline %.3f s, disabled %.3f s (+%.2f%%), enabled %s"
+    no_trace_baseline disabled_seconds
+    (100.0 *. ((disabled_seconds /. no_trace_baseline) -. 1.0))
+    (match enabled_seconds with
+    | Some s -> Printf.sprintf "%.3f s" s
+    | None -> "outer --trace active, skipped");
   (* JSON out. *)
   let seconds_at d =
     List.find_map (fun (d', s, _) -> if d' = d then Some s else None) domain_runs
@@ -219,6 +263,12 @@ let run () =
     (Printf.sprintf
        "  \"admission\": { \"queries\": %d, \"served\": %d, \"shed_rate\": %d, \"shed_queue\": %d },\n"
        shed_snap.queries shed_snap.served shed_snap.shed_rate shed_snap.shed_queue);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"trace\": { \"no_trace_baseline_seconds\": %.6f, \"disabled_seconds\": %.6f, \
+        \"enabled_seconds\": %s, \"disabled_overhead_ok\": true },\n"
+       no_trace_baseline disabled_seconds
+       (match enabled_seconds with Some s -> Printf.sprintf "%.6f" s | None -> "null"));
   Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (Metrics.to_json snap));
   Buffer.add_string b "}\n";
   let out = open_out "BENCH_serve.json" in

@@ -47,6 +47,32 @@ let output_arg =
   let doc = "Write to $(docv) instead of standard output." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a trace of the run and write it to $(docv) as Chrome trace-event JSON \
+     (loadable in Perfetto or chrome://tracing: one track per domain, spans with GC \
+     deltas, counter tracks for the pool workers).  A per-phase summary table is \
+     printed to standard error.  See docs/OBSERVABILITY.md."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] under a tracing session when [--trace FILE] was given: the
+   Chrome export and the summary table are emitted even if [f] raises, so
+   a crashed run still leaves its trace behind. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+      Eppi_obs.Trace.enable ();
+      let finish () =
+        Eppi_obs.Trace.disable ();
+        Eppi_obs.Chrome.write file;
+        Eppi_obs.Summary.print Format.err_formatter
+          (Eppi_obs.Summary.compute (Eppi_obs.Trace.tracks ()));
+        Printf.eprintf "trace written to %s\n" file
+      in
+      Fun.protect ~finally:finish f
+
 let policy_term =
   let policy_name =
     let doc = "Beta policy: $(b,basic), $(b,inc-exp) or $(b,chernoff)." in
@@ -133,10 +159,11 @@ let construct_cmd =
              sequential fallback, 0 (default) uses the runtime's recommended domain count.  \
              The constructed index is identical at every setting (see docs/PERF.md).")
   in
-  let run seed dataset_path policy secure c domains output =
+  let run seed dataset_path policy secure c domains trace output =
     let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
     let rng = Rng.create seed in
     let index =
+      with_trace trace @@ fun () ->
       if secure then begin
         let size = if domains <= 0 then None else Some domains in
         let r =
@@ -169,7 +196,7 @@ let construct_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ policy_term $ secure $ c_arg $ domains_arg
-      $ output_arg)
+      $ trace_arg $ output_arg)
   in
   Cmd.v (Cmd.info "construct" ~doc:"Build an e-PPI over a dataset") term
 
@@ -388,7 +415,7 @@ let serve_cmd =
       & info [ "queue" ] ~docv:"INT" ~doc:"Bounded per-shard queue (with $(b,--rate)).")
   in
   let run seed index_path queries shards domains cache zipf_exponent unknown_fraction rate burst
-      queue =
+      queue trace =
     let index = Eppi.Index.of_csv (read_file index_path) in
     let n = Eppi.Index.owners index in
     let admission =
@@ -407,6 +434,7 @@ let serve_cmd =
         ~count:queries
     in
     let tally =
+      with_trace trace @@ fun () ->
       if domains > 1 then
         Eppi_prelude.Pool.with_pool ~size:domains (fun pool ->
             Eppi_serve.Serve.replay ~pool engine workload)
@@ -423,7 +451,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ seed_arg $ index_arg $ queries $ shards $ domains $ cache $ zipf_exponent
-      $ unknown_fraction $ rate $ burst $ queue)
+      $ unknown_fraction $ rate $ burst $ queue $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1,4 +1,5 @@
 open Eppi_prelude
+module Trace = Eppi_obs.Trace
 
 type result = {
   index : Index.t;
@@ -28,10 +29,12 @@ let plan_betas ?(mixing = Mixing.Bernoulli) ~policy ~epsilons ~frequencies ~m rn
     (fun e -> if e < 0.0 || e > 1.0 then invalid_arg "Construct.plan_betas: epsilon out of [0, 1]")
     epsilons;
   let raw =
-    Array.init n (fun j ->
-        let sigma = float_of_int frequencies.(j) /. float_of_int m in
-        Policy.beta policy ~sigma ~epsilon:epsilons.(j) ~m)
+    Trace.span "phase.beta" ~args:[ ("owners", n) ] (fun () ->
+        Array.init n (fun j ->
+            let sigma = float_of_int frequencies.(j) /. float_of_int m in
+            Policy.beta policy ~sigma ~epsilon:epsilons.(j) ~m))
   in
+  Trace.begin_span "phase.mixing";
   let is_common = Array.map (fun b -> b >= 1.0) raw in
   let n_common = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 is_common in
   (* ξ: the strongest requirement among the identities that need mixing. *)
@@ -53,6 +56,7 @@ let plan_betas ?(mixing = Mixing.Bernoulli) ~policy ~epsilons ~frequencies ~m rn
   let final =
     Array.init n (fun j -> if is_common.(j) || is_mixed.(j) then 1.0 else raw.(j))
   in
+  Trace.end_span "phase.mixing" ~args:[ ("n_common", n_common) ];
   { final; raw; is_common; is_mixed; lam; xi_value }
 
 let run ?(mixing = Mixing.Bernoulli) ?provider_floors rng ~membership ~epsilons ~policy =
@@ -61,13 +65,18 @@ let run ?(mixing = Mixing.Bernoulli) ?provider_floors rng ~membership ~epsilons 
   if Array.length epsilons <> n then invalid_arg "Construct.run: epsilons length mismatch";
   let frequencies = Array.init n (fun j -> Bitmatrix.row_count membership j) in
   let plan = plan_betas ~mixing ~policy ~epsilons ~frequencies ~m rng in
-  let published =
-    match provider_floors with
-    | None -> Publish.publish_matrix rng ~betas:plan.final membership
-    | Some floors -> Publish.publish_matrix_with_floors rng ~betas:plan.final ~floors membership
+  let index =
+    Trace.span "phase.publish" ~args:[ ("owners", n); ("providers", m) ] (fun () ->
+        let published =
+          match provider_floors with
+          | None -> Publish.publish_matrix rng ~betas:plan.final membership
+          | Some floors ->
+              Publish.publish_matrix_with_floors rng ~betas:plan.final ~floors membership
+        in
+        Index.of_matrix published)
   in
   {
-    index = Index.of_matrix published;
+    index;
     betas = plan.final;
     raw_betas = plan.raw;
     common = plan.is_common;

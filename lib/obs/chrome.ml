@@ -1,0 +1,84 @@
+(* Chrome trace-event JSON export (the "JSON Array Format" with a
+   traceEvents envelope), loadable in Perfetto and chrome://tracing.
+
+   Mapping: one process (pid 1), one thread track per recording domain
+   (tid = domain id, named via a thread_name metadata event).  Spans
+   become B/E pairs, instants "i" events, counters "C" events whose args
+   render as stacked series.  Timestamps are microseconds relative to the
+   earliest event in the session, so traces start at t=0 regardless of
+   machine uptime. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" (escape k) v))
+    args;
+  Buffer.add_string b "}"
+
+let origin_of tracks =
+  List.fold_left
+    (fun acc (t : Trace.track) ->
+      List.fold_left (fun acc (e : Trace.event) -> min acc e.ts) acc t.track_events)
+    max_int tracks
+
+let to_json tracks =
+  let origin = origin_of tracks in
+  let us ts = float_of_int (ts - origin) /. 1e3 in
+  let b = Buffer.create 65_536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit item =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b item
+  in
+  List.iter
+    (fun (t : Trace.track) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           t.track_domain (escape t.track_label));
+      List.iter
+        (fun (e : Trace.event) ->
+          let common =
+            Printf.sprintf "\"name\":\"%s\",\"cat\":\"eppi\",\"pid\":1,\"tid\":%d,\"ts\":%.3f"
+              (escape e.name) t.track_domain (us e.ts)
+          in
+          let eb = Buffer.create 128 in
+          Buffer.add_string eb "{";
+          Buffer.add_string eb common;
+          (match e.kind with
+          | Trace.Span_begin -> Buffer.add_string eb ",\"ph\":\"B\""
+          | Trace.Span_end -> Buffer.add_string eb ",\"ph\":\"E\""
+          | Trace.Instant -> Buffer.add_string eb ",\"ph\":\"i\",\"s\":\"t\""
+          | Trace.Counter -> Buffer.add_string eb ",\"ph\":\"C\"");
+          if e.args <> [] then begin
+            Buffer.add_string eb ",\"args\":";
+            add_args eb e.args
+          end;
+          Buffer.add_string eb "}";
+          emit (Buffer.contents eb))
+        t.track_events)
+    tracks;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write path =
+  let json = to_json (Trace.tracks ()) in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc json)

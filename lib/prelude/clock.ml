@@ -1,0 +1,3 @@
+external monotonic_ns : unit -> int = "eppi_prelude_monotonic_ns" [@@noalloc]
+
+let seconds () = float_of_int (monotonic_ns ()) *. 1e-9

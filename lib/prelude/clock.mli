@@ -1,0 +1,12 @@
+(** Monotonic wall clock, nanosecond resolution.
+
+    Latency histograms need to resolve cache hits (tens of nanoseconds),
+    span timestamps must never go backwards, and benchmark walls must not
+    jump under NTP; [Unix.gettimeofday] fails all three, so this wraps
+    [clock_gettime(CLOCK_MONOTONIC)] directly.  Allocation-free. *)
+
+val monotonic_ns : unit -> int
+(** Nanoseconds from an arbitrary fixed origin; never goes backwards. *)
+
+val seconds : unit -> float
+(** {!monotonic_ns} scaled to seconds — the default coarse clock. *)

@@ -1,0 +1,17 @@
+/* Monotonic nanosecond clock shared by the whole tree: latency histograms,
+   the domain pool's busy accounting, and the tracing layer's span stamps.
+   OCaml 5.1's Unix library exposes only gettimeofday (microsecond
+   resolution, not monotonic), which cannot resolve a cache hit and can go
+   backwards under NTP; CLOCK_MONOTONIC can and cannot.  Returned as a
+   tagged immediate (62 bits of nanoseconds covers ~146 years of uptime),
+   so the hot path never allocates. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value eppi_prelude_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

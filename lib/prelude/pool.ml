@@ -1,3 +1,5 @@
+type worker_stat = { busy_ns : int; jobs : int }
+
 type t = {
   size : int;
   mutable workers : unit Domain.t array;
@@ -10,6 +12,12 @@ type t = {
   mutable epoch : int;
   mutable pending : int;
   mutable stopped : bool;
+  (* Per-domain accounting, slot 0 = the calling domain, slot i = worker
+     i.  Each slot has exactly one writer (the domain it describes), so
+     the hot path is two clock reads and two plain-int adds; readers see
+     exact values whenever the pool is quiescent. *)
+  busy_ns : int array;
+  jobs : int array;
 }
 
 let make_record size =
@@ -23,11 +31,17 @@ let make_record size =
     epoch = 0;
     pending = 0;
     stopped = false;
+    busy_ns = Array.make size 0;
+    jobs = Array.make size 0;
   }
 
 let sequential = make_record 1
 
-let rec worker_loop t seen =
+let charge t slot t0 =
+  t.busy_ns.(slot) <- t.busy_ns.(slot) + (Clock.monotonic_ns () - t0);
+  t.jobs.(slot) <- t.jobs.(slot) + 1
+
+let rec worker_loop t slot seen =
   Mutex.lock t.lock;
   while (not t.stopped) && t.epoch = seen do
     Condition.wait t.work_ready t.lock
@@ -37,12 +51,14 @@ let rec worker_loop t seen =
     let epoch = t.epoch in
     let job = match t.job with Some j -> j | None -> fun () -> () in
     Mutex.unlock t.lock;
+    let t0 = Clock.monotonic_ns () in
     job ();
+    charge t slot t0;
     Mutex.lock t.lock;
     t.pending <- t.pending - 1;
     if t.pending = 0 then Condition.broadcast t.work_done;
     Mutex.unlock t.lock;
-    worker_loop t epoch
+    worker_loop t slot epoch
   end
 
 let create ?size () =
@@ -55,10 +71,14 @@ let create ?size () =
   in
   let t = make_record size in
   if size > 1 then
-    t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+    t.workers <-
+      Array.init (size - 1) (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1) 0));
   t
 
 let size t = t.size
+
+let stats t =
+  Array.init t.size (fun i : worker_stat -> { busy_ns = t.busy_ns.(i); jobs = t.jobs.(i) })
 
 let shutdown t =
   if Array.length t.workers > 0 then begin
@@ -76,7 +96,11 @@ let with_pool ?size f =
 
 (* Run [body] on every worker and on the caller; [body] must not raise. *)
 let run_everywhere t body =
-  if Array.length t.workers = 0 then body ()
+  if Array.length t.workers = 0 then begin
+    let t0 = Clock.monotonic_ns () in
+    body ();
+    charge t 0 t0
+  end
   else begin
     Mutex.lock t.lock;
     t.job <- Some body;
@@ -84,7 +108,9 @@ let run_everywhere t body =
     t.pending <- Array.length t.workers;
     Condition.broadcast t.work_ready;
     Mutex.unlock t.lock;
+    let t0 = Clock.monotonic_ns () in
     body ();
+    charge t 0 t0;
     Mutex.lock t.lock;
     while t.pending > 0 do
       Condition.wait t.work_done t.lock
@@ -117,10 +143,17 @@ let chunked_run t ~start ~stop work =
   run_everywhere t body;
   match Atomic.get err with Some e -> raise e | None -> ()
 
+let sequential_run t f arr =
+  let t0 = Clock.monotonic_ns () in
+  let result = f arr in
+  charge t 0 t0;
+  result
+
 let parallel_map t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then Array.map f arr
+  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then
+    sequential_run t (Array.map f) arr
   else begin
     (* Seed the result array with the first element (computed inline) so no
        dummy value is ever observable. *)
@@ -133,5 +166,6 @@ let parallel_map t f arr =
 let parallel_iter t f arr =
   let n = Array.length arr in
   if n = 0 then ()
-  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then Array.iter f arr
+  else if n = 1 || t.size = 1 || Array.length t.workers = 0 then
+    sequential_run t (Array.iter f) arr
   else chunked_run t ~start:0 ~stop:n (fun i -> f arr.(i))

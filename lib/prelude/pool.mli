@@ -32,6 +32,19 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
+type worker_stat = {
+  busy_ns : int;  (** Cumulative nanoseconds spent inside pool jobs. *)
+  jobs : int;  (** Pool jobs (epochs) this domain participated in. *)
+}
+
+val stats : t -> worker_stat array
+(** Cumulative per-domain busy/job accounting: slot 0 is the calling
+    domain, slot [i] is worker [i].  Each slot is written only by the
+    domain it describes, so reads taken while the pool is quiescent (no
+    [parallel_map]/[parallel_iter] in flight) are exact; utilization over a
+    window is the delta of two snapshots divided by the window's wall
+    time. *)
+
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map t f arr] is [Array.map f arr], evaluated cooperatively by
     the pool in deterministic index-addressed chunks.  The first exception

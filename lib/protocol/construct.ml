@@ -3,6 +3,7 @@ module Simnet = Eppi_simnet.Simnet
 module Circuit = Eppi_circuit.Circuit
 module Cost = Eppi_mpc.Cost
 module Gmw = Eppi_mpc.Gmw
+module Trace = Eppi_obs.Trace
 
 type metrics = {
   secsumshare_time : float;
@@ -44,6 +45,22 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
   let rng_mpc = Rng.split rng in
   let rng_release = Rng.split rng in
   let rng_publish = Rng.split rng in
+  let the_pool = match pool with Some p -> p | None -> Pool.sequential in
+  (* Per-domain pool accounting across the MPC stage: a zero sample opens
+     each worker's counter track, the closing sample carries the busy
+     delta — one counter track per pool domain in the exported trace. *)
+  let pool_before =
+    if Trace.enabled () then begin
+      let b = Pool.stats the_pool in
+      Array.iteri
+        (fun i _ ->
+          Trace.counter (Printf.sprintf "pool/worker-%d" i) [ ("busy_us", 0); ("jobs", 0) ])
+        b;
+      Some b
+    end
+    else None
+  in
+  Trace.begin_span "phase.beta";
   (* Providers' private inputs: their own membership column, one bit per
      identity. *)
   let inputs =
@@ -55,11 +72,29 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
     Array.map (fun epsilon -> Countbelow.integer_threshold ~policy ~epsilon ~m) epsilons
   in
   let cb =
-    Countbelow.run ?network ?transport ?pool ?strategy rng_mpc
+    Countbelow.run ?network ?transport ~pool:the_pool ?strategy rng_mpc
       ~shares:sss.coordinator_shares ~q ~thresholds
   in
+  Trace.end_span "phase.beta"
+    ~args:
+      [
+        ("messages", sss.net.messages_sent + cb.comm.messages);
+        ("bytes", sss.net.bytes_sent + cb.comm.bytes);
+        ("sim_us", int_of_float ((sss.net.completion_time +. cb.time) *. 1e6));
+      ];
+  (match pool_before with
+  | None -> ()
+  | Some before ->
+      let after = Pool.stats the_pool in
+      Array.iteri
+        (fun i (b : Pool.worker_stat) ->
+          let a = after.(i) in
+          Trace.counter (Printf.sprintf "pool/worker-%d" i)
+            [ ("busy_us", (a.busy_ns - b.busy_ns) / 1000); ("jobs", a.jobs - b.jobs) ])
+        before);
   (* Release phase (public computation at a designated coordinator):
      xi, lambda, mixing draws, final betas. *)
+  Trace.begin_span "phase.mixing";
   let xi =
     let acc = ref 0.0 in
     Array.iteri (fun j is_common -> if is_common then acc := Float.max !acc epsilons.(j)) cb.common;
@@ -84,8 +119,13 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
                 ~epsilon:epsilons.(j) ~m
         end)
   in
+  let n_mixed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mixed in
+  Trace.end_span "phase.mixing" ~args:[ ("n_common", cb.n_common); ("decoys", n_mixed) ];
   (* Phase 2: local randomized publication at every provider. *)
+  Trace.begin_span "phase.publish";
   let published = Eppi.Publish.publish_matrix rng_publish ~betas membership in
+  let index = Eppi.Index.of_matrix published in
+  Trace.end_span "phase.publish" ~args:[ ("owners", n); ("providers", m) ];
   let publication_time = publication_cost ~n in
   let sss_messages_bytes = (sss.net.messages_sent, sss.net.bytes_sent) in
   let metrics =
@@ -100,15 +140,7 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
       mpc_comm = cb.comm;
     }
   in
-  {
-    index = Eppi.Index.of_matrix published;
-    betas;
-    common = cb.common;
-    mixed;
-    lambda;
-    xi;
-    metrics;
-  }
+  { index; betas; common = cb.common; mixed; lambda; xi; metrics }
 
 let beta_phase_time_estimate ?(network = Cost.lan) ~m ~identities ~c () =
   if m < c || c < 2 then invalid_arg "beta_phase_time_estimate: need m >= c >= 2";

@@ -4,6 +4,7 @@ module Compile = Eppi_sfdl.Compile
 module Programs = Eppi_sfdl.Programs
 module Gmw = Eppi_mpc.Gmw
 module Cost = Eppi_mpc.Cost
+module Trace = Eppi_obs.Trace
 
 type result = {
   common : bool array;
@@ -53,6 +54,7 @@ let validate ~shares ~thresholds =
    is the paper-literal formulation and the reference the sharded pipeline
    is tested against. *)
 let run_monolithic ~network ~transport rng ~shares ~q ~c ~clamped =
+  Trace.begin_span "countbelow.monolithic";
   let source = Programs.count_below ~c ~q:(Modarith.to_int q) ~thresholds:clamped in
   let compiled = Compile.compile_source source in
   let inputs =
@@ -96,6 +98,15 @@ let run_monolithic ~network ~transport rng ~shares ~q ~c ~clamped =
     | Some t -> t
     | None -> Cost.estimate ~network ~parties:c ~outputs:outputs_bits stats
   in
+  Trace.end_span "countbelow.monolithic"
+    ~args:
+      [
+        ("identities", Array.length clamped);
+        ("gates", stats.size);
+        ("and_depth", stats.and_depth);
+        ("messages", comm.messages);
+        ("bytes", comm.bytes);
+      ];
   {
     common;
     frequencies = Array.mapi (fun j f -> if common.(j) then None else Some f) freqs;
@@ -128,40 +139,47 @@ let run_sharded ~network ~pool rng ~shares ~q ~c ~n ~clamped =
   (* Compile (or fetch) the comparator for each distinct threshold up front,
      sequentially: the parallel phase then only reads. *)
   let by_threshold = Hashtbl.create 8 in
-  Array.iter
-    (fun t ->
-      if not (Hashtbl.mem by_threshold t) then begin
-        let compiled =
-          Compile.compile_source_cached circuit_cache
-            (Programs.count_below ~c ~q:qi ~thresholds:[| t |])
-        in
-        let stats = Circuit.stats compiled.circuit in
-        let out_bits = Array.length (Circuit.outputs compiled.circuit) in
-        Hashtbl.replace by_threshold t { compiled; stats; out_bits }
-      end)
-    clamped;
+  Trace.span "countbelow.compile" (fun () ->
+      Array.iter
+        (fun t ->
+          if not (Hashtbl.mem by_threshold t) then begin
+            let compiled =
+              Compile.compile_source_cached circuit_cache
+                (Programs.count_below ~c ~q:qi ~thresholds:[| t |])
+            in
+            let stats = Circuit.stats compiled.circuit in
+            let out_bits = Array.length (Circuit.outputs compiled.circuit) in
+            Hashtbl.replace by_threshold t { compiled; stats; out_bits }
+          end)
+        clamped);
   (* One child rng per shard, split in shard order before entering the pool:
      the streams do not depend on the execution schedule. *)
   let shard_rngs = Array.init n (fun _ -> Rng.split rng) in
   let eval j =
     let sc = Hashtbl.find by_threshold clamped.(j) in
-    let inputs =
-      Compile.encode_inputs sc.compiled
-        (List.init c (fun i -> (Printf.sprintf "s%d" i, Compile.Dints [| shares.(i).(j) |])))
-    in
-    let mpc = Gmw.execute shard_rngs.(j) sc.compiled.circuit ~inputs in
-    let outputs = Compile.decode_outputs sc.compiled mpc.outputs in
-    let is_common =
-      match Compile.lookup_output outputs "common" with
-      | Dbools [| b |] -> b
-      | _ -> failwith "Countbelow.run: bad shard common output shape"
-    in
-    let freq =
-      match Compile.lookup_output outputs "freq" with
-      | Dints [| f |] -> f
-      | _ -> failwith "Countbelow.run: bad shard freq output shape"
-    in
-    (is_common, freq)
+    (* One span per identity shard, on whichever domain evaluates it; the
+       nested gmw.execute span carries the traffic accounting. *)
+    Trace.span "countbelow.shard"
+      ~args:
+        [ ("identity", j); ("gates", sc.stats.size); ("and_depth", sc.stats.and_depth) ]
+      (fun () ->
+        let inputs =
+          Compile.encode_inputs sc.compiled
+            (List.init c (fun i -> (Printf.sprintf "s%d" i, Compile.Dints [| shares.(i).(j) |])))
+        in
+        let mpc = Gmw.execute shard_rngs.(j) sc.compiled.circuit ~inputs in
+        let outputs = Compile.decode_outputs sc.compiled mpc.outputs in
+        let is_common =
+          match Compile.lookup_output outputs "common" with
+          | Dbools [| b |] -> b
+          | _ -> failwith "Countbelow.run: bad shard common output shape"
+        in
+        let freq =
+          match Compile.lookup_output outputs "freq" with
+          | Dints [| f |] -> f
+          | _ -> failwith "Countbelow.run: bad shard freq output shape"
+        in
+        (is_common, freq))
   in
   let shard_results = Pool.parallel_map pool eval (Array.init n Fun.id) in
   let common = Array.map fst shard_results in

@@ -1,3 +1,4 @@
-external monotonic_ns : unit -> int = "eppi_serve_monotonic_ns" [@@noalloc]
-
-let seconds () = float_of_int (monotonic_ns ()) *. 1e-9
+(* The monotonic clock moved to Eppi_prelude.Clock so the pool and the
+   tracing layer can share it; this alias keeps Eppi_serve.Clock callers
+   working unchanged. *)
+include Eppi_prelude.Clock

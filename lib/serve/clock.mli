@@ -1,8 +1,11 @@
-(** Monotonic wall clock, nanosecond resolution.
+(** Re-export of {!Eppi_prelude.Clock}.
 
     The engine's latency histograms need to resolve cache hits (tens of
-    nanoseconds); [Unix.gettimeofday] bottoms out at a microsecond, so this
-    wraps [clock_gettime(CLOCK_MONOTONIC)] directly.  Allocation-free. *)
+    nanoseconds); [Unix.gettimeofday] bottoms out at a microsecond, so the
+    engine times itself with [clock_gettime(CLOCK_MONOTONIC)].  The
+    implementation lives in the prelude (the pool and the tracing layer
+    share it); this alias keeps existing [Eppi_serve.Clock] callers
+    working. *)
 
 val monotonic_ns : unit -> int
 (** Nanoseconds from an arbitrary fixed origin; never goes backwards. *)

@@ -82,6 +82,28 @@ let snapshot shards =
     p99 = Stats.Log2_histogram.quantile latency 0.99;
   }
 
+(* Interval view: counters subtract (a long-running engine reports
+   per-window rates from two snapshots); the latency distribution fields
+   are not subtractable — a histogram difference has no defined
+   percentiles — so they come from the newer snapshot. *)
+let diff (newer : snapshot) (older : snapshot) =
+  {
+    queries = newer.queries - older.queries;
+    served = newer.served - older.served;
+    cache_hits = newer.cache_hits - older.cache_hits;
+    cache_misses = newer.cache_misses - older.cache_misses;
+    negative_hits = newer.negative_hits - older.negative_hits;
+    unknown = newer.unknown - older.unknown;
+    shed_rate = newer.shed_rate - older.shed_rate;
+    shed_queue = newer.shed_queue - older.shed_queue;
+    audits = newer.audits - older.audits;
+    latency_count = newer.latency_count - older.latency_count;
+    latency_mean = newer.latency_mean;
+    p50 = newer.p50;
+    p95 = newer.p95;
+    p99 = newer.p99;
+  }
+
 let hit_rate s =
   let lookups = s.cache_hits + s.cache_misses in
   if lookups = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int lookups

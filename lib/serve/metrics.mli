@@ -43,6 +43,14 @@ type snapshot = {
 val snapshot : t list -> snapshot
 (** Merge per-shard metrics into one view. *)
 
+val diff : snapshot -> snapshot -> snapshot
+(** [diff newer older] is the interval view between two snapshots of the
+    same engine: every counter (including [latency_count]) subtracts, so a
+    long-running engine can report per-window rates; the latency
+    distribution fields ([latency_mean], [p50], [p95], [p99]) are taken
+    from [newer] — histograms are cumulative and their difference has no
+    defined percentiles. *)
+
 val hit_rate : snapshot -> float
 (** cache_hits / (cache_hits + cache_misses); 0 when no lookups ran. *)
 

@@ -1,4 +1,5 @@
 open Eppi_prelude
+module Trace = Eppi_obs.Trace
 
 type config = {
   shards : int;
@@ -161,23 +162,46 @@ let dispatch ?pool ~clock t requests work =
       done);
   clock () -. t0
 
+(* Wrap one shard's batch in a span carrying the shard's metric deltas
+   (via {!Metrics.diff}).  One tracing branch per shard batch — never per
+   query — so the disabled path costs a single atomic load per batch. *)
+let traced_shard sh ~shard ~requests body =
+  if not (Trace.enabled ()) then body ()
+  else begin
+    let before = Metrics.snapshot [ sh.metrics ] in
+    Trace.begin_span "serve.shard";
+    body ();
+    let d = Metrics.diff (Metrics.snapshot [ sh.metrics ]) before in
+    Trace.end_span "serve.shard"
+      ~args:
+        [
+          ("shard", shard);
+          ("requests", requests);
+          ("served", d.served);
+          ("cache_hits", d.cache_hits);
+          ("unknown", d.unknown);
+          ("shed", d.shed_rate + d.shed_queue);
+        ]
+  end
+
 let run ?pool ?(clock = Clock.seconds) t requests =
   let replies = Array.make (Array.length requests) Unknown_owner in
   let work s positions =
     let sh = t.shard_states.(s) in
     let len = Array.length positions in
-    (* The batch arrives at once; the shard's queue absorbs at most
-       [queue_capacity] requests — the overflow is shed, explicitly. *)
-    let admitted = min len t.queue_capacity in
-    for k = 0 to admitted - 1 do
-      let pos = positions.(k) in
-      replies.(pos) <- serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos)
-    done;
-    for k = admitted to len - 1 do
-      Metrics.incr_queries sh.metrics;
-      Metrics.incr_shed_queue sh.metrics;
-      replies.(positions.(k)) <- Shed_queue_full
-    done
+    traced_shard sh ~shard:s ~requests:len (fun () ->
+        (* The batch arrives at once; the shard's queue absorbs at most
+           [queue_capacity] requests — the overflow is shed, explicitly. *)
+        let admitted = min len t.queue_capacity in
+        for k = 0 to admitted - 1 do
+          let pos = positions.(k) in
+          replies.(pos) <- serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos)
+        done;
+        for k = admitted to len - 1 do
+          Metrics.incr_queries sh.metrics;
+          Metrics.incr_shed_queue sh.metrics;
+          replies.(positions.(k)) <- Shed_queue_full
+        done)
   in
   let wall_seconds = dispatch ?pool ~clock t requests work in
   { replies; wall_seconds }
@@ -200,22 +224,23 @@ let replay ?pool ?(clock = Clock.seconds) t requests =
     let sh = t.shard_states.(s) in
     let tl = tallies.(s) in
     let len = Array.length positions in
-    let admitted = min len t.queue_capacity in
-    for k = 0 to admitted - 1 do
-      let pos = positions.(k) in
-      match serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos) with
-      | Providers providers ->
-          tl.(0) <- tl.(0) + 1;
-          tl.(4) <- tl.(4) + List.length providers
-      | Unknown_owner -> tl.(1) <- tl.(1) + 1
-      | Shed_rate_limit -> tl.(2) <- tl.(2) + 1
-      | Shed_queue_full -> tl.(3) <- tl.(3) + 1
-    done;
-    for _ = admitted to len - 1 do
-      Metrics.incr_queries sh.metrics;
-      Metrics.incr_shed_queue sh.metrics;
-      tl.(3) <- tl.(3) + 1
-    done
+    traced_shard sh ~shard:s ~requests:len (fun () ->
+        let admitted = min len t.queue_capacity in
+        for k = 0 to admitted - 1 do
+          let pos = positions.(k) in
+          match serve_one t sh ~clock ~now:(clock ()) ~owner:requests.(pos) with
+          | Providers providers ->
+              tl.(0) <- tl.(0) + 1;
+              tl.(4) <- tl.(4) + List.length providers
+          | Unknown_owner -> tl.(1) <- tl.(1) + 1
+          | Shed_rate_limit -> tl.(2) <- tl.(2) + 1
+          | Shed_queue_full -> tl.(3) <- tl.(3) + 1
+        done;
+        for _ = admitted to len - 1 do
+          Metrics.incr_queries sh.metrics;
+          Metrics.incr_shed_queue sh.metrics;
+          tl.(3) <- tl.(3) + 1
+        done)
   in
   let wall = dispatch ?pool ~clock t requests work in
   let sum i = Array.fold_left (fun acc tl -> acc + tl.(i)) 0 tallies in

@@ -121,24 +121,45 @@ let dispatch t node fire =
 
 let run t =
   let count = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Heap.pop t.queue with
-    | None -> continue := false
-    | Some (time, event) ->
-        incr count;
-        if !count > max_events then failwith "Simnet.run: event budget exceeded (runaway protocol?)";
-        t.clock <- max t.clock time;
-        (match event with
-        | Deliver { src; dst; msg } ->
-            dispatch t dst (fun () ->
-                match t.handlers.(dst) with
-                | Some handler ->
-                    t.messages_delivered <- t.messages_delivered + 1;
-                    handler t ~src msg
-                | None -> ())
-        | Timer { node; callback } -> dispatch t node (fun () -> callback t))
-  done
+  let loop () =
+    let continue = ref true in
+    while !continue do
+      match Heap.pop t.queue with
+      | None -> continue := false
+      | Some (time, event) ->
+          incr count;
+          if !count > max_events then
+            failwith "Simnet.run: event budget exceeded (runaway protocol?)";
+          t.clock <- max t.clock time;
+          (match event with
+          | Deliver { src; dst; msg } ->
+              dispatch t dst (fun () ->
+                  match t.handlers.(dst) with
+                  | Some handler ->
+                      t.messages_delivered <- t.messages_delivered + 1;
+                      handler t ~src msg
+                  | None -> ())
+          | Timer { node; callback } -> dispatch t node (fun () -> callback t))
+    done
+  in
+  (* The span times the harness's own event loop (wall ns); the simulated
+     protocol clock travels separately in the [sim_us] arg. *)
+  Eppi_obs.Trace.begin_span "simnet.run";
+  (match loop () with
+  | () -> ()
+  | exception e ->
+      Eppi_obs.Trace.end_span "simnet.run" ~args:[ ("events", !count); ("raised", 1) ];
+      raise e);
+  Eppi_obs.Trace.end_span "simnet.run"
+    ~args:
+      [
+        ("events", !count);
+        ("delivered", t.messages_delivered);
+        ("dropped", t.messages_dropped);
+        ("messages", t.messages_sent);
+        ("bytes", t.bytes_sent);
+        ("sim_us", int_of_float (t.completion_time *. 1e6));
+      ]
 
 type metrics = {
   messages_sent : int;

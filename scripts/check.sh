@@ -39,4 +39,41 @@ EOF
 fi
 rm -f BENCH_serve.json
 
+# A ~5 s smoke of the tracing layer (docs/OBSERVABILITY.md): trace a small
+# secure 2-domain construction end to end, then check the emitted Chrome
+# trace-event JSON parses and actually contains what the instrumentation
+# promises — complete spans for all three construction phases, GMW spans
+# with byte accounting, and one counter track per pool worker.
+echo "== trace smoke =="
+dune exec bin/eppi_cli.exe -- generate --owners 60 --providers 12 --seed 3 \
+  -o /tmp/eppi_trace_dataset.csv >/dev/null
+dune exec bin/eppi_cli.exe -- construct -d /tmp/eppi_trace_dataset.csv \
+  --secure --domains 2 --trace /tmp/eppi_trace.json -o /tmp/eppi_trace_index.csv
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("/tmp/eppi_trace.json") as f:
+    events = json.load(f)["traceEvents"]
+def spans(name):
+    b = sum(1 for e in events if e["name"] == name and e["ph"] == "B")
+    e = sum(1 for e in events if e["name"] == name and e["ph"] == "E")
+    return b, e
+for phase in ("phase.beta", "phase.mixing", "phase.publish"):
+    b, e = spans(phase)
+    if b < 1 or b != e:
+        raise SystemExit(f"trace: {phase} has {b} begins / {e} ends")
+gb, ge = spans("gmw.execute")
+if gb < 1 or gb != ge:
+    raise SystemExit(f"trace: gmw.execute has {gb} begins / {ge} ends")
+if not any(e["name"] == "gmw.execute" and e["ph"] == "E" and "bytes" in e.get("args", {})
+           for e in events):
+    raise SystemExit("trace: gmw.execute spans carry no bytes accounting")
+workers = {e["name"] for e in events if e["ph"] == "C" and e["name"].startswith("pool/worker-")}
+if len(workers) < 2:
+    raise SystemExit(f"trace: expected counter tracks for 2 pool workers, got {sorted(workers)}")
+print(f"trace ok: {len(events)} events, pool counters {sorted(workers)}")
+EOF
+fi
+rm -f /tmp/eppi_trace_dataset.csv /tmp/eppi_trace_index.csv
+
 echo "== check.sh: all green =="

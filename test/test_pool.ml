@@ -79,6 +79,79 @@ let test_pool_reuse_and_shutdown () =
   let c = Pool.parallel_map pool (fun x -> x - 1) (Array.init 10 Fun.id) in
   Alcotest.(check (array int)) "after shutdown" (Array.init 10 (fun i -> i - 1)) c
 
+let test_exception_leaves_pool_reusable () =
+  (* A raising job must leave every worker parked and the pool fully
+     usable: the error is latched in the chunk loop, all domains drain
+     their remaining chunks, and only then does the caller re-raise. *)
+  Pool.with_pool ~size:4 (fun pool ->
+      for round = 1 to 3 do
+        (match
+           Pool.parallel_map pool
+             (fun i -> if i mod 13 = 5 then failwith "boom" else i)
+             (Array.init 300 Fun.id)
+         with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure m -> check_bool "message" true (m = "boom"));
+        (* The very next job on the same pool must run to completion. *)
+        let expect = Array.init 200 (fun i -> i * round) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d reuse" round)
+          expect
+          (Pool.parallel_map pool (fun x -> x * round) (Array.init 200 Fun.id))
+      done;
+      (* parallel_iter's exception path too. *)
+      (match
+         Pool.parallel_iter pool (fun i -> if i = 77 then failwith "iter-boom")
+           (Array.init 200 Fun.id)
+       with
+      | () -> Alcotest.fail "expected iter failure"
+      | exception Failure m -> check_bool "iter message" true (m = "iter-boom"));
+      Alcotest.(check (array int))
+        "reuse after iter failure"
+        (Array.init 50 (fun i -> i + 9))
+        (Pool.parallel_map pool (fun x -> x + 9) (Array.init 50 Fun.id)))
+
+let test_stats_accounting () =
+  (* One slot per domain (slot 0 = caller); jobs and busy time only grow,
+     and parallel work must be visible in at least one worker slot. *)
+  Pool.with_pool ~size:3 (fun pool ->
+      let s0 = Pool.stats pool in
+      check_int "slot count" 3 (Array.length s0);
+      Array.iter
+        (fun (st : Pool.worker_stat) ->
+          check_int "fresh jobs" 0 st.jobs;
+          check_int "fresh busy" 0 st.busy_ns)
+        s0;
+      let work x =
+        let acc = ref x in
+        for k = 1 to 20_000 do
+          acc := (!acc * 31) lxor k
+        done;
+        !acc
+      in
+      ignore (Pool.parallel_map pool work (Array.init 4000 Fun.id));
+      let s1 = Pool.stats pool in
+      let total_jobs = Array.fold_left (fun acc (st : Pool.worker_stat) -> acc + st.jobs) 0 s1 in
+      check_int "one charged job per domain" 3 total_jobs;
+      check_bool "caller slot charged" true (s1.(0).jobs = 1 && s1.(0).busy_ns >= 0);
+      Array.iteri
+        (fun i (st : Pool.worker_stat) ->
+          check_bool (Printf.sprintf "slot %d monotone" i) true
+            (st.jobs >= s0.(i).jobs && st.busy_ns >= s0.(i).busy_ns))
+        s1;
+      ignore (Pool.parallel_map pool work (Array.init 4000 Fun.id));
+      let s2 = Pool.stats pool in
+      Array.iteri
+        (fun i (st : Pool.worker_stat) ->
+          check_int (Printf.sprintf "slot %d second job" i) (s1.(i).jobs + 1) st.jobs)
+        s2);
+  (* The sequential fallback (size 1, or tiny input) charges slot 0. *)
+  Pool.with_pool ~size:1 (fun pool ->
+      ignore (Pool.parallel_map pool (fun x -> x + 1) (Array.init 100 Fun.id));
+      let s = Pool.stats pool in
+      check_int "sequential slots" 1 (Array.length s);
+      check_int "sequential job count" 1 s.(0).jobs)
+
 let test_create_rejects_zero () =
   Alcotest.check_raises "size 0" (Invalid_argument "Pool.create: size must be >= 1") (fun () ->
       ignore (Pool.create ~size:0 ()))
@@ -190,6 +263,9 @@ let () =
           Alcotest.test_case "heterogeneous cost" `Quick test_map_heterogeneous_cost;
           Alcotest.test_case "iter covers all indices" `Quick test_iter_covers_all_indices;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "exception leaves pool reusable" `Quick
+            test_exception_leaves_pool_reusable;
+          Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
           Alcotest.test_case "reuse and shutdown" `Quick test_pool_reuse_and_shutdown;
           Alcotest.test_case "rejects size 0" `Quick test_create_rejects_zero;
         ] );

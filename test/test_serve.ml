@@ -220,6 +220,38 @@ let test_log2_histogram () =
     (Invalid_argument "Log2_histogram.merge: incompatible histograms") (fun () ->
       ignore (Stats.Log2_histogram.merge h (Stats.Log2_histogram.create ~lo:1.0 ~buckets:4 ())))
 
+let test_log2_histogram_edges () =
+  (* Defaults: lo = 1 ns, 64 buckets.  Degenerate samples must clamp into
+     the edge buckets, never crash or land out of range. *)
+  let h = Stats.Log2_histogram.create () in
+  (* Empty histogram: every statistic is defined and zero. *)
+  check_int "empty total" 0 (Stats.Log2_histogram.total h);
+  check_close "empty mean" 0.0 (Stats.Log2_histogram.mean h);
+  check_close "empty p50" 0.0 (Stats.Log2_histogram.quantile h 0.5);
+  check_close "empty p0" 0.0 (Stats.Log2_histogram.quantile h 0.0);
+  check_close "empty p100" 0.0 (Stats.Log2_histogram.quantile h 1.0);
+  (* Zero, negative and sub-nanosecond samples clamp into bucket 0. *)
+  List.iter (Stats.Log2_histogram.add h) [ 0.0; -3.0; 1e-12 ];
+  let counts = Stats.Log2_histogram.counts h in
+  check_int "degenerate samples in bucket 0" 3 counts.(0);
+  check_int "degenerate total" 3 (Stats.Log2_histogram.total h);
+  check_close "bucket-0 quantile is the bottom midpoint" (1e-9 *. Float.pow 2.0 0.5)
+    (Stats.Log2_histogram.quantile h 0.5);
+  (* A sample past 2^63 ns (≈ 292 years) clamps into the top bucket. *)
+  Stats.Log2_histogram.add h 1e30;
+  let counts = Stats.Log2_histogram.counts h in
+  check_int "huge sample in top bucket" 1 counts.(Array.length counts - 1);
+  check_close "top-bucket quantile is the top midpoint" (1e-9 *. Float.pow 2.0 63.5)
+    (Stats.Log2_histogram.quantile h 1.0);
+  (* The mean stays exact even when buckets saturate. *)
+  check_close ~tol:1e15 "mean exact under clamping" (((-3.0) +. 1e-12 +. 1e30) /. 4.0)
+    (Stats.Log2_histogram.mean h);
+  (* q = 0 on a non-empty histogram is the first occupied bucket. *)
+  check_close "p0 non-empty" (1e-9 *. Float.pow 2.0 0.5) (Stats.Log2_histogram.quantile h 0.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Log2_histogram.quantile: q out of [0,1]") (fun () ->
+      ignore (Stats.Log2_histogram.quantile h 1.5))
+
 let test_metrics_snapshot_merges_shards () =
   let a = Metrics.create () and b = Metrics.create () in
   Metrics.incr_queries a;
@@ -250,6 +282,39 @@ let test_metrics_snapshot_merges_shards () =
          in
          find 0))
     [ "queries"; "served"; "cache_hits"; "shed_queue"; "p99_s" ]
+
+let test_metrics_diff () =
+  let m = Metrics.create () in
+  Metrics.incr_queries m;
+  Metrics.incr_served m;
+  Metrics.incr_cache_miss m;
+  Metrics.record_latency m 1e-6;
+  let older = Metrics.snapshot [ m ] in
+  Metrics.incr_queries m;
+  Metrics.incr_queries m;
+  Metrics.incr_served m;
+  Metrics.incr_cache_hit m;
+  Metrics.incr_unknown m;
+  Metrics.incr_shed_queue m;
+  Metrics.record_latency m 1e-3;
+  let newer = Metrics.snapshot [ m ] in
+  let d = Metrics.diff newer older in
+  (* Counters are the interval's increments... *)
+  check_int "queries" 2 d.queries;
+  check_int "served" 1 d.served;
+  check_int "cache_hits" 1 d.cache_hits;
+  check_int "cache_misses" 0 d.cache_misses;
+  check_int "unknown" 1 d.unknown;
+  check_int "shed_queue" 1 d.shed_queue;
+  check_int "latency_count" 1 d.latency_count;
+  (* ...while the distribution fields come from the newer snapshot (the
+     cumulative histogram's difference has no defined percentiles). *)
+  check_close "p99 from newer" newer.p99 d.p99;
+  check_close "mean from newer" newer.latency_mean d.latency_mean;
+  (* diff s s zeroes every counter. *)
+  let z = Metrics.diff newer newer in
+  check_int "self-diff queries" 0 z.queries;
+  check_int "self-diff latency_count" 0 z.latency_count
 
 (* ---------- Workload ---------- *)
 
@@ -470,7 +535,9 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "log2 histogram" `Quick test_log2_histogram;
+          Alcotest.test_case "log2 histogram edge cases" `Quick test_log2_histogram_edges;
           Alcotest.test_case "snapshot merges shards" `Quick test_metrics_snapshot_merges_shards;
+          Alcotest.test_case "diff" `Quick test_metrics_diff;
         ] );
       ( "workload",
         [
