@@ -30,6 +30,7 @@ let targets : (string * (unit -> unit)) list =
     ("micro", Micro.run);
     ("scaling", Scaling.run);
     ("serve", Serve_bench.run);
+    ("net", Net_bench.run);
   ]
 
 (* Strip [--trace FILE] out of argv; the rest are target names. *)

@@ -1,0 +1,170 @@
+(* Network front-end bench: drive the real socket path — daemon in one
+   domain, clients in this one — and measure (1) replay throughput as a
+   function of pipeline depth and (2) the latency of a hot-swap republish
+   while pipelined query load keeps flowing.  Writes BENCH_net.json.
+
+   Correctness is asserted along the way: every replay conserves requests
+   (served + unknown + shed = requests), the response volume matches the
+   ground truth of the generation served, and every republish returns the
+   next generation in sequence.
+
+   Environment knobs: NET_N (owners, default 2000), NET_M (providers,
+   default 1024), NET_QUERIES (replay size, default 50000), NET_DEPTHS
+   (comma list, default 1,4,16,64), NET_SWAPS (republish count under load,
+   default 30). *)
+
+open Eppi_prelude
+open Eppi_net
+module Serve = Eppi_serve.Serve
+module Workload = Eppi_serve.Workload
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let depths () =
+  match Sys.getenv_opt "NET_DEPTHS" with
+  | None -> [ 1; 4; 16; 64 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
+      |> List.filter (fun d -> d >= 1)
+
+(* Nearest-rank percentile over a sorted array of seconds. *)
+let percentile sorted q =
+  let len = Array.length sorted in
+  sorted.(max 0 (min (len - 1) (int_of_float (Float.round (q *. float_of_int (len - 1))))))
+
+let run () =
+  let n = getenv_int "NET_N" 2000 in
+  let m = getenv_int "NET_M" 1024 in
+  let queries = getenv_int "NET_QUERIES" 50_000 in
+  let swaps = max 1 (getenv_int "NET_SWAPS" 30) in
+  Bench_util.heading
+    (Printf.sprintf
+       "Network front-end: pipeline depth sweep + hot-swap latency (n=%d owners, m=%d \
+        providers, %d queries)"
+       n m queries);
+  let rng = Rng.create 2026 in
+  let freqs = Array.init n (fun j -> 1 + (j mod 8)) in
+  let membership = Bench_util.matrix_of_frequencies rng ~m ~freqs in
+  let epsilons = Array.init n (fun j -> 0.2 +. (0.6 *. float_of_int (j mod 5) /. 4.0)) in
+  let build seed policy =
+    (Eppi.Construct.run (Rng.create seed) ~membership ~epsilons ~policy).index
+  in
+  let index1 = build 7 (Eppi.Policy.Chernoff 0.9) in
+  let index2 = build 8 Eppi.Policy.Basic in
+  let csv1 = Eppi.Index.to_csv index1 and csv2 = Eppi.Index.to_csv index2 in
+  let workload = Workload.zipf (Rng.create 11) ~n ~count:queries in
+  let truth_len = Array.init n (fun owner -> Eppi.Index.query_count index1 ~owner) in
+  let expect_listed =
+    Array.fold_left (fun acc owner -> acc + truth_len.(owner)) 0 workload
+  in
+  (* The daemon: sharded engine in its own domain, this domain is the client. *)
+  let path = Printf.sprintf "/tmp/eppi-net-bench-%d.sock" (Unix.getpid ()) in
+  let addr = Addr.Unix_socket path in
+  let engine = Serve.create ~config:{ Serve.default_config with shards = 4 } index1 in
+  let server = Server.create engine in
+  let listener = Server.listen addr in
+  let daemon = Domain.spawn (fun () -> Server.run server listener) in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* Depth sweep: same workload, one connection per depth. *)
+      let depth_runs =
+        List.map
+          (fun depth ->
+            let client = Client.connect ~retries:100 addr in
+            let summary =
+              Fun.protect
+                ~finally:(fun () -> Client.close client)
+                (fun () -> Replay.run ~depth client workload)
+            in
+            if summary.served + summary.unknown + summary.shed <> queries then
+              failwith "net: replay lost requests";
+            if summary.served <> queries then failwith "net: replay shed or missed requests";
+            if summary.providers_listed <> expect_listed then
+              failwith "net: response volume diverged from Index.query";
+            if summary.first_generation <> 1 || summary.last_generation <> 1 then
+              failwith "net: unexpected generation during the depth sweep";
+            let qps = float_of_int queries /. summary.wall_seconds in
+            Bench_util.note "depth %3d: %.3f s (%.0f q/s)" depth summary.wall_seconds qps;
+            (depth, summary.wall_seconds, qps))
+          (depths ())
+      in
+      (* Hot-swap latency under load: a second domain keeps pipelined
+         queries in flight while this one times republish round-trips,
+         alternating between the two indexes. *)
+      let stop = Atomic.make false in
+      let load =
+        Domain.spawn (fun () ->
+            let client = Client.connect ~retries:100 addr in
+            let rng = Rng.create 5 in
+            let replies = ref 0 in
+            while not (Atomic.get stop) do
+              let frames = List.init 32 (fun _ -> Wire.Query { owner = Rng.int rng n }) in
+              List.iter
+                (function
+                  | Wire.Reply _ -> incr replies
+                  | other -> Client.unexpected "load query" other)
+                (Client.pipeline client frames)
+            done;
+            Client.close client;
+            !replies)
+      in
+      let admin = Client.connect ~retries:100 addr in
+      let swap_seconds =
+        Array.init swaps (fun i ->
+            let csv = if i mod 2 = 0 then csv2 else csv1 in
+            let t0 = Clock.seconds () in
+            (match Client.republish admin ~index_csv:csv with
+            | Ok generation when generation = i + 2 -> ()
+            | Ok generation -> failwith (Printf.sprintf "net: swap %d installed generation %d" i generation)
+            | Error msg -> failwith ("net: republish failed: " ^ msg));
+            Clock.seconds () -. t0)
+      in
+      Atomic.set stop true;
+      let load_replies = Domain.join load in
+      if load_replies = 0 then failwith "net: load domain made no progress";
+      let final_generation = Serve.generation engine in
+      if final_generation <> swaps + 1 then failwith "net: final generation off";
+      let stats = Client.stats_json admin in
+      Client.shutdown admin;
+      Client.close admin;
+      Domain.join daemon;
+      Array.sort compare swap_seconds;
+      let p50 = percentile swap_seconds 0.50
+      and p99 = percentile swap_seconds 0.99
+      and worst = swap_seconds.(Array.length swap_seconds - 1) in
+      Bench_util.note
+        "hot swap under load: %d republishes, p50 %.2g s, p99 %.2g s, worst %.2g s (%d \
+         concurrent replies)"
+        swaps p50 p99 worst load_replies;
+      (* JSON out. *)
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b "  \"bench\": \"net\",\n";
+      Buffer.add_string b (Printf.sprintf "  \"n_owners\": %d,\n" n);
+      Buffer.add_string b (Printf.sprintf "  \"m_providers\": %d,\n" m);
+      Buffer.add_string b (Printf.sprintf "  \"queries\": %d,\n" queries);
+      Buffer.add_string b "  \"depth_runs\": [\n";
+      List.iteri
+        (fun i (depth, seconds, qps) ->
+          Buffer.add_string b
+            (Printf.sprintf "    { \"depth\": %d, \"seconds\": %.6f, \"qps\": %.0f }%s\n" depth
+               seconds qps
+               (if i = List.length depth_runs - 1 then "" else ",")))
+        depth_runs;
+      Buffer.add_string b "  ],\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"swap\": { \"count\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \"worst_s\": %.9f, \
+            \"final_generation\": %d, \"concurrent_replies\": %d },\n"
+           swaps p50 p99 worst final_generation load_replies);
+      Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (String.trim stats));
+      Buffer.add_string b "}\n";
+      let out = open_out "BENCH_net.json" in
+      output_string out (Buffer.contents b);
+      close_out out;
+      Bench_util.note "wrote BENCH_net.json")

@@ -3,7 +3,11 @@
    Subcommands:
      generate   synthesize an information-network dataset (CSV)
      construct  build an e-PPI over a dataset (centralized or secure path)
-     query      look up an owner in a published index
+     query      look up owners in a local index file or a running daemon
+     serve      replay a workload in-process, or run the persistent daemon
+     republish  hot-swap a running daemon's index
+     stats      metrics snapshot of a running daemon (JSON)
+     shutdown   gracefully stop a running daemon
      evaluate   success ratio and attack confidences of an index
      inspect    dataset statistics
 
@@ -11,6 +15,10 @@
      eppi generate --providers 2000 --owners 500 -o net.csv
      eppi construct -d net.csv --policy chernoff --gamma 0.9 -o index.csv
      eppi query -i index.csv --owner 42
+     eppi serve -i index.csv --listen /tmp/eppi.sock &
+     eppi query --connect /tmp/eppi.sock --owner 42 --owner 7
+     eppi republish --connect /tmp/eppi.sock -i index2.csv
+     eppi shutdown --connect /tmp/eppi.sock
      eppi evaluate -d net.csv -i index.csv *)
 
 open Cmdliner
@@ -202,21 +210,94 @@ let construct_cmd =
 
 (* ---- query ---- *)
 
+let connect_opt_arg =
+  let doc =
+    "Address of a running $(b,eppi serve --listen) daemon: a Unix-socket path or $(i,HOST:PORT)."
+  in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+(* Connect (tolerating a daemon that is still starting up), run [f], close. *)
+let with_client addr f =
+  let client = Eppi_net.Client.connect ~retries:100 (Eppi_net.Addr.of_string addr) in
+  Fun.protect ~finally:(fun () -> Eppi_net.Client.close client) (fun () -> f client)
+
 let query_cmd =
-  let owner =
-    Arg.(required & opt (some int) None & info [ "owner" ] ~docv:"INT" ~doc:"Owner identity.")
+  let owners =
+    Arg.(
+      value & opt_all int []
+      & info [ "owner" ] ~docv:"INT" ~doc:"Owner identity (repeatable: one reply line each).")
   in
-  let run index_path owner =
-    let index = Eppi.Index.of_csv (read_file index_path) in
-    if owner < 0 || owner >= Eppi.Index.owners index then begin
-      Printf.eprintf "owner %d out of range [0, %d)\n" owner (Eppi.Index.owners index);
-      exit 1
-    end;
-    let providers = Eppi.Index.query index ~owner in
-    Printf.printf "%s\n" (String.concat "," (List.map string_of_int providers))
+  let index_path =
+    let doc = "Published-index CSV produced by $(b,eppi construct) (local mode)." in
+    Arg.(value & opt (some file) None & info [ "i"; "index" ] ~docv:"FILE" ~doc)
   in
-  let term = Term.(const run $ index_arg $ owner) in
-  Cmd.v (Cmd.info "query" ~doc:"QueryPPI: list candidate providers for an owner") term
+  let replay_log =
+    let doc =
+      "With $(b,--connect): replay a request log (CSV or JSONL, see docs/SERVE.md) through the \
+       daemon as pipelined queries and print a JSON summary instead of per-owner replies."
+    in
+    Arg.(value & opt (some file) None & info [ "replay-log" ] ~docv:"FILE" ~doc)
+  in
+  let depth =
+    Arg.(
+      value & opt int 32
+      & info [ "depth" ] ~docv:"INT" ~doc:"Pipeline depth for $(b,--replay-log).")
+  in
+  let print_reply = function
+    | Eppi_serve.Serve.Providers providers ->
+        Printf.printf "%s\n" (String.concat "," (List.map string_of_int providers))
+    | Eppi_serve.Serve.Unknown_owner -> print_endline "unknown"
+    | Eppi_serve.Serve.Shed_rate_limit | Eppi_serve.Serve.Shed_queue_full -> print_endline "shed"
+  in
+  let usage_error msg =
+    Printf.eprintf "query: %s\n" msg;
+    exit 2
+  in
+  let run index_path connect owners replay_log depth =
+    match (index_path, connect) with
+    | Some _, Some _ | None, None -> usage_error "give exactly one of --index or --connect"
+    | Some path, None ->
+        if replay_log <> None then usage_error "--replay-log needs --connect";
+        if owners = [] then usage_error "--owner required";
+        let index = Eppi.Index.of_csv (read_file path) in
+        List.iter
+          (fun owner ->
+            if owner < 0 || owner >= Eppi.Index.owners index then begin
+              Printf.eprintf "owner %d out of range [0, %d)\n" owner (Eppi.Index.owners index);
+              exit 1
+            end;
+            print_reply (Eppi_serve.Serve.Providers (Eppi.Index.query index ~owner)))
+          owners
+    | None, Some addr -> (
+        match replay_log with
+        | Some log ->
+            if owners <> [] then usage_error "--replay-log excludes --owner";
+            let workload = Eppi_net.Replay.load log in
+            let s = with_client addr (fun client -> Eppi_net.Replay.run ~depth client workload) in
+            Printf.printf
+              "{\"requests\": %d, \"served\": %d, \"unknown\": %d, \"shed\": %d, \
+               \"providers_listed\": %d, \"first_generation\": %d, \"last_generation\": %d, \
+               \"wall_seconds\": %.6f, \"qps\": %.0f}\n"
+              s.requests s.served s.unknown s.shed s.providers_listed s.first_generation
+              s.last_generation s.wall_seconds
+              (float_of_int s.requests /. Float.max 1e-9 s.wall_seconds)
+        | None ->
+            if owners = [] then usage_error "--owner required";
+            let requests = List.map (fun owner -> Eppi_net.Wire.Query { owner }) owners in
+            with_client addr (fun client ->
+                List.iter
+                  (function
+                    | Eppi_net.Wire.Reply { reply; _ } -> print_reply reply
+                    | other -> Eppi_net.Client.unexpected "query" other)
+                  (Eppi_net.Client.pipeline client requests)))
+  in
+  let term = Term.(const run $ index_path $ connect_opt_arg $ owners $ replay_log $ depth) in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "QueryPPI: list candidate providers for an owner, from a local index file or a running \
+          daemon")
+    term
 
 (* ---- evaluate ---- *)
 
@@ -414,8 +495,29 @@ let serve_cmd =
       value & opt int 100_000
       & info [ "queue" ] ~docv:"INT" ~doc:"Bounded per-shard queue (with $(b,--rate)).")
   in
+  let listen =
+    let doc =
+      "Run as a persistent daemon on $(docv) (a Unix-socket path or $(i,HOST:PORT)) instead of \
+       replaying a synthetic workload.  Serves until an $(b,eppi shutdown) frame arrives; \
+       $(b,eppi republish) hot-swaps the index without a restart."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let stdio =
+    let doc =
+      "Run the daemon over standard input/output (inetd-style framing) instead of a socket."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let replay_log =
+    let doc =
+      "Replay this request log (CSV or JSONL, see docs/SERVE.md) instead of the synthetic Zipf \
+       workload (in-process replay mode only)."
+    in
+    Arg.(value & opt (some file) None & info [ "replay-log" ] ~docv:"FILE" ~doc)
+  in
   let run seed index_path queries shards domains cache zipf_exponent unknown_fraction rate burst
-      queue trace =
+      queue listen stdio replay_log trace =
     let index = Eppi.Index.of_csv (read_file index_path) in
     let n = Eppi.Index.owners index in
     let admission =
@@ -429,36 +531,97 @@ let serve_cmd =
     Printf.eprintf "index: %d owners, %d providers; postings store %d bytes\n" n
       (Eppi.Index.providers index)
       (Eppi_serve.Postings.memory_bytes postings);
-    let workload =
-      Eppi_serve.Workload.zipf ~exponent:zipf_exponent ~unknown_fraction (Rng.create seed) ~n
-        ~count:queries
-    in
-    let tally =
-      with_trace trace @@ fun () ->
-      if domains > 1 then
-        Eppi_prelude.Pool.with_pool ~size:domains (fun pool ->
-            Eppi_serve.Serve.replay ~pool engine workload)
-      else Eppi_serve.Serve.replay engine workload
-    in
-    Printf.eprintf
-      "replayed %d queries in %.4f s (%.0f q/s): %d served, %d unknown, %d shed (rate), %d \
-       shed (queue)\n"
-      queries tally.tally_wall_seconds
-      (float_of_int queries /. tally.tally_wall_seconds)
-      tally.served tally.unknown tally.shed_rate tally.shed_queue;
-    print_endline (Eppi_serve.Metrics.to_json (Eppi_serve.Serve.metrics engine))
+    match (listen, stdio) with
+    | Some _, true ->
+        Printf.eprintf "serve: --listen and --stdio are mutually exclusive\n";
+        exit 2
+    | Some addr, false ->
+        let server = Eppi_net.Server.create engine in
+        Printf.eprintf "listening on %s (%d shards, generation %d)\n" addr shards
+          (Eppi_serve.Serve.generation engine);
+        with_trace trace (fun () -> Eppi_net.Server.serve server (Eppi_net.Addr.of_string addr));
+        Printf.eprintf "daemon stopped; final metrics:\n";
+        print_endline (Eppi_serve.Metrics.to_json (Eppi_serve.Serve.metrics engine))
+    | None, true ->
+        let server = Eppi_net.Server.create engine in
+        with_trace trace (fun () -> Eppi_net.Server.run_stdio server)
+    | None, false ->
+        let workload =
+          match replay_log with
+          | Some log -> Eppi_net.Replay.load log
+          | None ->
+              Eppi_serve.Workload.zipf ~exponent:zipf_exponent ~unknown_fraction
+                (Rng.create seed) ~n ~count:queries
+        in
+        let queries = Array.length workload in
+        let tally =
+          with_trace trace @@ fun () ->
+          if domains > 1 then
+            Eppi_prelude.Pool.with_pool ~size:domains (fun pool ->
+                Eppi_serve.Serve.replay ~pool engine workload)
+          else Eppi_serve.Serve.replay engine workload
+        in
+        Printf.eprintf
+          "replayed %d queries in %.4f s (%.0f q/s): %d served, %d unknown, %d shed (rate), %d \
+           shed (queue)\n"
+          queries tally.tally_wall_seconds
+          (float_of_int queries /. tally.tally_wall_seconds)
+          tally.served tally.unknown tally.shed_rate tally.shed_queue;
+        print_endline (Eppi_serve.Metrics.to_json (Eppi_serve.Serve.metrics engine))
   in
   let term =
     Term.(
       const run $ seed_arg $ index_arg $ queries $ shards $ domains $ cache $ zipf_exponent
-      $ unknown_fraction $ rate $ burst $ queue $ trace_arg)
+      $ unknown_fraction $ rate $ burst $ queue $ listen $ stdio $ replay_log $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Load a published index, compile it into the read-optimized serving engine, replay a \
-          synthetic workload and print the metrics snapshot as JSON")
+         "Compile a published index into the read-optimized serving engine and either replay a \
+          workload in-process (default) or serve it as a persistent daemon ($(b,--listen), \
+          $(b,--stdio))")
     term
+
+(* ---- republish / stats / shutdown: daemon administration ---- *)
+
+let connect_required_arg =
+  let doc =
+    "Address of a running $(b,eppi serve --listen) daemon: a Unix-socket path or $(i,HOST:PORT)."
+  in
+  Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let republish_cmd =
+  let run addr index_path =
+    let index_csv = read_file index_path in
+    with_client addr (fun client ->
+        match Eppi_net.Client.republish client ~index_csv with
+        | Ok generation -> Printf.printf "generation %d\n" generation
+        | Error msg ->
+            Printf.eprintf "republish rejected: %s\n" msg;
+            exit 1)
+  in
+  let term = Term.(const run $ connect_required_arg $ index_arg) in
+  Cmd.v
+    (Cmd.info "republish"
+       ~doc:
+         "Hot-swap the index of a running daemon: queries keep flowing, the new generation \
+          takes effect atomically, per-shard caches invalidate")
+    term
+
+let stats_cmd =
+  let run addr = with_client addr (fun client -> print_endline (Eppi_net.Client.stats_json client)) in
+  let term = Term.(const run $ connect_required_arg) in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print a running daemon's metrics snapshot (JSON, one line)")
+    term
+
+let shutdown_cmd =
+  let run addr =
+    with_client addr (fun client -> Eppi_net.Client.shutdown client);
+    Printf.eprintf "daemon stopped\n"
+  in
+  let term = Term.(const run $ connect_required_arg) in
+  Cmd.v (Cmd.info "shutdown" ~doc:"Gracefully stop a running daemon") term
 
 (* ---- inspect ---- *)
 
@@ -481,6 +644,9 @@ let () =
             construct_cmd;
             query_cmd;
             serve_cmd;
+            republish_cmd;
+            stats_cmd;
+            shutdown_cmd;
             evaluate_cmd;
             attack_cmd;
             link_cmd;

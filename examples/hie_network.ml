@@ -37,7 +37,11 @@ let () =
 
   print_endline "Locator-service view after ConstructPPI:";
   for owner = 0 to 2 do
-    let candidates = Locator.query_ppi t ~owner in
+    let candidates =
+      match Locator.query_ppi_result t ~owner with
+      | Ok providers -> providers
+      | Error Locator.No_index -> assert false (* construct_ppi just ran *)
+    in
     let shown = List.filteri (fun i _ -> i < 6) candidates in
     Printf.printf "  patient %d (eps=%.2f): QueryPPI -> %d providers [%s%s]\n" owner
       (Locator.epsilon_of t ~owner)

@@ -129,4 +129,6 @@ let auth_search t ~searcher ~owner ~providers =
   { records = List.rev !found; contacted = !contacted; denied = !denied; wasted = !wasted }
 
 let search t ~searcher ~owner =
-  auth_search t ~searcher ~owner ~providers:(query_ppi t ~owner)
+  match query_ppi_result t ~owner with
+  | Ok providers -> auth_search t ~searcher ~owner ~providers
+  | Error No_index -> failwith "Locator.search: no index constructed yet"

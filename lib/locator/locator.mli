@@ -65,8 +65,9 @@ val query_ppi_result : t -> owner:int -> (int list, query_error) result
     @raise Invalid_argument on a bad owner id. *)
 
 val query_ppi : t -> owner:int -> int list
-(** @deprecated Raising wrapper over {!query_ppi_result}, kept for existing
-    callers.  @raise Failure if no index has been constructed yet. *)
+  [@@ocaml.deprecated "use Locator.query_ppi_result instead"]
+(** @deprecated Raising wrapper over {!query_ppi_result}.
+    @raise Failure if no index has been constructed yet. *)
 
 val serve_engine :
   ?config:Eppi_serve.Serve.config -> t -> (Eppi_serve.Serve.t, query_error) result
@@ -84,6 +85,6 @@ val auth_search : t -> searcher:string -> owner:int -> providers:int list -> sea
 (** Phase two against an explicit provider list. *)
 
 val search : t -> searcher:string -> owner:int -> search_outcome
-(** The full two-phase procedure: {!query_ppi} then {!auth_search}.
+(** The full two-phase procedure: {!query_ppi_result} then {!auth_search}.
     Truthful publication guarantees every authorized true-positive provider
     is found (recall tested). *)

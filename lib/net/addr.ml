@@ -1,0 +1,35 @@
+type t =
+  | Unix_socket of string
+  | Tcp of string * int
+
+let to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" (if host = "" then "127.0.0.1" else host) port
+
+let of_string s =
+  if s = "" then invalid_arg "Addr.of_string: empty address";
+  if String.contains s '/' then Unix_socket s
+  else
+    match String.rindex_opt s ':' with
+    | None -> Unix_socket s
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some port when port > 0 && port < 65536 -> Tcp (host, port)
+        | _ -> invalid_arg (Printf.sprintf "Addr.of_string: bad port in %S" s))
+
+let sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let inet =
+        if host = "" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { h_addr_list = [||]; _ } -> failwith (Printf.sprintf "no address for host %S" host)
+            | { h_addr_list; _ } -> h_addr_list.(0)
+            | exception Not_found -> failwith (Printf.sprintf "unknown host %S" host))
+      in
+      Unix.ADDR_INET (inet, port)

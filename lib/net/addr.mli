@@ -1,0 +1,22 @@
+(** Server endpoints: a Unix-domain socket path or a TCP host/port.
+
+    The locator daemon and its clients speak the same {!Wire} protocol over
+    either transport; tests and single-host deployments use Unix sockets
+    (no port allocation, file-permission access control), multi-host ones
+    TCP. *)
+
+type t =
+  | Unix_socket of string  (** Filesystem path of the listening socket. *)
+  | Tcp of string * int  (** Host (empty = loopback) and port. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** CLI syntax: anything containing a [/] is a Unix-socket path; otherwise
+    [host:port] (or [:port], binding loopback) is TCP.  A bare name with no
+    [/] and no [:] is a Unix-socket path in the current directory.
+    @raise Invalid_argument on an empty string or a non-numeric port. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** Resolve to a connectable/bindable address.
+    @raise Failure when a TCP hostname does not resolve. *)

@@ -1,0 +1,174 @@
+type t = {
+  fd : Unix.file_descr;
+  decoder : Wire.Decoder.t;
+  readbuf : Bytes.t;
+  mutable closed : bool;
+}
+
+exception Protocol_error of string
+
+let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload address =
+  let sockaddr = Addr.sockaddr address in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let rec attempt remaining =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> fd
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when remaining > 0 ->
+        Unix.close fd;
+        Unix.sleepf retry_delay;
+        attempt (remaining - 1)
+    | exception e ->
+        Unix.close fd;
+        raise e
+  in
+  let fd = attempt retries in
+  { fd; decoder = Wire.Decoder.create ?max_payload (); readbuf = Bytes.create 65536; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all fd bytes off len =
+  let sent = ref off in
+  while !sent < off + len do
+    match Unix.write fd bytes !sent (off + len - !sent) with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+(* Block until one response frame is decodable. *)
+let recv t =
+  let rec next () =
+    match Wire.Decoder.next t.decoder with
+    | Ok (Some (Wire.Response response)) -> response
+    | Ok (Some (Wire.Request _)) -> raise (Protocol_error "server sent a request frame")
+    | Error e -> raise (Protocol_error (Wire.error_to_string e))
+    | Ok None -> (
+        match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
+        | 0 -> raise (Protocol_error "connection closed mid-response")
+        | n ->
+            Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n;
+            next ()
+        | exception Unix.Unix_error (EINTR, _, _) -> next ())
+  in
+  next ()
+
+let call t request =
+  let b = Buffer.create 64 in
+  Wire.encode_request b request;
+  let bytes = Buffer.to_bytes b in
+  write_all t.fd bytes 0 (Bytes.length bytes);
+  recv t
+
+let pipeline t requests =
+  let expected = List.length requests in
+  if expected = 0 then []
+  else begin
+    let b = Buffer.create (64 * expected) in
+    List.iter (Wire.encode_request b) requests;
+    let bytes = Buffer.to_bytes b in
+    let total = Bytes.length bytes in
+    let sent = ref 0 in
+    let responses = ref [] in
+    let received = ref 0 in
+    (* Interleave: keep pushing request bytes whenever the socket accepts
+       them, keep draining responses as they arrive.  Reading while still
+       writing is what prevents the distributed-buffer deadlock (client
+       blocked in write, server blocked in write, nobody reads). *)
+    Unix.set_nonblock t.fd;
+    Fun.protect
+      ~finally:(fun () -> try Unix.clear_nonblock t.fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        while !received < expected do
+          let drain () =
+            let continue = ref true in
+            while !continue do
+              match Wire.Decoder.next t.decoder with
+              | Ok (Some (Wire.Response response)) ->
+                  responses := response :: !responses;
+                  incr received
+              | Ok (Some (Wire.Request _)) ->
+                  raise (Protocol_error "server sent a request frame")
+              | Error e -> raise (Protocol_error (Wire.error_to_string e))
+              | Ok None -> continue := false
+            done
+          in
+          drain ();
+          if !received < expected then begin
+            let writes = if !sent < total then [ t.fd ] else [] in
+            match Unix.select [ t.fd ] writes [] (-1.0) with
+            | exception Unix.Unix_error (EINTR, _, _) -> ()
+            | readable, writable, _ ->
+                if writable <> [] then begin
+                  match Unix.write t.fd bytes !sent (total - !sent) with
+                  | n -> sent := !sent + n
+                  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+                end;
+                if readable <> [] then begin
+                  match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
+                  | 0 -> raise (Protocol_error "connection closed mid-pipeline")
+                  | n -> Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n
+                  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+                end
+          end
+        done);
+    List.rev !responses
+  end
+
+(* ---- typed wrappers ---- *)
+
+let unexpected what (response : Wire.response) =
+  let kind =
+    match response with
+    | Reply _ -> "reply"
+    | Batch_reply _ -> "batch reply"
+    | Audit_reply _ -> "audit reply"
+    | Stats_json _ -> "stats"
+    | Republished _ -> "republished"
+    | Pong -> "pong"
+    | Shutting_down -> "shutting down"
+    | Server_error msg -> Printf.sprintf "server error: %s" msg
+  in
+  raise (Protocol_error (Printf.sprintf "%s answered with %s" what kind))
+
+let query t ~owner =
+  match call t (Wire.Query { owner }) with
+  | Reply { generation; reply } -> (generation, reply)
+  | other -> unexpected "query" other
+
+let batch t owners =
+  match call t (Wire.Batch owners) with
+  | Batch_reply { generation; replies } ->
+      if Array.length replies <> Array.length owners then
+        raise (Protocol_error "batch reply length mismatch");
+      (generation, replies)
+  | other -> unexpected "batch" other
+
+let audit t ~provider =
+  match call t (Wire.Audit { provider }) with
+  | Audit_reply { generation; owners } -> (generation, owners)
+  | other -> unexpected "audit" other
+
+let stats_json t =
+  match call t Wire.Stats with
+  | Stats_json json -> json
+  | other -> unexpected "stats" other
+
+let republish t ~index_csv =
+  match call t (Wire.Republish { index_csv }) with
+  | Republished { generation } -> Ok generation
+  | Server_error msg -> Error msg
+  | other -> unexpected "republish" other
+
+let ping t =
+  match call t Wire.Ping with
+  | Pong -> ()
+  | other -> unexpected "ping" other
+
+let shutdown t =
+  match call t Wire.Shutdown with
+  | Shutting_down -> ()
+  | other -> unexpected "shutdown" other

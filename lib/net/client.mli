@@ -1,0 +1,61 @@
+(** Blocking client for the locator daemon.
+
+    One socket, strict request/response ordering (the server's guarantee),
+    so {!pipeline} can keep N requests in flight and match replies by
+    position — the throughput lever the [bench -- net] depth sweep
+    measures.  Not thread-safe: one [t] per domain.
+
+    Every returned generation is the index generation the server computed
+    the reply from; after a {!republish} returns generation [g], every
+    later reply on any connection carries a generation [>= g]. *)
+
+type t
+
+exception Protocol_error of string
+(** The server broke the framing or answered with the wrong frame kind —
+    or sent [Server_error] for a request that admits no typed failure. *)
+
+val unexpected : string -> Wire.response -> 'a
+(** [unexpected what response] raises {!Protocol_error} naming the frame
+    kind [what] got instead of what it wanted — for callers matching raw
+    {!pipeline} responses. *)
+
+val connect : ?retries:int -> ?retry_delay:float -> ?max_payload:int -> Addr.t -> t
+(** Connect, retrying a refused/absent endpoint [retries] times (default 0)
+    with [retry_delay] seconds between attempts (default 0.05) — the
+    just-started-daemon race.  @raise Unix.Unix_error once retries are
+    exhausted. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> Wire.request -> Wire.response
+(** Send one request, block for its response. *)
+
+val pipeline : t -> Wire.request list -> Wire.response list
+(** Send every request over the socket while concurrently reading replies
+    (interleaved with [select], so an arbitrarily long batch cannot
+    deadlock against the server's backpressure), returning the responses
+    in request order. *)
+
+(* Typed wrappers; each raises {!Protocol_error} on a mismatched response. *)
+
+val query : t -> owner:int -> int * Eppi_serve.Serve.reply
+(** (generation, reply). *)
+
+val batch : t -> int array -> int * Eppi_serve.Serve.reply array
+
+val audit : t -> provider:int -> int * int list option
+
+val stats_json : t -> string
+(** The engine's merged {!Eppi_serve.Metrics} snapshot as JSON. *)
+
+val republish : t -> index_csv:string -> (int, string) result
+(** Install a new index on the server ({!Eppi.Index.to_csv} payload);
+    [Ok generation] on success, [Error message] when the server rejects
+    the CSV. *)
+
+val ping : t -> unit
+
+val shutdown : t -> unit
+(** Ask the server to stop; returns once [Shutting_down] is acknowledged. *)

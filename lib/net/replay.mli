@@ -1,0 +1,29 @@
+(** Trace-driven replay over the real socket path.
+
+    Loads a request log ({!Eppi_serve.Workload.of_csv_log} /
+    [of_jsonl_log] formats) and drives it through a {!Client} as pipelined
+    [Query] frames — the workload source the [bench -- net] target and the
+    CLI replay mode share. *)
+
+type summary = {
+  requests : int;
+  served : int;  (** Replies carrying a provider list. *)
+  unknown : int;
+  shed : int;  (** Both shed classes summed. *)
+  providers_listed : int;  (** Total response volume. *)
+  first_generation : int;  (** Generation of the first reply. *)
+  last_generation : int;  (** Generation of the last reply. *)
+  wall_seconds : float;
+}
+
+val load : string -> int array
+(** Read a request-log file; a first non-blank character of [{] selects
+    the JSONL parser, anything else the CSV parser.
+    @raise Sys_error on an unreadable path, [Failure] on a malformed log. *)
+
+val run : ?depth:int -> Client.t -> int array -> summary
+(** Replay the workload as windows of [depth] pipelined queries (default
+    32).  Conservation holds by construction:
+    [served + unknown + shed = requests] — every request is answered.
+    @raise Invalid_argument on a non-positive depth;
+    @raise Client.Protocol_error as {!Client.pipeline} does. *)

@@ -1,0 +1,282 @@
+module Trace = Eppi_obs.Trace
+module Serve = Eppi_serve.Serve
+module Clock = Eppi_prelude.Clock
+
+type config = {
+  max_connections : int;
+  idle_timeout : float;
+  max_payload : int;
+  max_pending_bytes : int;
+}
+
+let default_config =
+  {
+    max_connections = 64;
+    idle_timeout = 300.0;
+    max_payload = Wire.default_max_payload;
+    max_pending_bytes = 8 * 1024 * 1024;
+  }
+
+type t = {
+  engine : Serve.t;
+  config : config;
+}
+
+let create ?(config = default_config) engine =
+  if config.max_connections < 1 then invalid_arg "Server: max_connections must be >= 1";
+  if config.max_pending_bytes < 1 then invalid_arg "Server: max_pending_bytes must be >= 1";
+  { engine; config }
+
+let engine t = t.engine
+
+(* ---- request handling (transport-independent) ---- *)
+
+let request_code = function
+  | Wire.Query _ -> 1
+  | Wire.Batch _ -> 2
+  | Wire.Audit _ -> 3
+  | Wire.Stats -> 4
+  | Wire.Republish _ -> 5
+  | Wire.Ping -> 6
+  | Wire.Shutdown -> 7
+
+let handle_request t (request : Wire.request) : Wire.response =
+  match request with
+  | Query { owner } ->
+      let generation, reply = Serve.query_tagged t.engine ~owner in
+      Reply { generation; reply }
+  | Batch owners ->
+      (* One frame, many lookups; the tagged generation is the one the
+         last lookup served from (a republish may land mid-batch). *)
+      let generation = ref (Serve.generation t.engine) in
+      let replies =
+        Array.map
+          (fun owner ->
+            let g, reply = Serve.query_tagged t.engine ~owner in
+            generation := g;
+            reply)
+          owners
+      in
+      Batch_reply { generation = !generation; replies }
+  | Audit { provider } ->
+      Audit_reply
+        { generation = Serve.generation t.engine; owners = Serve.audit t.engine ~provider }
+  | Stats -> Stats_json (Eppi_serve.Metrics.to_json (Serve.metrics t.engine))
+  | Republish { index_csv } -> (
+      match Eppi.Index.of_csv index_csv with
+      | index -> Republished { generation = Serve.republish_index t.engine index }
+      | exception Failure msg -> Server_error ("republish: " ^ msg))
+  | Ping -> Pong
+  | Shutdown -> Shutting_down
+
+let handle t request =
+  if not (Trace.enabled ()) then handle_request t request
+  else Trace.span "net.request" ~args:[ ("tag", request_code request) ] (fun () -> handle_request t request)
+
+(* ---- listening ---- *)
+
+let listen address =
+  (match address with
+  | Addr.Unix_socket path when Sys.file_exists path -> (
+      match (Unix.stat path).st_kind with
+      | Unix.S_SOCK -> Unix.unlink path (* a dead server's leftover *)
+      | _ -> failwith (Printf.sprintf "Server.listen: %s exists and is not a socket" path))
+  | _ -> ());
+  let domain = match address with Addr.Unix_socket _ -> Unix.PF_UNIX | Addr.Tcp _ -> Unix.PF_INET in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match address with
+  | Addr.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+  | Addr.Unix_socket _ -> ());
+  (try
+     Unix.bind fd (Addr.sockaddr address);
+     Unix.listen fd 128
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+(* ---- the select loop ---- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Wire.Decoder.t;
+  out : Buffer.t;
+  mutable out_off : int;
+  mutable last_activity : float;
+  mutable closing : bool;  (* no more reads; close once the buffer drains *)
+  id : int;
+}
+
+let pending c = Buffer.length c.out - c.out_off
+
+let instant_conn name c =
+  if Trace.enabled () then Trace.instant name ~args:[ ("conn", c.id) ]
+
+let run t listener =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Unix.set_nonblock listener;
+  let conns = ref [] in
+  let next_id = ref 0 in
+  let shutting = ref false in
+  let readbuf = Bytes.create 65536 in
+  let close_conn c =
+    instant_conn "net.close" c;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c'.id <> c.id) !conns
+  in
+  let respond c response =
+    Wire.encode_response c.out response;
+    if response = Wire.Shutting_down then shutting := true
+  in
+  (* Drain every complete frame the connection has buffered.  A decode
+     error answers [Server_error] and flags the connection for close; the
+     error is sticky, so no further frame can be misread from the wreck. *)
+  let drain c =
+    let continue = ref true in
+    while !continue && not c.closing do
+      match Wire.Decoder.next c.decoder with
+      | Ok None -> continue := false
+      | Ok (Some (Wire.Request request)) -> respond c (handle t request)
+      | Ok (Some (Wire.Response _)) ->
+          respond c (Wire.Server_error "protocol: response frame sent to server");
+          c.closing <- true
+      | Error e ->
+          respond c (Wire.Server_error (Wire.error_to_string e));
+          c.closing <- true
+    done
+  in
+  let read_from c =
+    match Unix.read c.fd readbuf 0 (Bytes.length readbuf) with
+    | 0 -> close_conn c
+    | n ->
+        c.last_activity <- Clock.seconds ();
+        Wire.Decoder.feed c.decoder readbuf ~off:0 ~len:n;
+        drain c
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> close_conn c
+  in
+  let write_to c =
+    let bytes = Buffer.to_bytes c.out in
+    match Unix.write c.fd bytes c.out_off (Bytes.length bytes - c.out_off) with
+    | n ->
+        c.out_off <- c.out_off + n;
+        c.last_activity <- Clock.seconds ();
+        if c.out_off = Bytes.length bytes then begin
+          Buffer.clear c.out;
+          c.out_off <- 0;
+          if c.closing then close_conn c
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> close_conn c
+  in
+  let accept_one () =
+    match Unix.accept listener with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        incr next_id;
+        let c =
+          {
+            fd;
+            decoder = Wire.Decoder.create ~max_payload:t.config.max_payload ();
+            out = Buffer.create 1024;
+            out_off = 0;
+            last_activity = Clock.seconds ();
+            closing = false;
+            id = !next_id;
+          }
+        in
+        conns := c :: !conns;
+        instant_conn "net.accept" c
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) -> ()
+  in
+  let finished () = !shutting && List.for_all (fun c -> pending c = 0) !conns in
+  while not (finished ()) do
+    let accepting = (not !shutting) && List.length !conns < t.config.max_connections in
+    let reads =
+      (if accepting then [ listener ] else [])
+      @ List.filter_map
+          (fun c ->
+            if (not c.closing) && (not !shutting) && pending c < t.config.max_pending_bytes then
+              Some c.fd
+            else None)
+          !conns
+    in
+    let writes = List.filter_map (fun c -> if pending c > 0 then Some c.fd else None) !conns in
+    match Unix.select reads writes [] 0.5 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | readable, writable, _ ->
+        List.iter
+          (fun c -> if List.memq c.fd writable then write_to c)
+          !conns;
+        List.iter
+          (fun c -> if List.memq c.fd readable then read_from c)
+          !conns;
+        if accepting && List.memq listener readable then accept_one ();
+        if t.config.idle_timeout > 0.0 && not !shutting then begin
+          let now = Clock.seconds () in
+          List.iter
+            (fun c ->
+              if pending c = 0 && now -. c.last_activity > t.config.idle_timeout then close_conn c)
+            !conns
+        end
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  conns := [];
+  try Unix.close listener with Unix.Unix_error _ -> ()
+
+let serve t address =
+  let listener = listen address in
+  let cleanup () =
+    match address with
+    | Addr.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Addr.Tcp _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () -> run t listener)
+
+(* ---- stdio transport ---- *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let sent = ref 0 in
+  while !sent < len do
+    match Unix.write fd bytes !sent (len - !sent) with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done
+
+let run_stdio t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let decoder = Wire.Decoder.create ~max_payload:t.config.max_payload () in
+  let readbuf = Bytes.create 65536 in
+  let out = Buffer.create 1024 in
+  let running = ref true in
+  while !running do
+    (match Unix.read Unix.stdin readbuf 0 (Bytes.length readbuf) with
+    | 0 -> running := false
+    | n -> Wire.Decoder.feed decoder readbuf ~off:0 ~len:n
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    let continue = ref !running in
+    while !continue do
+      match Wire.Decoder.next decoder with
+      | Ok None -> continue := false
+      | Ok (Some (Wire.Request request)) ->
+          let response = handle t request in
+          Wire.encode_response out response;
+          if response = Wire.Shutting_down then begin
+            running := false;
+            continue := false
+          end
+      | Ok (Some (Wire.Response _)) ->
+          Wire.encode_response out (Wire.Server_error "protocol: response frame sent to server");
+          running := false;
+          continue := false
+      | Error e ->
+          Wire.encode_response out (Wire.Server_error (Wire.error_to_string e));
+          running := false;
+          continue := false
+    done;
+    if Buffer.length out > 0 then begin
+      write_all Unix.stdout (Buffer.to_bytes out);
+      Buffer.clear out
+    end
+  done

@@ -1,0 +1,68 @@
+(** The locator daemon: a persistent RPC front-end over {!Eppi_serve.Serve}.
+
+    One [Unix.select] loop owns the listening socket and every client
+    connection; requests decode through {!Wire.Decoder}, route into the
+    sharded engine, and their responses queue on bounded per-connection
+    write buffers.  The loop is single-threaded — it is the sole caller
+    into the engine, which satisfies {!Eppi_serve.Serve.query}'s
+    single-writer-per-shard contract without locks.
+
+    Flow control and hygiene:
+    - a connection whose write buffer exceeds [max_pending_bytes] stops
+      being read until the client drains it (backpressure, not buffering
+      without bound);
+    - connections idle longer than [idle_timeout] are closed;
+    - a framing error poisons only its connection: the server replies
+      [Server_error] and closes after flushing, other clients are
+      untouched;
+    - a [Republish] frame hot-swaps the engine's index generation
+      ({!Eppi_serve.Serve.republish_index}) between requests — queries
+      keep flowing, no drain, caches invalidate per shard;
+    - a [Shutdown] frame stops accepting, flushes every pending reply,
+      closes all connections and returns from {!run}.
+
+    With tracing enabled ({!Eppi_obs.Trace}), every request is a
+    [net.request] span tagged with its frame kind and accepted/closed
+    connections are instant events. *)
+
+type config = {
+  max_connections : int;  (** Accepted clients beyond this are refused. *)
+  idle_timeout : float;  (** Seconds; 0 disables the idle sweep. *)
+  max_payload : int;  (** Per-frame payload bound fed to {!Wire.Decoder}. *)
+  max_pending_bytes : int;
+      (** Per-connection write-buffer bound before backpressure. *)
+}
+
+val default_config : config
+(** 64 connections, 300 s idle timeout, {!Wire.default_max_payload},
+    8 MiB pending bound. *)
+
+type t
+
+val create : ?config:config -> Eppi_serve.Serve.t -> t
+(** Wrap an engine.  The server does not own the engine: it can be shared
+    with in-process readers (e.g. a metrics poller). *)
+
+val engine : t -> Eppi_serve.Serve.t
+
+val listen : Addr.t -> Unix.file_descr
+(** Bind and listen.  A stale Unix-socket file left by a dead server is
+    removed first; a path occupied by a non-socket file is an error.
+    The returned descriptor is ready for {!run} — clients may already
+    connect (the backlog holds them), which is how tests and the CLI avoid
+    start-up races.
+    @raise Unix.Unix_error as [bind]/[listen] do;
+    @raise Failure when a Unix-socket path exists and is not a socket. *)
+
+val run : t -> Unix.file_descr -> unit
+(** Serve until a [Shutdown] frame arrives, then flush and return.  Closes
+    the listener and every connection; does not unlink socket files. *)
+
+val serve : t -> Addr.t -> unit
+(** {!listen} + {!run}, unlinking a Unix-socket path on the way out (also
+    on exception) so no stray socket file survives the daemon. *)
+
+val run_stdio : t -> unit
+(** The [--stdio] transport: frames on stdin, responses on stdout, until
+    EOF or a [Shutdown] frame.  For inetd-style supervision and tests
+    without socket plumbing. *)

@@ -1,0 +1,350 @@
+(* Frame layout:
+     byte 0        magic 0xE5
+     byte 1        version (1)
+     byte 2        tag
+     bytes 3..6    payload length, 32-bit big-endian
+     bytes 7..     payload
+   Request tags sit in 0x01..0x0F, response tags in 0x11..0x1F, so the two
+   directions can never be confused by a misrouted frame. *)
+
+type request =
+  | Query of { owner : int }
+  | Batch of int array
+  | Audit of { provider : int }
+  | Stats
+  | Republish of { index_csv : string }
+  | Ping
+  | Shutdown
+
+type response =
+  | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
+  | Batch_reply of { generation : int; replies : Eppi_serve.Serve.reply array }
+  | Audit_reply of { generation : int; owners : int list option }
+  | Stats_json of string
+  | Republished of { generation : int }
+  | Pong
+  | Shutting_down
+  | Server_error of string
+
+type frame =
+  | Request of request
+  | Response of response
+
+let magic = 0xE5
+let version = 1
+let header_bytes = 7
+let default_max_payload = 1 lsl 26
+
+let tag_query = 0x01
+let tag_batch = 0x02
+let tag_audit = 0x03
+let tag_stats = 0x04
+let tag_republish = 0x05
+let tag_ping = 0x06
+let tag_shutdown = 0x07
+let tag_reply = 0x11
+let tag_batch_reply = 0x12
+let tag_audit_reply = 0x13
+let tag_stats_json = 0x14
+let tag_republished = 0x15
+let tag_pong = 0x16
+let tag_shutting_down = 0x17
+let tag_server_error = 0x18
+
+type error =
+  | Bad_magic of int
+  | Bad_version of int
+  | Unknown_tag of int
+  | Oversized of {
+      length : int;
+      limit : int;
+    }
+  | Corrupt of string
+
+let error_to_string = function
+  | Bad_magic b -> Printf.sprintf "bad magic byte 0x%02X (expected 0x%02X)" b magic
+  | Bad_version v -> Printf.sprintf "unknown protocol version %d (speak %d)" v version
+  | Unknown_tag t -> Printf.sprintf "unknown frame tag 0x%02X" t
+  | Oversized { length; limit } ->
+      Printf.sprintf "payload of %d bytes exceeds the %d-byte bound" length limit
+  | Corrupt msg -> Printf.sprintf "corrupt payload: %s" msg
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* ---- varints: zigzag LEB128 over OCaml's 63-bit ints ---- *)
+
+(* Zigzag maps the int's bit pattern so small magnitudes of either sign
+   encode short; [lsr] below is logical, so the loop terminates after at
+   most 9 bytes (ceil 63/7) for any input. *)
+let put_varint b n =
+  let u = ref ((n lsl 1) lxor (n asr 62)) in
+  let continue = ref true in
+  while !continue do
+    let byte = !u land 0x7F in
+    u := !u lsr 7;
+    if !u = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+exception Corrupt_payload of string
+
+(* A read cursor over one payload string. *)
+type cursor = {
+  payload : string;
+  mutable pos : int;
+}
+
+let get_varint c =
+  let u = ref 0 and shift = ref 0 and value = ref None in
+  while !value = None do
+    if c.pos >= String.length c.payload then raise (Corrupt_payload "truncated varint");
+    if !shift > 56 then raise (Corrupt_payload "varint longer than 9 bytes");
+    let byte = Char.code c.payload.[c.pos] in
+    c.pos <- c.pos + 1;
+    u := !u lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then value := Some ((!u lsr 1) lxor (- (!u land 1)))
+  done;
+  Option.get !value
+
+let get_count c ~what ~limit =
+  let n = get_varint c in
+  if n < 0 || n > limit then raise (Corrupt_payload (Printf.sprintf "%s count %d" what n));
+  n
+
+(* ---- payload encoders ---- *)
+
+let put_int_list b ids =
+  put_varint b (List.length ids);
+  List.iter (put_varint b) ids
+
+let put_reply b (reply : Eppi_serve.Serve.reply) =
+  match reply with
+  | Providers providers ->
+      Buffer.add_char b '\x00';
+      put_int_list b providers
+  | Unknown_owner -> Buffer.add_char b '\x01'
+  | Shed_rate_limit -> Buffer.add_char b '\x02'
+  | Shed_queue_full -> Buffer.add_char b '\x03'
+
+let payload_of_request b = function
+  | Query { owner } ->
+      put_varint b owner;
+      tag_query
+  | Batch owners ->
+      put_varint b (Array.length owners);
+      Array.iter (put_varint b) owners;
+      tag_batch
+  | Audit { provider } ->
+      put_varint b provider;
+      tag_audit
+  | Stats -> tag_stats
+  | Republish { index_csv } ->
+      Buffer.add_string b index_csv;
+      tag_republish
+  | Ping -> tag_ping
+  | Shutdown -> tag_shutdown
+
+let payload_of_response b = function
+  | Reply { generation; reply } ->
+      put_varint b generation;
+      put_reply b reply;
+      tag_reply
+  | Batch_reply { generation; replies } ->
+      put_varint b generation;
+      put_varint b (Array.length replies);
+      Array.iter (put_reply b) replies;
+      tag_batch_reply
+  | Audit_reply { generation; owners } ->
+      put_varint b generation;
+      (match owners with
+      | None -> Buffer.add_char b '\x00'
+      | Some ids ->
+          Buffer.add_char b '\x01';
+          put_int_list b ids);
+      tag_audit_reply
+  | Stats_json json ->
+      Buffer.add_string b json;
+      tag_stats_json
+  | Republished { generation } ->
+      put_varint b generation;
+      tag_republished
+  | Pong -> tag_pong
+  | Shutting_down -> tag_shutting_down
+  | Server_error message ->
+      Buffer.add_string b message;
+      tag_server_error
+
+let add_frame b payload_of value =
+  let body = Buffer.create 64 in
+  let tag = payload_of body value in
+  let len = Buffer.length body in
+  Buffer.add_char b (Char.chr magic);
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr tag);
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (len land 0xFF));
+  Buffer.add_buffer b body
+
+let encode_request b request = add_frame b payload_of_request request
+let encode_response b response = add_frame b payload_of_response response
+
+let frame_to_string = function
+  | Request request ->
+      let b = Buffer.create 64 in
+      encode_request b request;
+      Buffer.contents b
+  | Response response ->
+      let b = Buffer.create 64 in
+      encode_response b response;
+      Buffer.contents b
+
+(* ---- payload decoders ---- *)
+
+let get_int_list c ~what =
+  (* Each id costs at least one byte, so the count can never exceed the
+     bytes that remain — reject early instead of allocating on a lie. *)
+  let count = get_count c ~what ~limit:(String.length c.payload - c.pos) in
+  List.init count (fun _ -> get_varint c)
+
+let get_reply c : Eppi_serve.Serve.reply =
+  if c.pos >= String.length c.payload then raise (Corrupt_payload "truncated reply");
+  let kind = Char.code c.payload.[c.pos] in
+  c.pos <- c.pos + 1;
+  match kind with
+  | 0 -> Providers (get_int_list c ~what:"provider")
+  | 1 -> Unknown_owner
+  | 2 -> Shed_rate_limit
+  | 3 -> Shed_queue_full
+  | k -> raise (Corrupt_payload (Printf.sprintf "unknown reply kind %d" k))
+
+let rest c =
+  let s = String.sub c.payload c.pos (String.length c.payload - c.pos) in
+  c.pos <- String.length c.payload;
+  s
+
+let parse_payload tag payload =
+  let c = { payload; pos = 0 } in
+  let frame =
+    if tag = tag_query then Request (Query { owner = get_varint c })
+    else if tag = tag_batch then begin
+      let count = get_count c ~what:"batch" ~limit:(String.length payload - c.pos) in
+      Request (Batch (Array.init count (fun _ -> get_varint c)))
+    end
+    else if tag = tag_audit then Request (Audit { provider = get_varint c })
+    else if tag = tag_stats then Request Stats
+    else if tag = tag_republish then Request (Republish { index_csv = rest c })
+    else if tag = tag_ping then Request Ping
+    else if tag = tag_shutdown then Request Shutdown
+    else if tag = tag_reply then begin
+      let generation = get_varint c in
+      Response (Reply { generation; reply = get_reply c })
+    end
+    else if tag = tag_batch_reply then begin
+      let generation = get_varint c in
+      let count = get_count c ~what:"batch reply" ~limit:(String.length payload - c.pos) in
+      Response (Batch_reply { generation; replies = Array.init count (fun _ -> get_reply c) })
+    end
+    else if tag = tag_audit_reply then begin
+      let generation = get_varint c in
+      if c.pos >= String.length payload then raise (Corrupt_payload "truncated option");
+      let present = Char.code payload.[c.pos] in
+      c.pos <- c.pos + 1;
+      match present with
+      | 0 -> Response (Audit_reply { generation; owners = None })
+      | 1 -> Response (Audit_reply { generation; owners = Some (get_int_list c ~what:"owner") })
+      | k -> raise (Corrupt_payload (Printf.sprintf "unknown option tag %d" k))
+    end
+    else if tag = tag_stats_json then Response (Stats_json (rest c))
+    else if tag = tag_republished then Response (Republished { generation = get_varint c })
+    else if tag = tag_pong then Response Pong
+    else if tag = tag_shutting_down then Response Shutting_down
+    else if tag = tag_server_error then Response (Server_error (rest c))
+    else assert false (* the decoder rejects unknown tags at the header *)
+  in
+  if c.pos <> String.length payload then
+    raise (Corrupt_payload (Printf.sprintf "%d trailing bytes" (String.length payload - c.pos)));
+  frame
+
+let known_tag tag = (tag >= tag_query && tag <= tag_shutdown) || (tag >= tag_reply && tag <= tag_server_error)
+
+(* ---- the incremental decoder ---- *)
+
+module Decoder = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable off : int;  (* consumed prefix *)
+    mutable len : int;  (* valid bytes (off <= len) *)
+    max_payload : int;
+    mutable poison : error option;
+  }
+
+  let create ?(max_payload = default_max_payload) () =
+    if max_payload <= 0 then invalid_arg "Wire.Decoder.create: non-positive payload bound";
+    { buf = Bytes.create 4096; off = 0; len = 0; max_payload; poison = None }
+
+  let buffered t = t.len - t.off
+
+  let feed t bytes ~off ~len =
+    if off < 0 || len < 0 || off + len > Bytes.length bytes then
+      invalid_arg "Wire.Decoder.feed: slice out of bounds";
+    (* Reclaim the consumed prefix, then grow if the tail still lacks room. *)
+    if t.off > 0 && t.len + len > Bytes.length t.buf then begin
+      Bytes.blit t.buf t.off t.buf 0 (t.len - t.off);
+      t.len <- t.len - t.off;
+      t.off <- 0
+    end;
+    if t.len + len > Bytes.length t.buf then begin
+      let capacity = ref (Bytes.length t.buf) in
+      while t.len + len > !capacity do
+        capacity := !capacity * 2
+      done;
+      let grown = Bytes.create !capacity in
+      Bytes.blit t.buf 0 grown 0 t.len;
+      t.buf <- grown
+    end;
+    Bytes.blit bytes off t.buf t.len len;
+    t.len <- t.len + len
+
+  let feed_string t s = feed t (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+  let byte t i = Char.code (Bytes.get t.buf (t.off + i))
+
+  let fail t e =
+    t.poison <- Some e;
+    Error e
+
+  let next t =
+    match t.poison with
+    | Some e -> Error e
+    | None ->
+        let available = buffered t in
+        (* Validate the header prefix byte-by-byte so garbage is rejected
+           as soon as it arrives, not once 7 bytes accumulate. *)
+        if available >= 1 && byte t 0 <> magic then fail t (Bad_magic (byte t 0))
+        else if available >= 2 && byte t 1 <> version then fail t (Bad_version (byte t 1))
+        else if available >= 3 && not (known_tag (byte t 2)) then fail t (Unknown_tag (byte t 2))
+        else if available < header_bytes then Ok None
+        else begin
+          let length = (byte t 3 lsl 24) lor (byte t 4 lsl 16) lor (byte t 5 lsl 8) lor byte t 6 in
+          if length > t.max_payload then fail t (Oversized { length; limit = t.max_payload })
+          else if available < header_bytes + length then Ok None
+          else begin
+            let payload = Bytes.sub_string t.buf (t.off + header_bytes) length in
+            let tag = byte t 2 in
+            t.off <- t.off + header_bytes + length;
+            if t.off = t.len then begin
+              t.off <- 0;
+              t.len <- 0
+            end;
+            match parse_payload tag payload with
+            | frame -> Ok (Some frame)
+            | exception Corrupt_payload msg -> fail t (Corrupt msg)
+          end
+        end
+end

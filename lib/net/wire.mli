@@ -1,0 +1,100 @@
+(** The locator daemon's binary wire protocol.
+
+    Every frame is a fixed 7-byte header — magic byte, protocol version,
+    frame tag, 32-bit big-endian payload length — followed by the payload.
+    Integers inside payloads are zigzag LEB128 varints, so small ids cost
+    one byte; posting lists are a varint count followed by the ids.
+
+    The protocol is strictly request/response: the server sends exactly one
+    response frame per request frame, in request order, which is what lets
+    {!Client} pipeline N requests over one socket and match replies by
+    position.  Request and response tags live in disjoint ranges, so one
+    {!Decoder} serves both ends of the connection and a frame arriving on
+    the wrong side is a typed protocol error, not a misparse.
+
+    Decoding is incremental ({!Decoder}): feed whatever bytes the socket
+    produced, get back complete frames; partial headers and split payloads
+    reassemble across feeds.  Every malformed input is a typed {!error} —
+    wrong magic, unknown version or tag, a payload longer than the
+    configured bound, or a payload whose body does not parse.  A decoder
+    that has reported an error is poisoned and keeps reporting it: the only
+    safe continuation after a framing error is closing the connection. *)
+
+type request =
+  | Query of { owner : int }  (** QueryPPI for one owner id. *)
+  | Batch of int array  (** QueryPPI for many owners in one frame. *)
+  | Audit of { provider : int }  (** Provider-side audit (inverse postings). *)
+  | Stats  (** The engine's merged metrics snapshot as JSON. *)
+  | Republish of { index_csv : string }
+      (** Hot-swap: install the index serialized as {!Eppi.Index.to_csv}. *)
+  | Ping  (** Liveness probe. *)
+  | Shutdown  (** Graceful stop: the server flushes replies and exits. *)
+
+type response =
+  | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
+  | Batch_reply of { generation : int; replies : Eppi_serve.Serve.reply array }
+  | Audit_reply of { generation : int; owners : int list option }
+      (** [None]: the provider id is out of range. *)
+  | Stats_json of string
+  | Republished of { generation : int }  (** The freshly installed generation. *)
+  | Pong
+  | Shutting_down
+  | Server_error of string
+      (** The request was understood but could not be served (e.g. a
+          republish payload that fails CSV validation). *)
+
+type frame =
+  | Request of request
+  | Response of response
+
+val version : int
+(** Protocol version carried in every header (currently 1). *)
+
+val header_bytes : int
+(** Fixed header size: 7. *)
+
+val default_max_payload : int
+(** Decoder payload bound: 64 MiB — sized for republish frames carrying a
+    full index CSV. *)
+
+val encode_request : Buffer.t -> request -> unit
+val encode_response : Buffer.t -> response -> unit
+
+val frame_to_string : frame -> string
+(** One whole frame (header + payload) as a string. *)
+
+type error =
+  | Bad_magic of int  (** First byte of a frame was not the magic. *)
+  | Bad_version of int  (** Unknown protocol version. *)
+  | Unknown_tag of int  (** Version understood, frame tag not. *)
+  | Oversized of { length : int; limit : int }
+      (** Declared payload length exceeds the decoder's bound. *)
+  | Corrupt of string
+      (** Header fine, payload body malformed (truncated varint, bad
+          count, trailing bytes, …). *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+module Decoder : sig
+  type t
+
+  val create : ?max_payload:int -> unit -> t
+  (** @raise Invalid_argument on a non-positive payload bound. *)
+
+  val feed : t -> Bytes.t -> off:int -> len:int -> unit
+  (** Append [len] bytes of [buf] starting at [off] (as read from a
+      socket).  @raise Invalid_argument on an out-of-bounds slice. *)
+
+  val feed_string : t -> string -> unit
+
+  val next : t -> (frame option, error) result
+  (** [Ok (Some frame)]: one complete frame was consumed from the buffer
+      (call again — a single feed may contain several frames).
+      [Ok None]: the buffered bytes are a valid prefix; feed more.
+      [Error e]: the stream is broken at the current position; the decoder
+      is poisoned and every subsequent call returns the same error. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed as frames. *)
+end

@@ -60,6 +60,13 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.table key
 
+let clear t =
+  Hashtbl.reset t.table;
+  Array.fill t.values 0 t.cap None;
+  t.head <- -1;
+  t.tail <- -1;
+  t.len <- 0
+
 let put t key value =
   if t.cap > 0 then
     match Hashtbl.find_opt t.table key with

@@ -29,5 +29,11 @@ val put : 'a t -> int -> 'a -> unit
 (** Insert or replace, promoting to most-recently-used; evicts the
     least-recently-used entry when full. *)
 
+val clear : 'a t -> unit
+(** Drop every entry (values are released) without reallocating the slot
+    arrays — how the serving engine invalidates a shard's caches when a new
+    index generation is published.  {!evictions} is cumulative and is not
+    reset. *)
+
 val evictions : 'a t -> int
 (** Entries displaced by capacity pressure since [create]. *)

@@ -10,6 +10,8 @@ type t = {
   mutable shed_rate : int;
   mutable shed_queue : int;
   mutable audits : int;
+  mutable generation : int;
+  mutable swaps : int;
   latency : Stats.Log2_histogram.t;
 }
 
@@ -24,6 +26,8 @@ let create () =
     shed_rate = 0;
     shed_queue = 0;
     audits = 0;
+    generation = 1;
+    swaps = 0;
     latency = Stats.Log2_histogram.create ();
   }
 
@@ -36,6 +40,8 @@ let incr_unknown t = t.unknown <- t.unknown + 1
 let incr_shed_rate t = t.shed_rate <- t.shed_rate + 1
 let incr_shed_queue t = t.shed_queue <- t.shed_queue + 1
 let incr_audits t = t.audits <- t.audits + 1
+let incr_swaps t = t.swaps <- t.swaps + 1
+let set_generation t generation = t.generation <- generation
 let record_latency t seconds = Stats.Log2_histogram.add t.latency seconds
 
 type snapshot = {
@@ -48,6 +54,8 @@ type snapshot = {
   shed_rate : int;
   shed_queue : int;
   audits : int;
+  generation : int;
+  swaps : int;
   latency_count : int;
   latency_mean : float;
   p50 : float;
@@ -75,6 +83,8 @@ let snapshot shards =
     shed_rate = sum (fun t -> t.shed_rate);
     shed_queue = sum (fun t -> t.shed_queue);
     audits = sum (fun t -> t.audits);
+    generation = List.fold_left (fun acc (m : t) -> max acc m.generation) 1 shards;
+    swaps = sum (fun t -> t.swaps);
     latency_count = Stats.Log2_histogram.total latency;
     latency_mean = Stats.Log2_histogram.mean latency;
     p50 = Stats.Log2_histogram.quantile latency 0.5;
@@ -97,6 +107,8 @@ let diff (newer : snapshot) (older : snapshot) =
     shed_rate = newer.shed_rate - older.shed_rate;
     shed_queue = newer.shed_queue - older.shed_queue;
     audits = newer.audits - older.audits;
+    generation = newer.generation;
+    swaps = newer.swaps - older.swaps;
     latency_count = newer.latency_count - older.latency_count;
     latency_mean = newer.latency_mean;
     p50 = newer.p50;
@@ -112,14 +124,16 @@ let to_json s =
   Printf.sprintf
     "{ \"queries\": %d, \"served\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
      \"cache_hit_rate\": %.4f, \"negative_hits\": %d, \"unknown\": %d, \"shed_rate\": %d, \
-     \"shed_queue\": %d, \"audits\": %d, \"latency_count\": %d, \"latency_mean_s\": %.9f, \
+     \"shed_queue\": %d, \"audits\": %d, \"generation\": %d, \"swaps\": %d, \
+     \"latency_count\": %d, \"latency_mean_s\": %.9f, \
      \"p50_s\": %.9f, \"p95_s\": %.9f, \"p99_s\": %.9f }"
     s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
-    s.shed_rate s.shed_queue s.audits s.latency_count s.latency_mean s.p50 s.p95 s.p99
+    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.latency_count s.latency_mean
+    s.p50 s.p95 s.p99
 
 let pp ppf s =
   Format.fprintf ppf
     "queries=%d served=%d hits=%d misses=%d hit_rate=%.3f negative=%d unknown=%d \
-     shed_rate=%d shed_queue=%d audits=%d p50=%.2gs p95=%.2gs p99=%.2gs"
+     shed_rate=%d shed_queue=%d audits=%d gen=%d swaps=%d p50=%.2gs p95=%.2gs p99=%.2gs"
     s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
-    s.shed_rate s.shed_queue s.audits s.p50 s.p95 s.p99
+    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.p50 s.p95 s.p99

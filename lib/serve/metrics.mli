@@ -20,6 +20,12 @@ val incr_shed_rate : t -> unit
 val incr_shed_queue : t -> unit
 val incr_audits : t -> unit
 
+val incr_swaps : t -> unit
+(** One index hot-swap observed by this shard (its caches were dropped). *)
+
+val set_generation : t -> int -> unit
+(** The index generation this shard last served from (starts at 1). *)
+
 val record_latency : t -> float -> unit
 (** Record one query's service time in seconds. *)
 
@@ -33,6 +39,15 @@ type snapshot = {
   shed_rate : int;  (** Shed by the token bucket. *)
   shed_queue : int;  (** Shed by the bounded per-shard queue. *)
   audits : int;  (** Provider-side audit queries. *)
+  generation : int;
+      (** Highest index generation any shard has served from (1 until the
+          first republish is observed; {!Serve.metrics} substitutes the
+          engine's authoritative current generation). *)
+  swaps : int;
+      (** Hot-swap observations summed over shards: each shard counts the
+          generation changes it noticed (and invalidated its caches for),
+          so with [k] trafficked shards one republish contributes up to
+          [k]. *)
   latency_count : int;  (** Latency samples recorded (sampling may skip). *)
   latency_mean : float;
   p50 : float;
@@ -45,11 +60,12 @@ val snapshot : t list -> snapshot
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff newer older] is the interval view between two snapshots of the
-    same engine: every counter (including [latency_count]) subtracts, so a
-    long-running engine can report per-window rates; the latency
-    distribution fields ([latency_mean], [p50], [p95], [p99]) are taken
-    from [newer] — histograms are cumulative and their difference has no
-    defined percentiles. *)
+    same engine: every counter (including [latency_count] and [swaps])
+    subtracts, so a long-running engine can report per-window rates; the
+    latency distribution fields ([latency_mean], [p50], [p95], [p99]) and
+    [generation] are taken from [newer] — histograms are cumulative and
+    their difference has no defined percentiles, and a generation is a
+    point-in-time label, not a rate. *)
 
 val hit_rate : snapshot -> float
 (** cache_hits / (cache_hits + cache_misses); 0 when no lookups ran. *)

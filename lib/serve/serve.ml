@@ -30,10 +30,19 @@ type shard = {
   bucket : Admission.t option;
   metrics : Metrics.t;
   mutable tick : int;
+  mutable generation : int;  (* the generation the caches were filled from *)
+}
+
+(* The currently published index: one immutable pair behind an atomic, so
+   a republish is a single pointer swap — readers always see a consistent
+   (generation, postings) and never a torn mix of two indexes. *)
+type published = {
+  generation : int;
+  store : Postings.t;
 }
 
 type t = {
-  postings : Postings.t;
+  published : published Atomic.t;
   shard_states : shard array;
   sample_every : int;
   queue_capacity : int;  (* max_int when admission is off *)
@@ -53,10 +62,11 @@ let of_postings ?(config = default_config) postings =
           bucket = Option.map Admission.create config.admission;
           metrics = Metrics.create ();
           tick = 0;
+          generation = 1;
         })
   in
   {
-    postings;
+    published = Atomic.make { generation = 1; store = postings };
     shard_states;
     sample_every = config.latency_sample_every;
     queue_capacity =
@@ -64,17 +74,31 @@ let of_postings ?(config = default_config) postings =
   }
 
 let create ?config index = of_postings ?config (Postings.of_index index)
-let postings t = t.postings
+let postings t = (Atomic.get t.published).store
+let generation t = (Atomic.get t.published).generation
 let shards t = Array.length t.shard_states
+
+let republish t store =
+  (* CAS loop: concurrent republishers each get a distinct generation.
+     Shards pick the new index up lazily, on their next request. *)
+  let rec install () =
+    let old = Atomic.get t.published in
+    let next = { generation = old.generation + 1; store } in
+    if Atomic.compare_and_set t.published old next then next.generation else install ()
+  in
+  install ()
+
+let republish_index t index = republish t (Postings.of_index index)
 
 let shard_of t owner =
   let n = Array.length t.shard_states in
   let s = owner mod n in
   if s < 0 then s + n else s
 
-(* The cache/postings lookup, after admission. *)
-let lookup t sh ~owner =
-  if owner < 0 || owner >= Postings.owners t.postings then begin
+(* The cache/postings lookup, after admission.  [pub] is the published
+   pair the caller fetched for this request. *)
+let lookup pub sh ~owner =
+  if owner < 0 || owner >= Postings.owners pub.store then begin
     Metrics.incr_unknown sh.metrics;
     (match Lru.find sh.negative owner with
     | Some () -> Metrics.incr_negative_hit sh.metrics
@@ -88,7 +112,7 @@ let lookup t sh ~owner =
         Metrics.incr_served sh.metrics;
         Providers providers
     | None ->
-        let providers = Postings.query t.postings ~owner in
+        let providers = Postings.query pub.store ~owner in
         Metrics.incr_cache_miss sh.metrics;
         Metrics.incr_served sh.metrics;
         Lru.put sh.cache owner providers;
@@ -96,6 +120,18 @@ let lookup t sh ~owner =
 
 let serve_one t sh ~clock ~now ~owner =
   Metrics.incr_queries sh.metrics;
+  (* One atomic load per request pins the (generation, postings) pair this
+     reply is computed from; a republish between two requests is picked up
+     here, never mid-reply.  On a generation change the shard's caches hold
+     answers from the previous index — drop them before serving. *)
+  let pub = Atomic.get t.published in
+  if pub.generation <> sh.generation then begin
+    Lru.clear sh.cache;
+    Lru.clear sh.negative;
+    sh.generation <- pub.generation;
+    Metrics.incr_swaps sh.metrics;
+    Metrics.set_generation sh.metrics pub.generation
+  end;
   let admitted =
     match sh.bucket with None -> true | Some b -> Admission.try_admit b ~now
   in
@@ -108,23 +144,32 @@ let serve_one t sh ~clock ~now ~owner =
     if sh.tick >= t.sample_every then begin
       sh.tick <- 0;
       let t0 = clock () in
-      let reply = lookup t sh ~owner in
+      let reply = lookup pub sh ~owner in
       Metrics.record_latency sh.metrics (clock () -. t0);
       reply
     end
-    else lookup t sh ~owner
+    else lookup pub sh ~owner
   end
 
 let query ?now t ~owner =
   let now = match now with Some n -> n | None -> Clock.seconds () in
   serve_one t t.shard_states.(shard_of t owner) ~clock:Clock.seconds ~now ~owner
 
+let query_tagged ?now t ~owner =
+  let now = match now with Some n -> n | None -> Clock.seconds () in
+  let sh = t.shard_states.(shard_of t owner) in
+  let reply = serve_one t sh ~clock:Clock.seconds ~now ~owner in
+  (* serve_one synced the shard to the generation it served from, and this
+     caller is the shard's only writer, so the field still names it. *)
+  (sh.generation, reply)
+
 let audit t ~provider =
-  if provider < 0 || provider >= Postings.providers t.postings then None
+  let store = (Atomic.get t.published).store in
+  if provider < 0 || provider >= Postings.providers store then None
   else begin
     (* Audits are rare administrative reads; account them on shard 0. *)
     Metrics.incr_audits t.shard_states.(0).metrics;
-    Some (Postings.owners_of t.postings ~provider)
+    Some (Postings.owners_of store ~provider)
   end
 
 type report = {
@@ -254,4 +299,9 @@ let replay ?pool ?(clock = Clock.seconds) t requests =
   }
 
 let metrics t =
-  Metrics.snapshot (Array.to_list (Array.map (fun sh -> sh.metrics) t.shard_states))
+  (* Shards learn about a republish lazily, so the merged generation can
+     lag the engine's; report the authoritative current one. *)
+  {
+    (Metrics.snapshot (Array.to_list (Array.map (fun sh -> sh.metrics) t.shard_states))) with
+    generation = (Atomic.get t.published).generation;
+  }

@@ -8,6 +8,11 @@
     single writer, so batch replay across an {!Eppi_prelude.Pool} of
     domains runs without locks or contention.
 
+    The published store sits behind a generation-tagged atomic slot:
+    {!republish} installs a freshly constructed index while the shards keep
+    serving (no drain), and each shard invalidates its caches the first
+    time it observes the new generation.
+
     Correctness contract: for every in-range owner, the engine's reply
     (cached or not) is exactly [Eppi.Index.query index ~owner]; every
     request is answered with an explicit {!reply} — shed requests are
@@ -46,12 +51,34 @@ val of_postings : ?config:config -> Postings.t -> t
 (** Reuse an already-compiled store (e.g. shared across engines). *)
 
 val postings : t -> Postings.t
+(** The currently published store (the latest generation's). *)
+
 val shards : t -> int
+
+val generation : t -> int
+(** The current index generation: 1 at {!create}, +1 per {!republish}. *)
+
+val republish : t -> Postings.t -> int
+(** Atomically install a new published store without draining the shards
+    and return its generation.  Requests already past their generation
+    check complete against the index they started on; every later request
+    (on any shard) serves from the new one.  Each shard drops its result
+    and negative caches the first time it sees the new generation
+    (counted in {!Metrics} as [swaps]).  Safe to call from any domain
+    while {!query}/{!run}/{!replay} execute. *)
+
+val republish_index : t -> Eppi.Index.t -> int
+(** {!republish} after compiling the index ({!Postings.of_index}). *)
 
 val query : ?now:float -> t -> owner:int -> reply
 (** Serve one request.  [now] (seconds, default {!Clock.seconds}) drives the
     token bucket and latency measurement.  Concurrent callers must not share
     a shard; use {!run} for parallel replay. *)
+
+val query_tagged : ?now:float -> t -> owner:int -> int * reply
+(** Like {!query}, also naming the index generation the reply was computed
+    from — the tag the RPC server stamps on every response so clients can
+    tell pre- from post-swap answers. *)
 
 val audit : t -> provider:int -> int list option
 (** Provider-side audit: the owners the published index lists at

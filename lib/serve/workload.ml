@@ -37,3 +37,67 @@ let uniform ?(unknown_fraction = 0.0) rng ~n ~count =
   check ~n ~count ~unknown_fraction;
   Array.init count (fun _ ->
       with_unknowns rng ~n ~unknown_fraction (fun () -> Rng.int rng n))
+
+(* ---- trace-driven workloads: request-log readers ---- *)
+
+let fail_line lineno what = failwith (Printf.sprintf "Workload: line %d: %s" lineno what)
+
+let fold_lines text f =
+  let acc = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line <> "" && line.[0] <> '#' then
+           match f ~lineno:!lineno line with None -> () | Some owner -> acc := owner :: !acc);
+  Array.of_list (List.rev !acc)
+
+let of_csv_log text =
+  fold_lines text (fun ~lineno line ->
+      (* Last comma-separated field is the owner id; leading fields (a
+         timestamp, a client tag) are carried by real request logs and
+         ignored here.  An unparsable first line is a column header. *)
+      let fields = String.split_on_char ',' line in
+      let last = String.trim (List.nth fields (List.length fields - 1)) in
+      match int_of_string_opt last with
+      | Some owner -> Some owner
+      | None -> if lineno = 1 then None else fail_line lineno (Printf.sprintf "bad owner %S" last))
+
+let of_jsonl_log text =
+  let find_owner ~lineno line =
+    let key = "\"owner\"" in
+    let klen = String.length key in
+    let len = String.length line in
+    let rec scan i =
+      if i + klen > len then fail_line lineno "no \"owner\" key"
+      else if String.sub line i klen = key then i + klen
+      else scan (i + 1)
+    in
+    let pos = ref (scan 0) in
+    let skip_ws () =
+      while !pos < len && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+        incr pos
+      done
+    in
+    skip_ws ();
+    if !pos >= len || line.[!pos] <> ':' then fail_line lineno "expected ':' after \"owner\"";
+    incr pos;
+    skip_ws ();
+    let start = !pos in
+    if !pos < len && line.[!pos] = '-' then incr pos;
+    while !pos < len && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail_line lineno "\"owner\" is not an integer";
+    int_of_string (String.sub line start (!pos - start))
+  in
+  fold_lines text (fun ~lineno line ->
+      if line.[0] <> '{' then fail_line lineno "expected a JSON object"
+      else Some (find_owner ~lineno line))
+
+let to_csv_log owners =
+  let b = Buffer.create (16 + (Array.length owners * 7)) in
+  Buffer.add_string b "owner\n";
+  Array.iter (fun owner -> Buffer.add_string b (string_of_int owner ^ "\n")) owners;
+  Buffer.contents b

@@ -19,3 +19,26 @@ val zipf :
 
 val uniform : ?unknown_fraction:float -> Rng.t -> n:int -> count:int -> int array
 (** The unskewed control workload (worst case for caching). *)
+
+(** {2 Trace-driven workloads}
+
+    Next to the synthetic generators, a request log captured from a real
+    deployment (or written by {!to_csv_log}) replays as-is — the workload
+    realism the serving bench and the RPC replay driver
+    ({!Eppi_net.Replay}) consume. *)
+
+val of_csv_log : string -> int array
+(** Parse a CSV request log: one request per line, the {e last}
+    comma-separated field is the owner id (leading fields — a timestamp, a
+    client tag — are ignored).  Blank lines and [#] comments are skipped;
+    a non-numeric first line is treated as a column header.
+    @raise Failure on any other unparsable line, naming it. *)
+
+val of_jsonl_log : string -> int array
+(** Parse a JSONL request log: one JSON object per line carrying an
+    integer ["owner"] field (other fields are ignored).
+    @raise Failure on a line without one, naming it. *)
+
+val to_csv_log : int array -> string
+(** Serialize a workload as a CSV request log ([of_csv_log]'s inverse,
+    with an [owner] header line). *)

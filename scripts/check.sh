@@ -76,4 +76,73 @@ EOF
 fi
 rm -f /tmp/eppi_trace_dataset.csv /tmp/eppi_trace_index.csv
 
+# A ~5 s smoke of the network front-end (docs/SERVE.md): start the daemon
+# on a Unix socket, drive 100 pipelined queries and a hot-swap republish
+# through `eppi query`/`eppi republish`, assert the metrics conserve every
+# request and record the swap, then shut down gracefully and check that
+# the daemon exits 0 and leaves no socket file behind.
+echo "== net smoke =="
+EPPI=./_build/default/bin/eppi_cli.exe
+NET_DIR=$(mktemp -d /tmp/eppi_net_smoke.XXXXXX)
+NET_SOCK="$NET_DIR/eppi.sock"
+trap 'rm -rf "$NET_DIR"' EXIT
+"$EPPI" generate --owners 80 --providers 24 --seed 5 -o "$NET_DIR/net.csv" >/dev/null
+"$EPPI" construct -d "$NET_DIR/net.csv" -o "$NET_DIR/index1.csv" 2>/dev/null
+"$EPPI" construct -d "$NET_DIR/net.csv" --seed 9 --policy basic -o "$NET_DIR/index2.csv" 2>/dev/null
+"$EPPI" serve -i "$NET_DIR/index1.csv" --listen "$NET_SOCK" --shards 2 \
+  >"$NET_DIR/server.json" 2>"$NET_DIR/server.log" &
+NET_PID=$!
+# 100 queries: two rounds of 50, pipelined over one connection each, with a
+# hot-swap republish in between (generation 1 -> 2, queries keep flowing).
+seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$NET_SOCK" >"$NET_DIR/replies1.txt"
+"$EPPI" republish --connect "$NET_SOCK" -i "$NET_DIR/index2.csv" | grep -q "generation 2"
+seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$NET_SOCK" >"$NET_DIR/replies2.txt"
+test "$(wc -l < "$NET_DIR/replies1.txt")" -eq 50
+test "$(wc -l < "$NET_DIR/replies2.txt")" -eq 50
+"$EPPI" stats --connect "$NET_SOCK" >"$NET_DIR/stats.json"
+if command -v python3 >/dev/null 2>&1; then
+  NET_STATS="$NET_DIR/stats.json" python3 - <<'EOF'
+import json, os
+with open(os.environ["NET_STATS"]) as f:
+    m = json.load(f)
+if m["queries"] != m["served"] + m["unknown"] + m["shed_rate"] + m["shed_queue"]:
+    raise SystemExit(f"net: request conservation violated: {m}")
+if m["queries"] < 100:
+    raise SystemExit(f"net: expected >= 100 queries, got {m['queries']}")
+if m["generation"] != 2:
+    raise SystemExit(f"net: expected generation 2 after republish, got {m['generation']}")
+if m["swaps"] < 1:
+    raise SystemExit(f"net: republish recorded no swap: {m}")
+print(f"net stats ok: {m['queries']} queries conserved, generation {m['generation']}, "
+      f"{m['swaps']} swap observation(s)")
+EOF
+fi
+"$EPPI" shutdown --connect "$NET_SOCK" 2>/dev/null
+wait "$NET_PID"
+test ! -e "$NET_SOCK"
+rm -rf "$NET_DIR"
+trap - EXIT
+
+# A ~5 s smoke of the network bench: tiny index, short replay, two pipeline
+# depths, a handful of republishes under load; then check the emitted JSON.
+echo "== net bench smoke =="
+NET_N=120 NET_M=64 NET_QUERIES=3000 NET_DEPTHS=1,8 NET_SWAPS=5 dune exec bench/main.exe -- net
+test -s BENCH_net.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_net.json") as f:
+    data = json.load(f)
+for key in ("depth_runs", "swap", "metrics"):
+    if key not in data:
+        raise SystemExit(f"BENCH_net.json missing {key!r}")
+if len(data["depth_runs"]) < 2:
+    raise SystemExit("BENCH_net.json: depth sweep not populated")
+if data["swap"]["final_generation"] != data["swap"]["count"] + 1:
+    raise SystemExit(f"BENCH_net.json: generation accounting off: {data['swap']}")
+print("BENCH_net.json well-formed")
+EOF
+fi
+rm -f BENCH_net.json
+
 echo "== check.sh: all green =="

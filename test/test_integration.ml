@@ -161,7 +161,9 @@ let test_search_cost_grows_with_epsilon () =
     let t = Eppi_locator.Locator.create ~providers:400 ~owners:1 in
     Eppi_locator.Locator.delegate t ~owner:0 ~epsilon ~provider:3 ~body:"r";
     Eppi_locator.Locator.construct_ppi ~seed:21 t ~policy:(Eppi.Policy.Chernoff 0.9);
-    List.length (Eppi_locator.Locator.query_ppi t ~owner:0)
+    match Eppi_locator.Locator.query_ppi_result t ~owner:0 with
+    | Ok providers -> List.length providers
+    | Error Eppi_locator.Locator.No_index -> Alcotest.fail "index just constructed"
   in
   let c_low = cost 0.1 and c_high = cost 0.9 in
   check_bool (Printf.sprintf "cost %d < %d" c_low c_high) true (c_low < c_high)

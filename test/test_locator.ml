@@ -1,5 +1,12 @@
 (* Tests for the locator-service application layer: delegation, access
-   control, the two-phase search and its cost accounting. *)
+   control, the two-phase search and its cost accounting.
+
+   The deprecated raising wrapper [Locator.query_ppi] is exercised on
+   purpose here (it stays covered until it is removed), so the
+   deprecation alert is silenced for this file only. *)
+
+[@@@warning "-3"]
+[@@@alert "-deprecated"]
 
 open Eppi_locator
 

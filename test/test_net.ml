@@ -1,0 +1,568 @@
+(* Tests for the network front-end (lib/net): wire-codec round-trips for
+   every frame type, typed decode errors on garbage, split-read
+   reassembly, the address parser, and the live daemon — a select loop in
+   a spawned domain answering pipelined queries concurrently with a
+   hot-swap republish. *)
+
+open Eppi_prelude
+open Eppi_net
+module Serve = Eppi_serve.Serve
+module Workload = Eppi_serve.Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  if m = 0 then true else go 0
+
+(* Same deterministic index shape as test_serve: row j holds 1 + (j mod 5)
+   providers at deterministic positions. *)
+let test_index ~n ~m =
+  let matrix = Bitmatrix.create ~rows:n ~cols:m in
+  for j = 0 to n - 1 do
+    for k = 0 to j mod 5 do
+      Bitmatrix.set matrix ~row:j ~col:((j + (k * 7)) mod m) true
+    done
+  done;
+  Eppi.Index.of_matrix matrix
+
+(* A second index over the same dimensions with different postings, so a
+   hot swap visibly changes the answers. *)
+let test_index_v2 ~n ~m =
+  let matrix = Bitmatrix.create ~rows:n ~cols:m in
+  for j = 0 to n - 1 do
+    for k = 0 to (j + 2) mod 4 do
+      Bitmatrix.set matrix ~row:j ~col:((j + 3 + (k * 5)) mod m) true
+    done
+  done;
+  Eppi.Index.of_matrix matrix
+
+(* ---------- Wire codec ---------- *)
+
+let sample_frames =
+  let open Wire in
+  List.map
+    (fun r -> Request r)
+    [
+      Query { owner = 0 };
+      Query { owner = 1 };
+      Query { owner = -5 };
+      Query { owner = max_int };
+      Query { owner = min_int };
+      Batch [||];
+      Batch [| 0; 1; 300; 70_000; max_int |];
+      Audit { provider = 12 };
+      Stats;
+      Republish { index_csv = "3,4\n0,1,0,1\n" };
+      Republish { index_csv = "" };
+      Ping;
+      Shutdown;
+    ]
+  @ List.map
+      (fun r -> Response r)
+      [
+        Reply { generation = 1; reply = Serve.Providers [] };
+        Reply { generation = 7; reply = Serve.Providers [ 0; 3; 9; 1024 ] };
+        Reply { generation = 2; reply = Serve.Unknown_owner };
+        Reply { generation = 3; reply = Serve.Shed_rate_limit };
+        Reply { generation = 4; reply = Serve.Shed_queue_full };
+        Batch_reply { generation = 1; replies = [||] };
+        Batch_reply
+          {
+            generation = 9;
+            replies =
+              [| Serve.Providers [ 1 ]; Serve.Unknown_owner; Serve.Shed_queue_full; Serve.Providers [] |];
+          };
+        Audit_reply { generation = 1; owners = None };
+        Audit_reply { generation = 2; owners = Some [] };
+        Audit_reply { generation = 3; owners = Some [ 0; 5; 6 ] };
+        Stats_json "{\"queries\": 0}";
+        Stats_json "";
+        Republished { generation = 2 };
+        Pong;
+        Shutting_down;
+        Server_error "republish: bad csv";
+      ]
+
+(* Feed [s] to a fresh decoder in [chunk]-byte pieces, draining frames
+   after every feed. *)
+let decode_chunked ~chunk s =
+  let d = Wire.Decoder.create () in
+  let frames = ref [] in
+  let failed = ref None in
+  let pos = ref 0 in
+  while !failed = None && !pos < String.length s do
+    let len = min chunk (String.length s - !pos) in
+    Wire.Decoder.feed_string d (String.sub s !pos len);
+    let continue = ref true in
+    while !continue do
+      match Wire.Decoder.next d with
+      | Ok (Some frame) -> frames := frame :: !frames
+      | Ok None -> continue := false
+      | Error e ->
+          failed := Some e;
+          continue := false
+    done;
+    pos := !pos + len
+  done;
+  match !failed with
+  | Some e -> Error e
+  | None -> Ok (List.rev !frames, Wire.Decoder.buffered d)
+
+let test_codec_roundtrip () =
+  List.iteri
+    (fun i frame ->
+      check_bool
+        (Printf.sprintf "frame %d round-trips" i)
+        true
+        (decode_chunked ~chunk:4096 (Wire.frame_to_string frame) = Ok ([ frame ], 0)))
+    sample_frames
+
+let test_codec_split_reads () =
+  let stream = String.concat "" (List.map Wire.frame_to_string sample_frames) in
+  List.iter
+    (fun chunk ->
+      check_bool
+        (Printf.sprintf "chunk size %d reassembles" chunk)
+        true
+        (decode_chunked ~chunk stream = Ok (sample_frames, 0)))
+    [ 1; 2; 3; 7; 64; String.length stream ]
+
+let test_codec_partial_frame () =
+  let d = Wire.Decoder.create () in
+  check_bool "empty decoder wants bytes" true (Wire.Decoder.next d = Ok None);
+  let s = Wire.frame_to_string (Wire.Request (Wire.Query { owner = 12345 })) in
+  Wire.Decoder.feed_string d (String.sub s 0 (String.length s - 1));
+  check_bool "partial frame wants bytes" true (Wire.Decoder.next d = Ok None);
+  Wire.Decoder.feed_string d (String.sub s (String.length s - 1) 1);
+  check_bool "completed frame decodes" true
+    (Wire.Decoder.next d = Ok (Some (Wire.Request (Wire.Query { owner = 12345 }))));
+  check_int "nothing buffered" 0 (Wire.Decoder.buffered d)
+
+(* Hand-rolled frame header: magic, version, tag, 32-bit BE length. *)
+let header ~tag ~len =
+  let b = Buffer.create 7 in
+  Buffer.add_char b '\xE5';
+  Buffer.add_char b '\x01';
+  Buffer.add_char b (Char.chr tag);
+  List.iter (fun sh -> Buffer.add_char b (Char.chr ((len lsr sh) land 0xFF))) [ 24; 16; 8; 0 ];
+  Buffer.contents b
+
+let expect_error name ?(max_payload = 64) s matches =
+  let d = Wire.Decoder.create ~max_payload () in
+  Wire.Decoder.feed_string d s;
+  match Wire.Decoder.next d with
+  | Error e -> check_bool name true (matches e)
+  | Ok _ -> Alcotest.fail (name ^ ": expected a decode error")
+
+let test_codec_errors () =
+  expect_error "bad magic" "\x00garbage" (function Wire.Bad_magic 0 -> true | _ -> false);
+  expect_error "bad version" "\xE5\x07" (function Wire.Bad_version 7 -> true | _ -> false);
+  expect_error "unknown tag" "\xE5\x01\x7F" (function
+    | Wire.Unknown_tag 0x7F -> true
+    | _ -> false);
+  expect_error "response-range hole is unknown" "\xE5\x01\x1F" (function
+    | Wire.Unknown_tag 0x1F -> true
+    | _ -> false);
+  expect_error "oversized payload"
+    (header ~tag:0x01 ~len:65)
+    (function Wire.Oversized { length = 65; limit = 64 } -> true | _ -> false);
+  expect_error "truncated varint"
+    (header ~tag:0x01 ~len:1 ^ "\x80")
+    (function Wire.Corrupt _ -> true | _ -> false);
+  expect_error "trailing bytes"
+    (header ~tag:0x01 ~len:2 ^ "\x00\x00")
+    (function Wire.Corrupt msg -> contains msg "trailing" | _ -> false);
+  expect_error "negative batch count"
+    (header ~tag:0x02 ~len:1 ^ "\x03")
+    (function Wire.Corrupt msg -> contains msg "count" | _ -> false);
+  expect_error "batch count exceeding payload"
+    (header ~tag:0x02 ~len:1 ^ "\x50")
+    (function Wire.Corrupt msg -> contains msg "count" | _ -> false);
+  expect_error "unknown reply kind"
+    (header ~tag:0x11 ~len:2 ^ "\x02\x09")
+    (function Wire.Corrupt msg -> contains msg "reply kind" | _ -> false)
+
+let test_codec_poisoned_decoder () =
+  let d = Wire.Decoder.create () in
+  Wire.Decoder.feed_string d "\x00";
+  check_bool "first error" true (Wire.Decoder.next d = Error (Wire.Bad_magic 0));
+  Wire.Decoder.feed_string d (Wire.frame_to_string (Wire.Request Wire.Ping));
+  check_bool "poison is sticky" true (Wire.Decoder.next d = Error (Wire.Bad_magic 0))
+
+let test_addr () =
+  check_bool "absolute path" true (Addr.of_string "/tmp/x.sock" = Addr.Unix_socket "/tmp/x.sock");
+  check_bool "bare name is a socket path" true (Addr.of_string "eppi.sock" = Addr.Unix_socket "eppi.sock");
+  check_bool "host:port" true (Addr.of_string "127.0.0.1:8080" = Addr.Tcp ("127.0.0.1", 8080));
+  check_bool "bare port" true (Addr.of_string ":9000" = Addr.Tcp ("", 9000));
+  Alcotest.(check string) "default host printed" "127.0.0.1:9000" (Addr.to_string (Addr.Tcp ("", 9000)));
+  Alcotest.(check string) "path printed" "/a/b.sock" (Addr.to_string (Addr.Unix_socket "/a/b.sock"));
+  (match Addr.of_string "host:0" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "port 0 must be rejected");
+  match Addr.of_string "" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty address must be rejected"
+
+(* ---------- Live daemon ---------- *)
+
+let sock_counter = ref 0
+
+let sock_path () =
+  incr sock_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "eppi-net-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+(* Start a daemon over [index] in its own domain, run [f addr engine]
+   against it, then shut it down (if [f] has not already) and join. *)
+let with_server ?(shards = 1) index f =
+  let path = sock_path () in
+  let addr = Addr.Unix_socket path in
+  let engine = Serve.create ~config:{ Serve.default_config with shards } index in
+  let server = Server.create engine in
+  let listener = Server.listen addr in
+  let daemon = Domain.spawn (fun () -> Server.run server listener) in
+  let stop () =
+    (try
+       let c = Client.connect addr in
+       (try Client.shutdown c with _ -> ());
+       Client.close c
+     with _ -> ());
+    Domain.join daemon;
+    try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:stop (fun () -> f addr engine)
+
+let test_daemon_basics () =
+  let n = 20 and m = 9 in
+  let index = test_index ~n ~m in
+  with_server index (fun addr engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.ping c;
+          for owner = 0 to n - 1 do
+            let generation, reply = Client.query c ~owner in
+            check_int "generation" 1 generation;
+            check_bool
+              (Printf.sprintf "owner %d served" owner)
+              true
+              (reply = Serve.Providers (Eppi.Index.query index ~owner))
+          done;
+          let _, unknown = Client.query c ~owner:(n + 5) in
+          check_bool "unknown owner" true (unknown = Serve.Unknown_owner);
+          let generation, replies = Client.batch c [| 0; 1; n + 5; 2 |] in
+          check_int "batch generation" 1 generation;
+          check_int "batch size" 4 (Array.length replies);
+          check_bool "batch known" true
+            (replies.(0) = Serve.Providers (Eppi.Index.query index ~owner:0));
+          check_bool "batch unknown" true (replies.(2) = Serve.Unknown_owner);
+          let _, owners = Client.audit c ~provider:3 in
+          check_bool "audit equals engine audit" true (owners = Serve.audit engine ~provider:3);
+          let _, out_of_range = Client.audit c ~provider:(m + 1) in
+          check_bool "audit out of range" true (out_of_range = None);
+          let json = Client.stats_json c in
+          check_bool "stats is json" true (String.length json > 0 && json.[0] = '{');
+          check_bool "stats counts queries" true (contains json "\"queries\"")))
+
+let test_daemon_republish () =
+  let n = 20 and m = 9 in
+  let index1 = test_index ~n ~m in
+  (* The new index is bigger: owner 22 exists only after the swap. *)
+  let index2 = test_index_v2 ~n:25 ~m in
+  with_server index1 (fun addr engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let generation, reply = Client.query c ~owner:4 in
+          check_int "pre-swap generation" 1 generation;
+          check_bool "pre-swap reply" true
+            (reply = Serve.Providers (Eppi.Index.query index1 ~owner:4));
+          let _, beyond = Client.query c ~owner:22 in
+          check_bool "owner beyond old index" true (beyond = Serve.Unknown_owner);
+          (match Client.republish c ~index_csv:(Eppi.Index.to_csv index2) with
+          | Ok generation -> check_int "republish returns new generation" 2 generation
+          | Error e -> Alcotest.fail e);
+          let generation, reply = Client.query c ~owner:4 in
+          check_int "post-swap generation" 2 generation;
+          check_bool "post-swap reply" true
+            (reply = Serve.Providers (Eppi.Index.query index2 ~owner:4));
+          let generation, beyond = Client.query c ~owner:22 in
+          check_int "new owner generation" 2 generation;
+          check_bool "owner known after swap" true
+            (beyond = Serve.Providers (Eppi.Index.query index2 ~owner:22));
+          check_int "engine generation" 2 (Serve.generation engine);
+          (match Client.republish c ~index_csv:"definitely,not,an index" with
+          | Ok _ -> Alcotest.fail "bad csv must be rejected"
+          | Error msg -> check_bool "error names republish" true (contains msg "republish"));
+          check_int "failed republish keeps generation" 2 (Serve.generation engine);
+          let json = Client.stats_json c in
+          check_bool "stats carries generation" true (contains json "\"generation\": 2");
+          check_bool "stats counts swaps" true (contains json "\"swaps\"")))
+
+let test_daemon_pipeline () =
+  let n = 30 and m = 9 in
+  let index = test_index ~n ~m in
+  with_server index (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let requests =
+            List.init 300 (fun i ->
+                match i mod 5 with
+                | 0 | 1 | 2 -> Wire.Query { owner = i mod (2 * n) }
+                | 3 -> Wire.Audit { provider = i mod (m + 3) }
+                | _ -> Wire.Ping)
+          in
+          let responses = Client.pipeline c requests in
+          check_int "every request answered" 300 (List.length responses);
+          List.iter2
+            (fun request response ->
+              match (request, response) with
+              | Wire.Query { owner }, Wire.Reply { generation = 1; reply } ->
+                  let expected =
+                    if owner < n then Serve.Providers (Eppi.Index.query index ~owner)
+                    else Serve.Unknown_owner
+                  in
+                  check_bool (Printf.sprintf "pipelined owner %d" owner) true (reply = expected)
+              | Wire.Audit { provider }, Wire.Audit_reply { generation = 1; owners } ->
+                  check_bool
+                    (Printf.sprintf "pipelined audit %d" provider)
+                    true
+                    (if provider < m then owners <> None else owners = None)
+              | Wire.Ping, Wire.Pong -> ()
+              | _, other -> Client.unexpected "pipelined response" other)
+            requests responses))
+
+(* The acceptance test from the issue: queries keep flowing while the index
+   hot-swaps underneath them; every reply must match the generation it is
+   tagged with, none may be dropped. *)
+let test_daemon_hot_swap_under_load () =
+  let n = 40 and m = 11 in
+  let index1 = test_index ~n ~m in
+  let index2 = test_index_v2 ~n ~m in
+  let truth1 = Array.init n (fun owner -> Eppi.Index.query index1 ~owner) in
+  let truth2 = Array.init n (fun owner -> Eppi.Index.query index2 ~owner) in
+  with_server ~shards:4 index1 (fun addr engine ->
+      let worker =
+        Domain.spawn (fun () ->
+            let c = Client.connect ~retries:20 addr in
+            let rng = Rng.create 7 in
+            let results = ref [] in
+            let rounds = ref 0 and rounds_after_swap = ref 0 in
+            while !rounds_after_swap < 5 && !rounds < 4000 do
+              incr rounds;
+              let owners = Array.init 25 (fun _ -> Rng.int rng n) in
+              let requests = Array.to_list (Array.map (fun owner -> Wire.Query { owner }) owners) in
+              let seen_swap = ref (!rounds_after_swap > 0) in
+              List.iteri
+                (fun i response ->
+                  match response with
+                  | Wire.Reply { generation; reply } ->
+                      if generation >= 2 then seen_swap := true;
+                      results := (owners.(i), generation, reply) :: !results
+                  | other -> Client.unexpected "hot-swap query" other)
+                (Client.pipeline c requests);
+              if !seen_swap then incr rounds_after_swap
+            done;
+            Client.close c;
+            (!rounds, !results))
+      in
+      let admin = Client.connect addr in
+      Unix.sleepf 0.02;
+      (match Client.republish admin ~index_csv:(Eppi.Index.to_csv index2) with
+      | Ok generation -> check_int "swap generation" 2 generation
+      | Error e -> Alcotest.fail e);
+      let generation, reply = Client.query admin ~owner:0 in
+      check_int "admin post-swap generation" 2 generation;
+      check_bool "admin post-swap reply" true (reply = Serve.Providers truth2.(0));
+      Client.close admin;
+      let rounds, results = Domain.join worker in
+      check_bool "worker observed the swap" true (rounds < 4000);
+      check_int "no dropped replies" (rounds * 25) (List.length results);
+      List.iter
+        (fun (owner, generation, reply) ->
+          let expected =
+            match generation with
+            | 1 -> truth1.(owner)
+            | 2 -> truth2.(owner)
+            | g -> Alcotest.fail (Printf.sprintf "impossible generation %d" g)
+          in
+          check_bool
+            (Printf.sprintf "owner %d at generation %d" owner generation)
+            true
+            (reply = Serve.Providers expected))
+        results;
+      let metrics = Serve.metrics engine in
+      check_int "metrics generation" 2 metrics.generation;
+      check_bool "swap observations counted" true (metrics.swaps >= 1);
+      check_int "conservation" metrics.queries
+        (metrics.served + metrics.unknown + metrics.shed_rate + metrics.shed_queue))
+
+let test_daemon_replay () =
+  let n = 30 and m = 9 in
+  let index = test_index ~n ~m in
+  with_server index (fun addr _engine ->
+      let workload = Workload.zipf ~unknown_fraction:0.25 (Rng.create 11) ~n ~count:400 in
+      let path = Filename.temp_file "eppi-replay" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          output_string oc (Workload.to_csv_log workload);
+          close_out oc;
+          let loaded = Replay.load path in
+          check_bool "log round-trips" true (loaded = workload);
+          let c = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () ->
+              let summary = Replay.run ~depth:7 c loaded in
+              check_int "requests" 400 summary.requests;
+              check_int "conservation" 400 (summary.served + summary.unknown + summary.shed);
+              let expected_unknown =
+                Array.fold_left (fun acc o -> if o >= n then acc + 1 else acc) 0 workload
+              in
+              check_int "unknown count" expected_unknown summary.unknown;
+              check_int "nothing shed" 0 summary.shed;
+              check_int "first generation" 1 summary.first_generation;
+              check_int "last generation" 1 summary.last_generation;
+              check_bool "wall clock sane" true (summary.wall_seconds >= 0.0))))
+
+let test_replay_load_jsonl () =
+  let path = Filename.temp_file "eppi-replay" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"ts\": 1, \"owner\": 4}\n\n{\"owner\": -2, \"tag\": \"x\"}\n";
+      close_out oc;
+      check_bool "jsonl log loads" true (Replay.load path = [| 4; -2 |]))
+
+let test_daemon_shutdown () =
+  let index = test_index ~n:8 ~m:5 in
+  with_server index (fun addr _engine ->
+      let c = Client.connect addr in
+      Client.ping c;
+      Client.shutdown c;
+      Client.close c;
+      let rec wait_dead attempts =
+        if attempts = 0 then Alcotest.fail "server still accepting after shutdown"
+        else
+          match Client.connect addr with
+          | c2 ->
+              Client.close c2;
+              Unix.sleepf 0.01;
+              wait_dead (attempts - 1)
+          | exception Unix.Unix_error _ -> ()
+      in
+      wait_dead 200)
+
+let test_listen_stale_and_occupied () =
+  let path = sock_path () in
+  let l1 = Server.listen (Addr.Unix_socket path) in
+  Unix.close l1;
+  (* The socket file survives a dead server; a new listen reclaims it. *)
+  check_bool "stale socket file exists" true (Sys.file_exists path);
+  let l2 = Server.listen (Addr.Unix_socket path) in
+  Unix.close l2;
+  Sys.remove path;
+  let oc = open_out path in
+  output_string oc "not a socket";
+  close_out oc;
+  (match Server.listen (Addr.Unix_socket path) with
+  | exception Failure _ -> ()
+  | fd ->
+      Unix.close fd;
+      Alcotest.fail "listening over a regular file must fail");
+  Sys.remove path
+
+(* ---------- Properties ---------- *)
+
+let qcheck_tests =
+  let open QCheck in
+  let gen_owner =
+    Gen.oneof [ Gen.small_nat; Gen.int; Gen.map (fun k -> -k) Gen.small_nat ]
+  in
+  let gen_reply =
+    Gen.oneof
+      [
+        Gen.map (fun ids -> Serve.Providers ids) (Gen.small_list Gen.nat);
+        Gen.return Serve.Unknown_owner;
+        Gen.return Serve.Shed_rate_limit;
+        Gen.return Serve.Shed_queue_full;
+      ]
+  in
+  let gen_request =
+    Gen.oneof
+      [
+        Gen.map (fun owner -> Wire.Query { owner }) gen_owner;
+        Gen.map (fun l -> Wire.Batch (Array.of_list l)) (Gen.small_list gen_owner);
+        Gen.map (fun provider -> Wire.Audit { provider }) Gen.nat;
+        Gen.return Wire.Stats;
+        Gen.map (fun s -> Wire.Republish { index_csv = s }) Gen.(small_string ~gen:printable);
+        Gen.return Wire.Ping;
+        Gen.return Wire.Shutdown;
+      ]
+  in
+  let gen_response =
+    Gen.oneof
+      [
+        Gen.map2 (fun generation reply -> Wire.Reply { generation; reply }) Gen.nat gen_reply;
+        Gen.map2
+          (fun generation rs -> Wire.Batch_reply { generation; replies = Array.of_list rs })
+          Gen.nat (Gen.small_list gen_reply);
+        Gen.map2
+          (fun generation owners -> Wire.Audit_reply { generation; owners })
+          Gen.nat
+          (Gen.option (Gen.small_list Gen.nat));
+        Gen.map (fun s -> Wire.Stats_json s) Gen.(small_string ~gen:printable);
+        Gen.map (fun generation -> Wire.Republished { generation }) Gen.nat;
+        Gen.return Wire.Pong;
+        Gen.return Wire.Shutting_down;
+        Gen.map (fun s -> Wire.Server_error s) Gen.(small_string ~gen:printable);
+      ]
+  in
+  let gen_frame =
+    Gen.oneof
+      [ Gen.map (fun r -> Wire.Request r) gen_request; Gen.map (fun r -> Wire.Response r) gen_response ]
+  in
+  [
+    Test.make ~name:"any frame stream round-trips under any chunking" ~count:200
+      (make Gen.(pair (list_size (int_range 0 5) gen_frame) (int_range 1 17)))
+      (fun (frames, chunk) ->
+        let stream = String.concat "" (List.map Wire.frame_to_string frames) in
+        decode_chunked ~chunk stream = Ok (frames, 0));
+  ]
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round-trips every frame type" `Quick test_codec_roundtrip;
+          Alcotest.test_case "split-read reassembly" `Quick test_codec_split_reads;
+          Alcotest.test_case "partial frame wants more bytes" `Quick test_codec_partial_frame;
+          Alcotest.test_case "typed decode errors" `Quick test_codec_errors;
+          Alcotest.test_case "poisoned decoder stays poisoned" `Quick test_codec_poisoned_decoder;
+        ] );
+      ("addr", [ Alcotest.test_case "parse and print" `Quick test_addr ]);
+      ( "daemon",
+        [
+          Alcotest.test_case "query, batch, audit, stats" `Quick test_daemon_basics;
+          Alcotest.test_case "hot-swap republish" `Quick test_daemon_republish;
+          Alcotest.test_case "pipelined mixed requests" `Quick test_daemon_pipeline;
+          Alcotest.test_case "hot swap under concurrent load" `Quick
+            test_daemon_hot_swap_under_load;
+          Alcotest.test_case "trace-driven replay" `Quick test_daemon_replay;
+          Alcotest.test_case "replay loads jsonl" `Quick test_replay_load_jsonl;
+          Alcotest.test_case "clean shutdown" `Quick test_daemon_shutdown;
+          Alcotest.test_case "listen hygiene" `Quick test_listen_stale_and_occupied;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

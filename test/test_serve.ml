@@ -11,6 +11,11 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_list = Alcotest.(check (list int))
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  if m = 0 then true else go 0
+
 let check_close ?(tol = 1e-9) name a b =
   check_bool (Printf.sprintf "%s: |%g - %g| <= %g" name a b tol) true (Float.abs (a -. b) <= tol)
 
@@ -468,6 +473,118 @@ let test_engine_config_validation () =
     (fun () ->
       ignore (Serve.create ~config:{ Serve.default_config with latency_sample_every = 0 } index))
 
+(* ---------- Hot swap ---------- *)
+
+let test_lru_clear () =
+  let lru = Lru.create ~capacity:3 in
+  Lru.put lru 1 "a";
+  Lru.put lru 2 "b";
+  Lru.put lru 3 "c";
+  Lru.put lru 4 "d";
+  Lru.clear lru;
+  check_int "empty after clear" 0 (Lru.length lru);
+  check_int "capacity preserved" 3 (Lru.capacity lru);
+  check_bool "entries gone" true (Lru.find lru 2 = None && Lru.find lru 4 = None);
+  check_int "evictions stay cumulative" 1 (Lru.evictions lru);
+  Lru.put lru 7 "e";
+  Alcotest.(check (option string)) "usable after clear" (Some "e") (Lru.find lru 7);
+  check_int "length after reuse" 1 (Lru.length lru)
+
+let test_metrics_generation_and_swaps () =
+  let a = Metrics.create () and b = Metrics.create () in
+  let base = Metrics.snapshot [ a; b ] in
+  check_int "initial generation" 1 base.generation;
+  check_int "initial swaps" 0 base.swaps;
+  Metrics.incr_swaps a;
+  Metrics.set_generation a 2;
+  let snap = Metrics.snapshot [ a; b ] in
+  check_int "generation is the max over shards" 2 snap.generation;
+  check_int "swaps sum over shards" 1 snap.swaps;
+  Metrics.incr_swaps b;
+  Metrics.set_generation b 2;
+  let newer = Metrics.snapshot [ a; b ] in
+  let d = Metrics.diff newer snap in
+  check_int "diff swaps" 1 d.swaps;
+  check_int "diff generation from newer" 2 d.generation;
+  check_bool "json carries generation" true (contains (Metrics.to_json newer) "\"generation\": 2");
+  check_bool "json carries swaps" true (contains (Metrics.to_json newer) "\"swaps\": 2")
+
+let test_workload_request_logs () =
+  let w = [| 3; 1; 4; 1; 5 |] in
+  check_bool "csv round-trip" true (Workload.of_csv_log (Workload.to_csv_log w) = w);
+  let csv = "ts,client,owner\n# comment\n10,a,3\n\n11,b,7\n" in
+  check_bool "timestamped csv with header and comment" true (Workload.of_csv_log csv = [| 3; 7 |]);
+  (match Workload.of_csv_log "owner\n1\nnope\n" with
+  | exception Failure msg -> check_bool "csv error names the line" true (contains msg "line 3")
+  | _ -> Alcotest.fail "bad csv line must fail");
+  let jsonl = "{\"ts\": 10, \"owner\": 3}\n{\"owner\":7}\n" in
+  check_bool "jsonl" true (Workload.of_jsonl_log jsonl = [| 3; 7 |]);
+  match Workload.of_jsonl_log "{\"owner\": 1}\n{\"no\": 2}\n" with
+  | exception Failure msg -> check_bool "jsonl error names the line" true (contains msg "line 2")
+  | _ -> Alcotest.fail "jsonl without owner must fail"
+
+let test_engine_republish () =
+  let index1 = test_index ~n:20 ~m:12 in
+  (* Bigger replacement: owner 22 exists only after the swap. *)
+  let index2 = random_index (Rng.create 77) ~n:24 ~m:12 ~density:0.3 in
+  let engine = Serve.create index1 in
+  check_int "initial generation" 1 (Serve.generation engine);
+  (match Serve.query_tagged engine ~owner:5 with
+  | 1, Serve.Providers p -> check_list "pre-swap reply" (Eppi.Index.query index1 ~owner:5) p
+  | _ -> Alcotest.fail "pre-swap query");
+  ignore (Serve.query engine ~owner:5);
+  check_bool "second query hit the cache" true ((Serve.metrics engine).cache_hits >= 1);
+  check_bool "owner 22 unknown before swap" true (Serve.query engine ~owner:22 = Serve.Unknown_owner);
+  let generation = Serve.republish_index engine index2 in
+  check_int "republish bumps the generation" 2 generation;
+  check_int "engine generation" 2 (Serve.generation engine);
+  (match Serve.query_tagged engine ~owner:5 with
+  | 2, Serve.Providers p ->
+      (* The generation check runs before the cache lookup, so the stale
+         cached answer for owner 5 can never leak across the swap. *)
+      check_list "post-swap reply from the new index" (Eppi.Index.query index2 ~owner:5) p
+  | _ -> Alcotest.fail "post-swap query");
+  check_bool "negative cache invalidated too" true
+    (Serve.query engine ~owner:22 = Serve.Providers (Eppi.Index.query index2 ~owner:22));
+  let snap = Serve.metrics engine in
+  check_int "snapshot generation" 2 snap.generation;
+  check_bool "swap observation counted" true (snap.swaps >= 1)
+
+let test_engine_hot_swap_concurrent () =
+  let n = 32 and m = 12 in
+  let index1 = test_index ~n ~m in
+  let index2 = random_index (Rng.create 99) ~n ~m ~density:0.3 in
+  let truth1 = Array.init n (fun owner -> Eppi.Index.query index1 ~owner) in
+  let truth2 = Array.init n (fun owner -> Eppi.Index.query index2 ~owner) in
+  let config = { Serve.default_config with shards = 4 } in
+  let engine = Serve.create ~config index1 in
+  let workload = Workload.uniform (Rng.create 3) ~n ~count:200_000 in
+  let swapper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.002;
+        Serve.republish_index engine index2)
+  in
+  let report = Pool.with_pool ~size:4 (fun pool -> Serve.run ~pool engine workload) in
+  check_int "swap installed generation 2" 2 (Domain.join swapper);
+  (* Every reply must be the truth of one of the two generations — a swap
+     mid-run may answer from either, but never from a mixture or a stale
+     cache entry. *)
+  Array.iteri
+    (fun i reply ->
+      let owner = workload.(i) in
+      check_bool
+        (Printf.sprintf "request %d owner %d matches a generation" i owner)
+        true
+        (reply = Serve.Providers truth1.(owner) || reply = Serve.Providers truth2.(owner)))
+    report.replies;
+  for owner = 0 to n - 1 do
+    check_bool "post-swap queries serve the new index" true
+      (Serve.query engine ~owner = Serve.Providers truth2.(owner))
+  done;
+  let snap = Serve.metrics engine in
+  check_int "conservation across the swap" snap.queries
+    (snap.served + snap.unknown + snap.shed_rate + snap.shed_queue)
+
 (* ---------- Properties ---------- *)
 
 let qcheck_tests =
@@ -525,6 +642,7 @@ let () =
           Alcotest.test_case "replace and mem" `Quick test_lru_replace_and_mem;
           Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
           Alcotest.test_case "churn against model" `Quick test_lru_churn_against_model;
+          Alcotest.test_case "clear" `Quick test_lru_clear;
         ] );
       ( "admission",
         [
@@ -538,11 +656,13 @@ let () =
           Alcotest.test_case "log2 histogram edge cases" `Quick test_log2_histogram_edges;
           Alcotest.test_case "snapshot merges shards" `Quick test_metrics_snapshot_merges_shards;
           Alcotest.test_case "diff" `Quick test_metrics_diff;
+          Alcotest.test_case "generation and swaps" `Quick test_metrics_generation_and_swaps;
         ] );
       ( "workload",
         [
           Alcotest.test_case "zipf shape" `Quick test_workload_zipf;
           Alcotest.test_case "unknown fraction" `Quick test_workload_unknowns;
+          Alcotest.test_case "request logs" `Quick test_workload_request_logs;
         ] );
       ( "engine",
         [
@@ -557,6 +677,9 @@ let () =
             test_engine_rate_shedding_with_manual_clock;
           Alcotest.test_case "audit" `Quick test_engine_audit;
           Alcotest.test_case "config validation" `Quick test_engine_config_validation;
+          Alcotest.test_case "republish hot swap" `Quick test_engine_republish;
+          Alcotest.test_case "hot swap under concurrent run" `Quick
+            test_engine_hot_swap_concurrent;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
