@@ -167,12 +167,74 @@ let construct_cmd =
              sequential fallback, 0 (default) uses the runtime's recommended domain count.  \
              The constructed index is identical at every setting (see docs/PERF.md).")
   in
-  let run seed dataset_path policy secure c domains trace output =
+  let drop_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "drop" ] ~docv:"RATE"
+          ~doc:
+            "Secure path only: per-message drop probability injected on every simulated \
+             link.  A nonzero rate engages the fault-tolerant construction \
+             (reliability sublayer + failure detector); the output stays bit-identical \
+             to the fault-free run.  See docs/ROBUSTNESS.md.")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' float int) []
+      & info [ "crash" ] ~docv:"TIME:PROVIDER"
+          ~doc:
+            "Secure path only: fail-stop the given provider at the given simulated time \
+             (repeatable).  The construction degrades gracefully, excluding the dead \
+             provider and recomputing every guarantee over the survivors.")
+  in
+  let run seed dataset_path policy secure c domains drop crashes trace output =
     let dataset = Eppi_dataset.Dataset.of_csv (read_file dataset_path) in
     let rng = Rng.create seed in
+    let faulty = drop > 0.0 || crashes <> [] in
+    if faulty && not secure then begin
+      Printf.eprintf "--drop/--crash need --secure\n";
+      exit 2
+    end;
     let index =
       with_trace trace @@ fun () ->
-      if secure then begin
+      if secure && faulty then begin
+        let open Eppi_simnet in
+        let plan =
+          {
+            Simnet.no_faults with
+            fault_seed = seed;
+            default_link = { Simnet.perfect_link with drop };
+            crashes;
+          }
+        in
+        match
+          Eppi_protocol.Construct.run_ft ~sss_plan:plan ~mpc_plan:plan ~c rng
+            ~membership:dataset.membership ~epsilons:dataset.epsilons ~policy
+        with
+        | Failed (reason, rep) ->
+            Printf.eprintf "construction failed after %d attempts: %s\n" rep.attempts reason;
+            exit 1
+        | (Complete (r, rep) | Degraded (r, rep)) as outcome ->
+            let verdict =
+              match outcome with
+              | Eppi_protocol.Construct.Degraded _ -> "degraded"
+              | _ -> "complete"
+            in
+            Printf.eprintf
+              "secure construction (%s): %d/%d providers, %d attempts, %d+%d \
+               retransmissions, %d duplicates suppressed, lambda=%.4f\n"
+              verdict
+              (List.length rep.survivors)
+              (Eppi_prelude.Bitmatrix.cols dataset.membership)
+              rep.attempts rep.sss_retransmissions rep.mpc_retransmissions rep.duplicates
+              r.lambda;
+            if rep.excluded <> [] then
+              Printf.eprintf "excluded dead providers: %s\n"
+                (String.concat ", " (List.map string_of_int rep.excluded));
+            r.index
+      end
+      else if secure then begin
         let size = if domains <= 0 then None else Some domains in
         let r =
           Eppi_prelude.Pool.with_pool ?size (fun pool ->
@@ -204,7 +266,7 @@ let construct_cmd =
   let term =
     Term.(
       const run $ seed_arg $ dataset_arg $ policy_term $ secure $ c_arg $ domains_arg
-      $ trace_arg $ output_arg)
+      $ drop_arg $ crash_arg $ trace_arg $ output_arg)
   in
   Cmd.v (Cmd.info "construct" ~doc:"Build an e-PPI over a dataset") term
 
@@ -216,9 +278,14 @@ let connect_opt_arg =
   in
   Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
 
-(* Connect (tolerating a daemon that is still starting up), run [f], close. *)
+(* Connect (tolerating a daemon that is still starting up), run [f], close.
+   Reconnects transparently if the daemon restarts mid-session; a request
+   that gets no answer for 30 s is reported instead of hanging forever. *)
 let with_client addr f =
-  let client = Eppi_net.Client.connect ~retries:100 (Eppi_net.Addr.of_string addr) in
+  let client =
+    Eppi_net.Client.connect ~retries:100 ~reconnect:true ~request_timeout:30.0
+      (Eppi_net.Addr.of_string addr)
+  in
   Fun.protect ~finally:(fun () -> Eppi_net.Client.close client) (fun () -> f client)
 
 let query_cmd =

@@ -1,13 +1,34 @@
 type t = {
-  fd : Unix.file_descr;
-  decoder : Wire.Decoder.t;
+  mutable fd : Unix.file_descr;
+  mutable decoder : Wire.Decoder.t;
   readbuf : Bytes.t;
   mutable closed : bool;
+  address : Addr.t;
+  max_payload : int option;
+  request_timeout : float option;
+  reconnect : bool;
+  max_reconnects : int;
+  retry_delay : float;
 }
+
+type error = Timed_out | Connection_lost of string
 
 exception Protocol_error of string
 
-let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload address =
+(* Raised internally when the transport dies mid-exchange; converted to
+   [Connection_lost] or a reconnect at the call boundary. *)
+exception Conn_lost of string
+
+let backoff_cap = 2.0
+
+let ignore_sigpipe () =
+  (* A server that dies between our write and its read turns the next write
+     into SIGPIPE; we want EPIPE instead so the reconnect path can run.
+     Unsupported on some platforms (e.g. Windows) — then writes already
+     fail with an error, not a signal. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let connect_fd ~retries ~retry_delay address =
   let sockaddr = Addr.sockaddr address in
   let domain = Unix.domain_of_sockaddr sockaddr in
   let rec attempt remaining =
@@ -22,8 +43,24 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload address =
         Unix.close fd;
         raise e
   in
-  let fd = attempt retries in
-  { fd; decoder = Wire.Decoder.create ?max_payload (); readbuf = Bytes.create 65536; closed = false }
+  attempt retries
+
+let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload ?request_timeout
+    ?(reconnect = false) ?(max_reconnects = 5) address =
+  ignore_sigpipe ();
+  let fd = connect_fd ~retries ~retry_delay address in
+  {
+    fd;
+    decoder = Wire.Decoder.create ?max_payload ();
+    readbuf = Bytes.create 65536;
+    closed = false;
+    address;
+    max_payload;
+    request_timeout;
+    reconnect;
+    max_reconnects;
+    retry_delay;
+  }
 
 let close t =
   if not t.closed then begin
@@ -31,90 +68,187 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+(* Tear down the dead socket and dial the stored address again, with capped
+   exponential backoff between attempts.  On success the decoder is replaced
+   — any half-received frame from the old connection is garbage. *)
+let reestablish t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  let rec attempt k delay =
+    if k > t.max_reconnects then false
+    else
+      match connect_fd ~retries:0 ~retry_delay:t.retry_delay t.address with
+      | fd ->
+          t.fd <- fd;
+          t.decoder <- Wire.Decoder.create ?max_payload:t.max_payload ();
+          true
+      | exception Unix.Unix_error _ ->
+          Unix.sleepf delay;
+          attempt (k + 1) (Float.min (delay *. 2.0) backoff_cap)
+  in
+  attempt 1 t.retry_delay
+
 let write_all fd bytes off len =
   let sent = ref off in
   while !sent < off + len do
     match Unix.write fd bytes !sent (off + len - !sent) with
     | n -> sent := !sent + n
     | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+        raise (Conn_lost "connection lost mid-request")
   done
 
-(* Block until one response frame is decodable. *)
-let recv t =
+(* Wait for the socket to become readable, or for [deadline] to pass.
+   Returns false only on timeout; EINTR retries. *)
+let rec wait_readable t deadline =
+  let timeout =
+    match deadline with
+    | None -> -1.0
+    | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+  in
+  match Unix.select [ t.fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (EINTR, _, _) -> wait_readable t deadline
+
+(* Block until one response frame is decodable, honouring the per-request
+   timeout. *)
+let recv_result t =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) t.request_timeout in
   let rec next () =
     match Wire.Decoder.next t.decoder with
-    | Ok (Some (Wire.Response response)) -> response
+    | Ok (Some (Wire.Response response)) -> Ok response
     | Ok (Some (Wire.Request _)) -> raise (Protocol_error "server sent a request frame")
     | Error e -> raise (Protocol_error (Wire.error_to_string e))
-    | Ok None -> (
-        match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
-        | 0 -> raise (Protocol_error "connection closed mid-response")
-        | n ->
-            Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n;
-            next ()
-        | exception Unix.Unix_error (EINTR, _, _) -> next ())
+    | Ok None ->
+        if not (wait_readable t deadline) then Error Timed_out
+        else begin
+          match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
+          | 0 -> raise (Conn_lost "connection closed mid-response")
+          | n ->
+              Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n;
+              next ()
+          | exception Unix.Unix_error (EINTR, _, _) -> next ()
+          | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+              raise (Conn_lost "connection reset")
+        end
   in
   next ()
 
-let call t request =
+let send_request t request =
   let b = Buffer.create 64 in
   Wire.encode_request b request;
   let bytes = Buffer.to_bytes b in
-  write_all t.fd bytes 0 (Bytes.length bytes);
-  recv t
+  write_all t.fd bytes 0 (Bytes.length bytes)
+
+let call_result t request =
+  let rec attempt reconnects_left =
+    match
+      send_request t request;
+      recv_result t
+    with
+    | outcome -> outcome
+    | exception Conn_lost msg ->
+        if t.reconnect && reconnects_left > 0 && reestablish t then
+          attempt (reconnects_left - 1)
+        else Error (Connection_lost msg)
+    | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+        Error (Connection_lost "connection refused")
+  in
+  attempt t.max_reconnects
+
+let call t request =
+  match call_result t request with
+  | Ok response -> response
+  | Error Timed_out -> raise (Protocol_error "request timed out")
+  | Error (Connection_lost msg) -> raise (Protocol_error msg)
 
 let pipeline t requests =
   let expected = List.length requests in
   if expected = 0 then []
   else begin
-    let b = Buffer.create (64 * expected) in
-    List.iter (Wire.encode_request b) requests;
-    let bytes = Buffer.to_bytes b in
-    let total = Bytes.length bytes in
-    let sent = ref 0 in
+    let reqs = Array.of_list requests in
     let responses = ref [] in
     let received = ref 0 in
-    (* Interleave: keep pushing request bytes whenever the socket accepts
-       them, keep draining responses as they arrive.  Reading while still
-       writing is what prevents the distributed-buffer deadlock (client
-       blocked in write, server blocked in write, nobody reads). *)
-    Unix.set_nonblock t.fd;
-    Fun.protect
-      ~finally:(fun () -> try Unix.clear_nonblock t.fd with Unix.Unix_error _ -> ())
-      (fun () ->
-        while !received < expected do
-          let drain () =
-            let continue = ref true in
-            while !continue do
-              match Wire.Decoder.next t.decoder with
-              | Ok (Some (Wire.Response response)) ->
-                  responses := response :: !responses;
-                  incr received
-              | Ok (Some (Wire.Request _)) ->
-                  raise (Protocol_error "server sent a request frame")
-              | Error e -> raise (Protocol_error (Wire.error_to_string e))
-              | Ok None -> continue := false
-            done
-          in
-          drain ();
-          if !received < expected then begin
-            let writes = if !sent < total then [ t.fd ] else [] in
-            match Unix.select [ t.fd ] writes [] (-1.0) with
-            | exception Unix.Unix_error (EINTR, _, _) -> ()
-            | readable, writable, _ ->
-                if writable <> [] then begin
-                  match Unix.write t.fd bytes !sent (total - !sent) with
-                  | n -> sent := !sent + n
-                  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-                end;
-                if readable <> [] then begin
-                  match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
-                  | 0 -> raise (Protocol_error "connection closed mid-pipeline")
-                  | n -> Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n
-                  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-                end
+    let reconnects = ref 0 in
+    (* One pass over the not-yet-answered tail.  On connection loss with
+       reconnect enabled, the tail is re-encoded from [!received] and the
+       pass restarts on the fresh socket (requests whose responses were in
+       flight are re-sent — same at-least-once semantics as call_result). *)
+    let rec go () =
+      let b = Buffer.create (64 * (expected - !received)) in
+      for i = !received to expected - 1 do
+        Wire.encode_request b reqs.(i)
+      done;
+      let bytes = Buffer.to_bytes b in
+      let total = Bytes.length bytes in
+      let sent = ref 0 in
+      match
+        Unix.set_nonblock t.fd;
+        Fun.protect
+          ~finally:(fun () -> try Unix.clear_nonblock t.fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            while !received < expected do
+              let drain () =
+                let continue = ref true in
+                while !continue do
+                  match Wire.Decoder.next t.decoder with
+                  | Ok (Some (Wire.Response response)) ->
+                      responses := response :: !responses;
+                      incr received
+                  | Ok (Some (Wire.Request _)) ->
+                      raise (Protocol_error "server sent a request frame")
+                  | Error e -> raise (Protocol_error (Wire.error_to_string e))
+                  | Ok None -> continue := false
+                done
+              in
+              drain ();
+              if !received < expected then begin
+                let writes = if !sent < total then [ t.fd ] else [] in
+                (* Interleave: keep pushing request bytes whenever the socket
+                   accepts them, keep draining responses as they arrive.
+                   Reading while still writing is what prevents the
+                   distributed-buffer deadlock (client blocked in write,
+                   server blocked in write, nobody reads).  The timeout is an
+                   inactivity bound: it resets every time the socket makes
+                   progress. *)
+                let timeout =
+                  match t.request_timeout with None -> -1.0 | Some s -> s
+                in
+                match Unix.select [ t.fd ] writes [] timeout with
+                | exception Unix.Unix_error (EINTR, _, _) -> ()
+                | [], [], _ -> raise (Protocol_error "pipeline timed out")
+                | readable, writable, _ ->
+                    if writable <> [] then begin
+                      match Unix.write t.fd bytes !sent (total - !sent) with
+                      | n -> sent := !sent + n
+                      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+                        ->
+                          ()
+                      | exception Unix.Unix_error ((EPIPE | ECONNRESET), _, _) ->
+                          raise (Conn_lost "connection lost mid-pipeline")
+                    end;
+                    if readable <> [] then begin
+                      match Unix.read t.fd t.readbuf 0 (Bytes.length t.readbuf) with
+                      | 0 -> raise (Conn_lost "connection closed mid-pipeline")
+                      | n -> Wire.Decoder.feed t.decoder t.readbuf ~off:0 ~len:n
+                      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+                        ->
+                          ()
+                      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+                          raise (Conn_lost "connection reset")
+                    end
+              end
+            done)
+      with
+      | () -> ()
+      | exception Conn_lost msg ->
+          if t.reconnect && !reconnects < t.max_reconnects && reestablish t then begin
+            incr reconnects;
+            go ()
           end
-        done);
+          else raise (Protocol_error msg)
+    in
+    go ();
     List.rev !responses
   end
 

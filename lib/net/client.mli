@@ -11,6 +11,15 @@
 
 type t
 
+type error =
+  | Timed_out
+      (** No response within [request_timeout].  The connection is kept (the
+          response may still be in flight); the caller decides whether to
+          retry or {!close}.  Never triggers a reconnect. *)
+  | Connection_lost of string
+      (** The transport died and — if reconnect was enabled — every
+          re-dial attempt failed too. *)
+
 exception Protocol_error of string
 (** The server broke the framing or answered with the wrong frame kind —
     or sent [Server_error] for a request that admits no typed failure. *)
@@ -20,17 +29,46 @@ val unexpected : string -> Wire.response -> 'a
     kind [what] got instead of what it wanted — for callers matching raw
     {!pipeline} responses. *)
 
-val connect : ?retries:int -> ?retry_delay:float -> ?max_payload:int -> Addr.t -> t
+val connect :
+  ?retries:int ->
+  ?retry_delay:float ->
+  ?max_payload:int ->
+  ?request_timeout:float ->
+  ?reconnect:bool ->
+  ?max_reconnects:int ->
+  Addr.t ->
+  t
 (** Connect, retrying a refused/absent endpoint [retries] times (default 0)
     with [retry_delay] seconds between attempts (default 0.05) — the
-    just-started-daemon race.  @raise Unix.Unix_error once retries are
+    just-started-daemon race.  SIGPIPE is set to ignore (once, globally) so
+    a dead peer surfaces as [EPIPE] rather than killing the process.
+
+    [request_timeout] bounds every subsequent request: a call whose response
+    does not arrive within that many seconds returns {!Timed_out} (for
+    {!pipeline} it is an inactivity bound — reset whenever the socket makes
+    progress).  Default: wait forever.
+
+    [reconnect] (default false) makes {!call_result}, {!call} and
+    {!pipeline} transparently re-dial the same address when the connection
+    drops mid-exchange, with capped exponential backoff ([retry_delay],
+    doubling, capped at 2 s) and at most [max_reconnects] (default 5)
+    attempts, then re-send the unanswered request(s) on the fresh socket —
+    at-least-once semantics: a request whose response was lost in flight is
+    executed again.  @raise Unix.Unix_error once connect retries are
     exhausted. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
+val call_result : t -> Wire.request -> (Wire.response, error) result
+(** Send one request, block for its response; transport failures come back
+    as [Error] instead of an exception.  Framing violations still raise
+    {!Protocol_error}. *)
+
 val call : t -> Wire.request -> Wire.response
-(** Send one request, block for its response. *)
+(** Send one request, block for its response.  @raise Protocol_error on
+    timeout ("request timed out") or connection loss, after any configured
+    reconnect attempts. *)
 
 val pipeline : t -> Wire.request list -> Wire.response list
 (** Send every request over the socket while concurrently reading replies

@@ -31,6 +31,46 @@ let modulus_for m = Modarith.modulus (Modarith.next_prime (m + 1))
 (* Publication is a local scan of each provider's n bits. *)
 let publication_cost ~n = 2e-8 *. float_of_int n
 
+(* Release phase (public computation at a designated coordinator) followed
+   by local randomized publication.  Shared by [run] and [run_ft]; the rng
+   draw order here is load-bearing for bit-identical replays. *)
+let release_and_publish ~rng_release ~rng_publish ~mixing ~policy ~epsilons ~membership ~m
+    ~(cb : Countbelow.result) =
+  let n = Bitmatrix.rows membership in
+  Trace.begin_span "phase.mixing";
+  let xi =
+    let acc = ref 0.0 in
+    Array.iteri (fun j is_common -> if is_common then acc := Float.max !acc epsilons.(j)) cb.common;
+    Float.min !acc 0.999
+  in
+  let lambda = Eppi.Mixing.lambda ~xi ~n_common:cb.n_common ~n_total:n in
+  let mixed = Array.make n false in
+  let candidates =
+    Array.of_list (List.filteri (fun j _ -> not cb.common.(j)) (List.init n Fun.id))
+  in
+  let decoys = Eppi.Mixing.select_decoys rng_release ~mode:mixing ~lambda ~candidates in
+  Array.iteri (fun slot j -> if decoys.(slot) then mixed.(j) <- true) candidates;
+  let betas =
+    Array.init n (fun j ->
+        if cb.common.(j) || mixed.(j) then 1.0
+        else begin
+          match cb.frequencies.(j) with
+          | None -> 1.0 (* unreachable: non-common identities carry a frequency *)
+          | Some f ->
+              Eppi.Policy.beta policy
+                ~sigma:(float_of_int f /. float_of_int m)
+                ~epsilon:epsilons.(j) ~m
+        end)
+  in
+  let n_mixed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mixed in
+  Trace.end_span "phase.mixing" ~args:[ ("n_common", cb.n_common); ("decoys", n_mixed) ];
+  (* Phase 2: local randomized publication at every provider. *)
+  Trace.begin_span "phase.publish";
+  let published = Eppi.Publish.publish_matrix rng_publish ~betas membership in
+  let index = Eppi.Index.of_matrix published in
+  Trace.end_span "phase.publish" ~args:[ ("owners", n); ("providers", m) ];
+  (index, betas, mixed, lambda, xi)
+
 let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
     ?(mixing = Eppi.Mixing.Bernoulli) rng ~membership ~epsilons ~policy =
   let n = Bitmatrix.rows membership in
@@ -92,40 +132,10 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
           Trace.counter (Printf.sprintf "pool/worker-%d" i)
             [ ("busy_us", (a.busy_ns - b.busy_ns) / 1000); ("jobs", a.jobs - b.jobs) ])
         before);
-  (* Release phase (public computation at a designated coordinator):
-     xi, lambda, mixing draws, final betas. *)
-  Trace.begin_span "phase.mixing";
-  let xi =
-    let acc = ref 0.0 in
-    Array.iteri (fun j is_common -> if is_common then acc := Float.max !acc epsilons.(j)) cb.common;
-    Float.min !acc 0.999
+  let index, betas, mixed, lambda, xi =
+    release_and_publish ~rng_release ~rng_publish ~mixing ~policy ~epsilons ~membership ~m
+      ~cb
   in
-  let lambda = Eppi.Mixing.lambda ~xi ~n_common:cb.n_common ~n_total:n in
-  let mixed = Array.make n false in
-  let candidates =
-    Array.of_list (List.filteri (fun j _ -> not cb.common.(j)) (List.init n Fun.id))
-  in
-  let decoys = Eppi.Mixing.select_decoys rng_release ~mode:mixing ~lambda ~candidates in
-  Array.iteri (fun slot j -> if decoys.(slot) then mixed.(j) <- true) candidates;
-  let betas =
-    Array.init n (fun j ->
-        if cb.common.(j) || mixed.(j) then 1.0
-        else begin
-          match cb.frequencies.(j) with
-          | None -> 1.0 (* unreachable: non-common identities carry a frequency *)
-          | Some f ->
-              Eppi.Policy.beta policy
-                ~sigma:(float_of_int f /. float_of_int m)
-                ~epsilon:epsilons.(j) ~m
-        end)
-  in
-  let n_mixed = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 mixed in
-  Trace.end_span "phase.mixing" ~args:[ ("n_common", cb.n_common); ("decoys", n_mixed) ];
-  (* Phase 2: local randomized publication at every provider. *)
-  Trace.begin_span "phase.publish";
-  let published = Eppi.Publish.publish_matrix rng_publish ~betas membership in
-  let index = Eppi.Index.of_matrix published in
-  Trace.end_span "phase.publish" ~args:[ ("owners", n); ("providers", m) ];
   let publication_time = publication_cost ~n in
   let sss_messages_bytes = (sss.net.messages_sent, sss.net.bytes_sent) in
   let metrics =
@@ -141,6 +151,206 @@ let run ?config ?reliability ?network ?transport ?pool ?strategy ?(c = 3)
     }
   in
   { index; betas; common = cb.common; mixed; lambda; xi; metrics }
+
+(* ---------- fault-tolerant construction ---------- *)
+
+type fault_report = {
+  excluded : int list;
+  survivors : int list;
+  attempts : int;
+  sss_retransmissions : int;
+  mpc_retransmissions : int;
+  duplicates : int;
+  retried_rounds : int;
+}
+
+type outcome =
+  | Complete of result * fault_report
+  | Degraded of result * fault_report
+  | Failed of string * fault_report
+
+(* Project a fault plan expressed in original provider ids onto the id space
+   of an attempt's net: survivors (in increasing original id order) become
+   nodes 0..m'-1, and entries touching excluded providers — or providers
+   beyond the net's node count, for the c-coordinator MPC net — vanish. *)
+let remap_plan (plan : Simnet.fault_plan) ~survivors ~nodes =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun k p -> Hashtbl.replace tbl p k) survivors;
+  let map p =
+    match Hashtbl.find_opt tbl p with Some k when k < nodes -> Some k | _ -> None
+  in
+  {
+    plan with
+    Simnet.links =
+      List.filter_map
+        (fun ((s, d), lf) ->
+          match (map s, map d) with Some s, Some d -> Some ((s, d), lf) | _ -> None)
+        plan.Simnet.links;
+    crashes =
+      List.filter_map (fun (t, p) -> Option.map (fun p -> (t, p)) (map p)) plan.Simnet.crashes;
+    partitions =
+      List.map
+        (fun pt -> { pt with Simnet.islands = List.map (List.filter_map map) pt.Simnet.islands })
+        plan.Simnet.partitions;
+    slow = List.filter_map (fun (p, f) -> Option.map (fun p -> (p, f)) (map p)) plan.Simnet.slow;
+  }
+
+(* Survivor-column view of the membership matrix. *)
+let submatrix membership survivors =
+  let n = Bitmatrix.rows membership in
+  let sub = Bitmatrix.create ~rows:n ~cols:(List.length survivors) in
+  List.iteri
+    (fun k p ->
+      for j = 0 to n - 1 do
+        if Bitmatrix.get membership ~row:j ~col:p then Bitmatrix.set sub ~row:j ~col:k true
+      done)
+    survivors;
+  sub
+
+let run_ft ?config ?sss_plan ?mpc_plan ?reliability ?mpc_reliability ?deadline
+    ?(max_attempts = 3) ?network ?pool ?strategy ?(c = 3)
+    ?(mixing = Eppi.Mixing.Bernoulli) rng ~membership ~epsilons ~policy =
+  let n = Bitmatrix.rows membership in
+  let m = Bitmatrix.cols membership in
+  if Array.length epsilons <> n then
+    invalid_arg "Protocol.Construct.run_ft: epsilons length mismatch";
+  let the_pool = match pool with Some p -> p | None -> Pool.sequential in
+  let sss_retrans = ref 0 in
+  let mpc_retrans = ref 0 in
+  let duplicates = ref 0 in
+  let retried_rounds = ref 0 in
+  let all = List.init m Fun.id in
+  let report ~survivors ~attempts =
+    {
+      excluded = List.filter (fun p -> not (List.mem p survivors)) all;
+      survivors;
+      attempts;
+      sss_retransmissions = !sss_retrans;
+      mpc_retransmissions = !mpc_retrans;
+      duplicates = !duplicates;
+      retried_rounds = !retried_rounds;
+    }
+  in
+  let rec attempt k survivors =
+    let m' = List.length survivors in
+    if k > max_attempts then
+      Failed
+        ( Printf.sprintf "gave up after %d attempts" max_attempts,
+          report ~survivors ~attempts:(k - 1) )
+    else if m' < c then
+      Failed
+        ( Printf.sprintf "only %d providers survive, need at least c = %d" m' c,
+          report ~survivors ~attempts:(k - 1) )
+    else begin
+      Trace.begin_span "construct.attempt";
+      (* Fresh child streams per attempt: a retry is a brand-new protocol
+         run over the survivor set, deterministic in (rng, attempt number). *)
+      let arng = Rng.split rng in
+      let rng_sss = Rng.split arng in
+      let rng_mpc = Rng.split arng in
+      let rng_release = Rng.split arng in
+      let rng_publish = Rng.split arng in
+      let q = modulus_for m' in
+      let sub = submatrix membership survivors in
+      let inputs =
+        Array.init m' (fun i ->
+            Array.init n (fun j -> if Bitmatrix.get sub ~row:j ~col:i then 1 else 0))
+      in
+      Trace.begin_span "phase.beta";
+      let sss_plan' = Option.map (remap_plan ~survivors ~nodes:m') sss_plan in
+      let sss = Secsumshare.run_ft ?config ?plan:sss_plan' ?reliability ?deadline rng_sss ~inputs ~c ~q in
+      sss_retrans := !sss_retrans + sss.report.retransmissions;
+      duplicates := !duplicates + sss.report.duplicates;
+      let finish_attempt exclude =
+        Trace.end_span "phase.beta" ~args:[ ("excluded", List.length exclude) ];
+        Trace.end_span "construct.attempt"
+          ~args:[ ("attempt", k); ("providers", m'); ("excluded", List.length exclude) ];
+        (* Suspects are attempt-local node ids; translate back. *)
+        let orig = Array.of_list survivors in
+        let excluded = List.map (fun i -> orig.(i)) exclude in
+        attempt (k + 1) (List.filter (fun p -> not (List.mem p excluded)) survivors)
+      in
+      match sss.shares with
+      | None when sss.report.suspects = [] ->
+          Trace.end_span "phase.beta" ~args:[ ("excluded", 0) ];
+          Trace.end_span "construct.attempt" ~args:[ ("attempt", k); ("providers", m') ];
+          Failed
+            ("SecSumShare stalled with no identified culprit", report ~survivors ~attempts:k)
+      | None -> finish_attempt sss.report.suspects
+      | Some shares -> begin
+          let thresholds =
+            Array.map
+              (fun epsilon -> Countbelow.integer_threshold ~policy ~epsilon ~m:m')
+              epsilons
+          in
+          let cb_outcome =
+            match mpc_plan with
+            | None ->
+                (* No coordinator faults requested: the in-process engine is
+                   exact and parallelizes on the pool. *)
+                `Done
+                  ( Countbelow.run ?network ~pool:the_pool ?strategy rng_mpc ~shares ~q
+                      ~thresholds,
+                    0 )
+            | Some plan ->
+                let plan' = remap_plan plan ~survivors ~nodes:c in
+                let r =
+                  Countbelow.run_reliable ?config ~plan:plan' ?reliability:mpc_reliability
+                    rng_mpc ~shares ~q ~thresholds
+                in
+                mpc_retrans := !mpc_retrans + r.retransmissions;
+                duplicates := !duplicates + r.duplicates;
+                retried_rounds := !retried_rounds + r.retried_rounds;
+                (match r.outcome with
+                | `Done cb -> `Done (cb, r.retransmissions)
+                | `Coordinators_failed dead -> `Dead dead)
+          in
+          match cb_outcome with
+          | `Dead [] ->
+              Trace.end_span "phase.beta" ~args:[ ("excluded", 0) ];
+              Trace.end_span "construct.attempt" ~args:[ ("attempt", k); ("providers", m') ];
+              Failed ("CountBelow stalled with no identified culprit", report ~survivors ~attempts:k)
+          | `Dead dead -> finish_attempt dead
+          | `Done (cb, _) ->
+              Trace.end_span "phase.beta"
+                ~args:
+                  [
+                    ("messages", sss.report.net.messages_sent + cb.comm.messages);
+                    ("bytes", sss.report.net.bytes_sent + cb.comm.bytes);
+                    ("sim_us", int_of_float ((sss.report.protocol_time +. cb.time) *. 1e6));
+                  ];
+              let index, betas, mixed, lambda, xi =
+                release_and_publish ~rng_release ~rng_publish ~mixing ~policy ~epsilons
+                  ~membership:sub ~m:m' ~cb
+              in
+              let publication_time = publication_cost ~n in
+              let metrics =
+                {
+                  secsumshare_time = sss.report.protocol_time;
+                  mpc_time = cb.time;
+                  publication_time;
+                  total_time = sss.report.protocol_time +. cb.time +. publication_time;
+                  messages = sss.report.net.messages_sent + cb.comm.messages;
+                  bytes = sss.report.net.bytes_sent + cb.comm.bytes;
+                  circuit_stats = cb.circuit_stats;
+                  mpc_comm = cb.comm;
+                }
+              in
+              let result = { index; betas; common = cb.common; mixed; lambda; xi; metrics } in
+              let rep = report ~survivors ~attempts:k in
+              Trace.end_span "construct.attempt"
+                ~args:
+                  [
+                    ("attempt", k);
+                    ("providers", m');
+                    ("sss_retransmissions", rep.sss_retransmissions);
+                    ("mpc_retransmissions", rep.mpc_retransmissions);
+                  ];
+              if rep.excluded = [] then Complete (result, rep) else Degraded (result, rep)
+        end
+    end
+  in
+  attempt 1 all
 
 let beta_phase_time_estimate ?(network = Cost.lan) ~m ~identities ~c () =
   if m < c || c < 2 then invalid_arg "beta_phase_time_estimate: need m >= c >= 2";

@@ -66,6 +66,73 @@ val run :
     pool sizes.
     @raise Invalid_argument on dimension mismatches, [c < 2] or [m < c]. *)
 
+(** {1 Fault-tolerant construction}
+
+    {!run} assumes the fault-free network of the paper's experiments;
+    {!run_ft} runs the same two phases under a
+    {!Eppi_simnet.Simnet.fault_plan} with the reliability sublayer always
+    on, and turns detected provider failures into graceful degradation:
+    when the failure detector declares providers dead, the whole β phase is
+    re-run over the surviving provider set (thresholds, modulus and σ all
+    recomputed for m' = m - |excluded|), so every surviving owner's
+    published row still satisfies its ε false-positive guarantee — over the
+    survivors.  See docs/ROBUSTNESS.md. *)
+
+(** What happened, accumulated across retry attempts. *)
+type fault_report = {
+  excluded : int list;  (** Original provider ids declared dead. *)
+  survivors : int list;
+      (** Original ids of the providers in the final run, in order: column k
+          of the result's index belongs to provider [List.nth survivors k]. *)
+  attempts : int;  (** β-phase attempts, counting the successful one. *)
+  sss_retransmissions : int;
+  mpc_retransmissions : int;
+  duplicates : int;  (** Duplicate deliveries suppressed across both stages. *)
+  retried_rounds : int;  (** MPC rounds that needed at least one retransmission. *)
+}
+
+type outcome =
+  | Complete of result * fault_report
+      (** No provider was excluded (loss, duplication and stragglers may
+          still have been survived — see the report's counters).  The index
+          spans all m providers. *)
+  | Degraded of result * fault_report
+      (** Some providers were excluded; the index spans the survivors'
+          columns only, and β/ε guarantees hold over the survivor set. *)
+  | Failed of string * fault_report
+      (** The construction could not complete: attempts exhausted, fewer
+          than c survivors, or a stall with no identifiable culprit. *)
+
+val run_ft :
+  ?config:Eppi_simnet.Simnet.config ->
+  ?sss_plan:Eppi_simnet.Simnet.fault_plan ->
+  ?mpc_plan:Eppi_simnet.Simnet.fault_plan ->
+  ?reliability:Secsumshare.reliability ->
+  ?mpc_reliability:Mpcnet.reliability ->
+  ?deadline:float ->
+  ?max_attempts:int ->
+  ?network:Eppi_mpc.Cost.network ->
+  ?pool:Pool.t ->
+  ?strategy:Countbelow.strategy ->
+  ?c:int ->
+  ?mixing:Eppi.Mixing.mode ->
+  Rng.t ->
+  membership:Bitmatrix.t ->
+  epsilons:float array ->
+  policy:Eppi.Policy.t ->
+  outcome
+(** Both fault plans are expressed in {e original provider id} space:
+    [sss_plan] drives the m-provider ring net, [mpc_plan] the c-coordinator
+    MPC net (coordinator k is the k-th surviving provider; plan entries for
+    other providers are ignored).  On each retry the plans are re-projected
+    onto the survivor set, so a crashed provider's faults disappear with it.
+    When [mpc_plan] is omitted the CountBelow stage runs on the in-process
+    engine ([pool]/[strategy] as in {!run}); outputs are bit-identical
+    either way.  Determinism: the outcome is a pure function of (rng seed,
+    fault plans, inputs).  [max_attempts] defaults to 3, [deadline] is the
+    SecSumShare failure-detector horizon (default 0.25 s).
+    @raise Invalid_argument on dimension mismatches, [c < 2] or [m < c]. *)
+
 val beta_phase_time_estimate :
   ?network:Eppi_mpc.Cost.network -> m:int -> identities:int -> c:int -> unit -> float
 (** Closed-form estimate of the β-calculation time (SecSumShare analytic

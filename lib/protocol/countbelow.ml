@@ -47,6 +47,26 @@ let validate ~shares ~thresholds =
   if Array.length thresholds <> n then invalid_arg "Countbelow.run: thresholds length mismatch";
   (c, n)
 
+(* Pull the typed common/freq/count outputs out of a raw output bit vector. *)
+let decode_counts compiled raw_outputs =
+  let outputs = Compile.decode_outputs compiled raw_outputs in
+  let common =
+    match Compile.lookup_output outputs "common" with
+    | Compile.Dbools bs -> bs
+    | _ -> failwith "Countbelow.run: bad common output shape"
+  in
+  let freqs =
+    match Compile.lookup_output outputs "freq" with
+    | Compile.Dints fs -> fs
+    | _ -> failwith "Countbelow.run: bad freq output shape"
+  in
+  let count =
+    match Compile.lookup_output outputs "count" with
+    | Compile.Dint k -> k
+    | _ -> failwith "Countbelow.run: bad count output shape"
+  in
+  (common, freqs, count)
+
 (* ---------- monolithic path ---------- *)
 
 (* One count_below circuit over all n identities, walked by a single GMW
@@ -75,22 +95,7 @@ let run_monolithic ~network ~transport rng ~shares ~q ~c ~clamped =
         in
         (mpc.outputs, estimate, Some mpc.net.completion_time)
   in
-  let outputs = Compile.decode_outputs compiled raw_outputs in
-  let common =
-    match Compile.lookup_output outputs "common" with
-    | Dbools bs -> bs
-    | _ -> failwith "Countbelow.run: bad common output shape"
-  in
-  let freqs =
-    match Compile.lookup_output outputs "freq" with
-    | Dints fs -> fs
-    | _ -> failwith "Countbelow.run: bad freq output shape"
-  in
-  let count =
-    match Compile.lookup_output outputs "count" with
-    | Dint k -> k
-    | _ -> failwith "Countbelow.run: bad count output shape"
-  in
+  let common, freqs, count = decode_counts compiled raw_outputs in
   let stats = Circuit.stats compiled.circuit in
   let outputs_bits = Array.length (Circuit.outputs compiled.circuit) in
   let time =
@@ -234,3 +239,60 @@ let run ?(network = Cost.lan) ?(transport = `Cost_model) ?(pool = Pool.sequentia
   match strategy with
   | `Monolithic -> run_monolithic ~network ~transport rng ~shares ~q ~c ~clamped
   | `Sharded -> run_sharded ~network ~pool rng ~shares ~q ~c ~n ~clamped
+
+(* ---------- reliable path (fault-tolerant construction) ---------- *)
+
+type reliable = {
+  outcome : [ `Done of result | `Coordinators_failed of int list ];
+  retransmissions : int;
+  duplicates : int;
+  retried_rounds : int;
+  suspects : int list;
+}
+
+let run_reliable ?config ?plan ?reliability rng ~shares ~q ~thresholds =
+  let c, n = validate ~shares ~thresholds in
+  if n = 0 then invalid_arg "Countbelow.run: no identities";
+  let qi = Modarith.to_int q in
+  let clamped = Array.map (fun t -> max 0 (min t (qi - 1))) thresholds in
+  Trace.begin_span "countbelow.reliable";
+  let source = Programs.count_below ~c ~q:qi ~thresholds:clamped in
+  let compiled = Compile.compile_source_cached circuit_cache source in
+  let inputs =
+    Compile.encode_inputs compiled
+      (List.init c (fun i -> (Printf.sprintf "s%d" i, Compile.Dints shares.(i))))
+  in
+  let mpc = Mpcnet.execute_reliable ?config ?plan ?reliability rng compiled.circuit ~inputs in
+  let stats = Circuit.stats compiled.circuit in
+  let out_bits = Array.length (Circuit.outputs compiled.circuit) in
+  Trace.end_span "countbelow.reliable"
+    ~args:
+      [
+        ("identities", n);
+        ("gates", stats.size);
+        ("retransmissions", mpc.retransmissions);
+        ("duplicates", mpc.duplicates);
+        ("failed", match mpc.outcome with Mpcnet.Outputs _ -> 0 | _ -> 1);
+      ];
+  let outcome =
+    match mpc.outcome with
+    | Mpcnet.Parties_failed dead -> `Coordinators_failed dead
+    | Mpcnet.Outputs raw ->
+        let common, freqs, count = decode_counts compiled raw in
+        `Done
+          {
+            common;
+            frequencies = Array.mapi (fun j f -> if common.(j) then None else Some f) freqs;
+            n_common = count;
+            circuit_stats = stats;
+            comm = Gmw.comm_estimate ~parties:c stats ~outputs:out_bits;
+            time = mpc.protocol_time;
+          }
+  in
+  {
+    outcome;
+    retransmissions = mpc.retransmissions;
+    duplicates = mpc.duplicates;
+    retried_rounds = mpc.retried_rounds;
+    suspects = mpc.suspects;
+  }

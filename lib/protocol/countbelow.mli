@@ -74,3 +74,32 @@ val run :
     [frequencies], [n_common]) are identical for every strategy and pool
     size.
     @raise Invalid_argument on shape violations or zero identities. *)
+
+(** {1 Reliable path}
+
+    Used by {!Construct.run_ft}: the monolithic circuit executed over
+    {!Mpcnet.execute_reliable}, so coordinator crashes and message loss are
+    survived or detected instead of hanging the round. *)
+
+type reliable = {
+  outcome : [ `Done of result | `Coordinators_failed of int list ];
+      (** [`Done r]: all rounds completed; [r.common]/[r.frequencies] are
+          bit-identical to {!run} on the same shares ([r.time] is the
+          emergent protocol completion time).  [`Coordinators_failed dead]:
+          the MPC stalled and the failure detector blamed [dead]. *)
+  retransmissions : int;
+  duplicates : int;
+  retried_rounds : int;
+  suspects : int list;  (** Every coordinator ever blamed (may be spurious on [`Done]). *)
+}
+
+val run_reliable :
+  ?config:Eppi_simnet.Simnet.config ->
+  ?plan:Eppi_simnet.Simnet.fault_plan ->
+  ?reliability:Mpcnet.reliability ->
+  Rng.t ->
+  shares:int array array ->
+  q:Modarith.modulus ->
+  thresholds:int array ->
+  reliable
+(** @raise Invalid_argument on shape violations or zero identities. *)

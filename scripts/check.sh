@@ -145,4 +145,31 @@ EOF
 fi
 rm -f BENCH_net.json
 
+# A ~5 s smoke of the fault-tolerant construction (docs/ROBUSTNESS.md):
+# the chaos bench sweeps drop rates and crashes a provider mid-SecSumShare
+# and a coordinator mid-MPC.  The bench itself exits non-zero unless every
+# lossy run is bit-identical to the lossless baseline and every crash run
+# comes back Degraded with the epsilon contract intact over the survivors;
+# here we additionally check the emitted JSON records those verdicts.
+echo "== chaos smoke =="
+CHAOS_N=40 CHAOS_M=10 CHAOS_DROPS=0.05,0.1 dune exec bench/main.exe -- chaos
+test -s BENCH_chaos.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_chaos.json") as f:
+    data = json.load(f)
+if len(data["loss_sweep"]) < 2:
+    raise SystemExit("BENCH_chaos.json: loss sweep not populated")
+for run in data["loss_sweep"]:
+    if not run["bit_identical"]:
+        raise SystemExit(f"BENCH_chaos.json: lossy run diverged: {run}")
+for key in ("provider_crash", "coordinator_crash"):
+    crash = data[key]
+    if crash["outcome"] != "degraded" or not crash["epsilon_contract"]:
+        raise SystemExit(f"BENCH_chaos.json: {key} violated the contract: {crash}")
+print("BENCH_chaos.json well-formed: loss masked, crashes degraded gracefully")
+EOF
+fi
+
 echo "== check.sh: all green =="

@@ -482,6 +482,102 @@ let test_listen_stale_and_occupied () =
       Alcotest.fail "listening over a regular file must fail");
   Sys.remove path
 
+(* ---------- Client robustness ---------- *)
+
+let test_client_request_timeout () =
+  (* A listener that accepts the connection (the kernel does that for us via
+     the backlog) but never reads or responds: the call must come back as
+     Timed_out instead of hanging, and the connection must survive. *)
+  let path = sock_path () in
+  let listener = Server.listen (Addr.Unix_socket path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close listener;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = Client.connect ~request_timeout:0.2 (Addr.Unix_socket path) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Client.call_result c Wire.Ping with
+          | Error Client.Timed_out -> ()
+          | Ok _ -> Alcotest.fail "silent server must not answer"
+          | Error (Client.Connection_lost m) -> Alcotest.fail ("lost, not timed out: " ^ m));
+          let elapsed = Unix.gettimeofday () -. t0 in
+          check_bool "timed out promptly" true (elapsed >= 0.19 && elapsed < 5.0);
+          match Client.call c Wire.Ping with
+          | exception Client.Protocol_error msg ->
+              check_bool "call surfaces the timeout" true (contains msg "timed out")
+          | _ -> Alcotest.fail "call must also time out"))
+
+let test_client_reconnects_across_restart () =
+  (* Kill the daemon under an established client, start a fresh one on the
+     same socket path: with [reconnect] the next call must transparently
+     land on the new server. *)
+  let index = test_index ~n:8 ~m:5 in
+  let path = sock_path () in
+  let addr = Addr.Unix_socket path in
+  let start () =
+    let engine = Serve.create index in
+    let server = Server.create engine in
+    let listener = Server.listen addr in
+    Domain.spawn (fun () -> Server.run server listener)
+  in
+  let stop daemon =
+    (try
+       let c = Client.connect addr in
+       (try Client.shutdown c with _ -> ());
+       Client.close c
+     with _ -> ());
+    Domain.join daemon
+  in
+  let daemon1 = start () in
+  let c = Client.connect ~reconnect:true ~max_reconnects:40 ~retry_delay:0.02 addr in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Client.ping c;
+      stop daemon1;
+      let daemon2 = start () in
+      Fun.protect
+        ~finally:(fun () -> stop daemon2)
+        (fun () ->
+          (* The old socket is dead; the client must notice mid-call and
+             re-dial. *)
+          Client.ping c;
+          let generation, reply = Client.query c ~owner:3 in
+          check_int "served by the restarted daemon" 1 generation;
+          check_bool "reply intact after reconnect" true
+            (reply = Serve.Providers (Eppi.Index.query index ~owner:3))))
+
+let test_client_connection_lost_when_gone_for_good () =
+  (* Server dies and never comes back: reconnect attempts must exhaust and
+     surface a typed Connection_lost, not spin forever. *)
+  let index = test_index ~n:8 ~m:5 in
+  let path = sock_path () in
+  let addr = Addr.Unix_socket path in
+  let engine = Serve.create index in
+  let server = Server.create engine in
+  let listener = Server.listen addr in
+  let daemon = Domain.spawn (fun () -> Server.run server listener) in
+  let c = Client.connect ~reconnect:true ~max_reconnects:2 ~retry_delay:0.01 addr in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Client.ping c;
+      Client.shutdown c;
+      Domain.join daemon;
+      (try Sys.remove path with Sys_error _ -> ());
+      match Client.call_result c Wire.Ping with
+      | Error (Client.Connection_lost _) -> ()
+      | Ok _ -> Alcotest.fail "dead server must not answer"
+      | Error Client.Timed_out -> Alcotest.fail "expected connection loss, got timeout")
+
 (* ---------- Properties ---------- *)
 
 let qcheck_tests =
@@ -563,6 +659,14 @@ let () =
           Alcotest.test_case "replay loads jsonl" `Quick test_replay_load_jsonl;
           Alcotest.test_case "clean shutdown" `Quick test_daemon_shutdown;
           Alcotest.test_case "listen hygiene" `Quick test_listen_stale_and_occupied;
+        ] );
+      ( "client robustness",
+        [
+          Alcotest.test_case "request timeout" `Quick test_client_request_timeout;
+          Alcotest.test_case "transparent reconnect across restart" `Quick
+            test_client_reconnects_across_restart;
+          Alcotest.test_case "connection lost after retries" `Quick
+            test_client_connection_lost_when_gone_for_good;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

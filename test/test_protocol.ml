@@ -482,6 +482,233 @@ let test_beta_phase_estimate_monotone () =
   check_bool "identities increase cost" true (t_many_ids > t_small);
   check_bool "positive" true (t_small > 0.0)
 
+(* ---------- Fault tolerance: reliable transport + degradation ---------- *)
+
+let drop_plan ?(seed = 21) drop =
+  { Simnet.no_faults with fault_seed = seed; default_link = { Simnet.perfect_link with drop } }
+
+let countbelow_fixture seed =
+  (* A small count_below instance shared by the mpcnet reliability tests. *)
+  let q = 13 in
+  let compiled =
+    Eppi_sfdl.Compile.compile_source
+      (Eppi_sfdl.Programs.count_below ~c:3 ~q ~thresholds:[| 5; 9 |])
+  in
+  let rng = Rng.create seed in
+  let qm = Modarith.modulus q in
+  let shares =
+    Array.map (fun v -> Eppi_secretshare.Additive.share rng ~q:qm ~c:3 v) [| 7; 3 |]
+  in
+  let inputs =
+    Eppi_sfdl.Compile.encode_inputs compiled
+      (List.init 3 (fun k ->
+           (Printf.sprintf "s%d" k, Eppi_sfdl.Compile.Dints (Array.map (fun s -> s.(k)) shares))))
+  in
+  (compiled, inputs, rng)
+
+let test_mpcnet_reliable_matches_lossless () =
+  (* 10% loss on every link: the run must complete with outputs bit-identical
+     to the lossless engine, paid for in retransmissions. *)
+  let compiled, inputs, rng = countbelow_fixture 72 in
+  let lossless = Mpcnet.execute rng compiled.circuit ~inputs in
+  let _, inputs2, rng2 = countbelow_fixture 72 in
+  let r = Mpcnet.execute_reliable ~plan:(drop_plan 0.1) rng2 compiled.circuit ~inputs:inputs2 in
+  (match r.outcome with
+  | Mpcnet.Outputs outs ->
+      Alcotest.(check (array bool)) "bit-identical outputs" lossless.outputs outs
+  | Mpcnet.Parties_failed dead ->
+      Alcotest.failf "stalled, blamed %s" (String.concat "," (List.map string_of_int dead)));
+  check_bool "paid in retransmissions" true (r.retransmissions > 0);
+  check_bool "some rounds retried" true (r.retried_rounds > 0)
+
+let test_mpcnet_reliable_crash_detected () =
+  let compiled, inputs, rng = countbelow_fixture 72 in
+  let plan = { Simnet.no_faults with crashes = [ (0.001, 1) ] } in
+  let r = Mpcnet.execute_reliable ~plan rng compiled.circuit ~inputs in
+  match r.outcome with
+  | Mpcnet.Outputs _ -> Alcotest.fail "completed despite a crashed party"
+  | Mpcnet.Parties_failed dead -> Alcotest.(check (list int)) "blames exactly party 1" [ 1 ] dead
+
+let test_mpcnet_reliable_duplicates_suppressed () =
+  let compiled, inputs, rng = countbelow_fixture 72 in
+  let lossless = Mpcnet.execute rng compiled.circuit ~inputs in
+  let _, inputs2, rng2 = countbelow_fixture 72 in
+  let plan =
+    { Simnet.no_faults with
+      fault_seed = 5;
+      default_link = { Simnet.perfect_link with duplicate = 0.5; reorder = 0.3 };
+    }
+  in
+  let r = Mpcnet.execute_reliable ~plan rng2 compiled.circuit ~inputs:inputs2 in
+  (match r.outcome with
+  | Mpcnet.Outputs outs -> Alcotest.(check (array bool)) "unperturbed" lossless.outputs outs
+  | Mpcnet.Parties_failed _ -> Alcotest.fail "duplication must not stall the run");
+  check_bool "duplicates suppressed" true (r.duplicates > 0)
+
+let test_mpcnet_reliable_deterministic () =
+  (* Same fault-plan seed => identical traffic, retransmission schedule and
+     outputs, event for event. *)
+  let go () =
+    let compiled, inputs, rng = countbelow_fixture 72 in
+    Mpcnet.execute_reliable ~plan:(drop_plan ~seed:9 0.15) rng compiled.circuit ~inputs
+  in
+  let a = go () and b = go () in
+  check_int "same retransmissions" a.retransmissions b.retransmissions;
+  check_int "same duplicates" a.duplicates b.duplicates;
+  check_int "same messages" a.net.messages_sent b.net.messages_sent;
+  check_int "same drops" a.net.messages_dropped b.net.messages_dropped;
+  Alcotest.(check (float 0.0)) "same protocol time" a.protocol_time b.protocol_time;
+  match (a.outcome, b.outcome) with
+  | Mpcnet.Outputs oa, Mpcnet.Outputs ob -> Alcotest.(check (array bool)) "same outputs" oa ob
+  | _ -> Alcotest.fail "expected both runs to complete"
+
+let test_secsumshare_ft_complete_under_loss () =
+  let rng = Rng.create 31 in
+  let m = 10 and n = 6 in
+  let inputs = random_inputs rng ~m ~n ~max:2 in
+  let r = Secsumshare.run_ft ~plan:(drop_plan 0.1) rng ~inputs ~c:3 ~q:q97 in
+  match r.shares with
+  | None -> Alcotest.fail "10% loss must be survivable"
+  | Some shares ->
+      let sums = Secsumshare.reconstruct ~q:q97 shares in
+      for j = 0 to n - 1 do
+        let expected = Array.fold_left (fun acc row -> acc + row.(j)) 0 inputs in
+        check_int (Printf.sprintf "identity %d" j) expected sums.(j)
+      done;
+      check_bool "retransmitted" true (r.report.retransmissions > 0);
+      Alcotest.(check (list int)) "no suspects" [] r.report.suspects
+
+let test_secsumshare_ft_crash_blames_only_the_dead () =
+  (* Provider 4 dead from the start: its ring successors (5 and 6 at c = 3)
+     stall for lack of its shares.  The detector must blame exactly 4 and
+     must NOT suspect the stalled victims. *)
+  let rng = Rng.create 32 in
+  let m = 8 and n = 4 in
+  let inputs = random_inputs rng ~m ~n ~max:2 in
+  let plan = { Simnet.no_faults with crashes = [ (0.0, 4) ] } in
+  let r = Secsumshare.run_ft ~plan rng ~inputs ~c:3 ~q:q97 in
+  check_bool "incomplete" true (r.shares = None);
+  Alcotest.(check (list int)) "blames exactly provider 4" [ 4 ] r.report.suspects;
+  Alcotest.(check (list int)) "successors stalled, not suspected" [ 5; 6 ] r.report.stalled
+
+let ft_epsilons = [| 0.5; 0.6; 0.3; 0.8; 0.9 |]
+let ft_freqs = [| 2; 28; 9; 15; 1 |]
+
+let test_construct_ft_clean_is_complete () =
+  let m = 30 in
+  let membership = make_matrix ~m ~freqs:ft_freqs in
+  let policy = Eppi.Policy.Chernoff 0.9 in
+  match Construct.run_ft (Rng.create 40) ~membership ~epsilons:ft_epsilons ~policy with
+  | Construct.Degraded _ -> Alcotest.fail "no faults, no degradation"
+  | Construct.Failed (reason, _) -> Alcotest.failf "failed: %s" reason
+  | Construct.Complete (r, rep) ->
+      check_int "one attempt" 1 rep.attempts;
+      Alcotest.(check (list int)) "nobody excluded" [] rep.excluded;
+      check_int "all providers" m (Eppi.Index.providers r.index);
+      (* Classification agrees with the centralized reference. *)
+      let reference =
+        Eppi.Construct.plan_betas ~policy ~epsilons:ft_epsilons ~frequencies:ft_freqs ~m
+          (Rng.create 41)
+      in
+      Alcotest.(check (array bool)) "same common classification" reference.is_common r.common
+
+let test_construct_ft_loss_bit_identical () =
+  (* The acceptance invariant: 10% loss in both phases, same construction
+     seed => the published index is bit-identical to the fault-free run. *)
+  let m = 12 in
+  let membership = make_matrix ~m ~freqs:[| 2; 10; 5 |] in
+  let epsilons = [| 0.5; 0.4; 0.7 |] in
+  let policy = Eppi.Policy.Basic in
+  let clean = Construct.run_ft (Rng.create 42) ~membership ~epsilons ~policy in
+  let lossy =
+    Construct.run_ft ~sss_plan:(drop_plan 0.1) ~mpc_plan:(drop_plan ~seed:23 0.1)
+      (Rng.create 42) ~membership ~epsilons ~policy
+  in
+  match (clean, lossy) with
+  | Construct.Complete (a, _), Construct.Complete (b, rep) ->
+      check_bool "loss was injected and survived"
+        true (rep.sss_retransmissions > 0 || rep.mpc_retransmissions > 0);
+      Alcotest.(check (array (float 0.0))) "same betas" a.betas b.betas;
+      check_bool "bit-identical index" true
+        (Bitmatrix.equal (Eppi.Index.matrix a.index) (Eppi.Index.matrix b.index))
+  | _ -> Alcotest.fail "both runs must complete"
+
+let test_construct_ft_crash_degrades () =
+  (* Provider 7 crashes before sending anything: the construction must
+     return Degraded, exclude exactly 7, and republish over the 9
+     survivors with thresholds recomputed for m' = 9. *)
+  let m = 10 in
+  let membership = make_matrix ~m ~freqs:[| 3; 9; 6 |] in
+  let epsilons = [| 0.5; 0.4; 0.7 |] in
+  let policy = Eppi.Policy.Basic in
+  let sss_plan = { Simnet.no_faults with crashes = [ (0.0, 7) ] } in
+  match Construct.run_ft ~sss_plan (Rng.create 43) ~membership ~epsilons ~policy with
+  | Construct.Complete _ -> Alcotest.fail "a crash must degrade the outcome"
+  | Construct.Failed (reason, _) -> Alcotest.failf "failed: %s" reason
+  | Construct.Degraded (r, rep) ->
+      Alcotest.(check (list int)) "excludes exactly provider 7" [ 7 ] rep.excluded;
+      check_int "two attempts" 2 rep.attempts;
+      check_int "index spans survivors" (m - 1) (Eppi.Index.providers r.index);
+      (* The survivor-set classification matches the centralized reference
+         over m' = 9 with the survivors' frequencies. *)
+      let m' = m - 1 in
+      let freqs' =
+        Array.init 3 (fun j ->
+            Bitmatrix.row_count membership j
+            - if Bitmatrix.get membership ~row:j ~col:7 then 1 else 0)
+      in
+      Array.iteri
+        (fun j expected_f ->
+          let expected =
+            Eppi.Policy.is_common policy
+              ~sigma:(float_of_int expected_f /. float_of_int m')
+              ~epsilon:epsilons.(j) ~m:m'
+          in
+          check_bool (Printf.sprintf "common %d over survivors" j) expected r.common.(j))
+        freqs';
+      (* Recall against the survivor submatrix: every surviving true
+         positive is published. *)
+      let sub = Bitmatrix.create ~rows:3 ~cols:m' in
+      List.iteri
+        (fun k p ->
+          for j = 0 to 2 do
+            if Bitmatrix.get membership ~row:j ~col:p then Bitmatrix.set sub ~row:j ~col:k true
+          done)
+        rep.survivors;
+      for j = 0 to 2 do
+        check_bool (Printf.sprintf "recall %d" j) true
+          (Eppi.Index.recall_ok ~membership:sub r.index ~owner:j)
+      done
+
+let test_construct_ft_mpc_crash_degrades () =
+  (* A coordinator dies mid-GMW: the failure detector catches it, the
+     retry excludes it, and the remaining providers finish. *)
+  let m = 10 in
+  let membership = make_matrix ~m ~freqs:[| 3; 9 |] in
+  let epsilons = [| 0.5; 0.4 |] in
+  let mpc_plan = { Simnet.no_faults with crashes = [ (0.002, 1) ] } in
+  match
+    Construct.run_ft ~mpc_plan (Rng.create 44) ~membership ~epsilons ~policy:Eppi.Policy.Basic
+  with
+  | Construct.Complete _ -> Alcotest.fail "a coordinator crash must degrade the outcome"
+  | Construct.Failed (reason, _) -> Alcotest.failf "failed: %s" reason
+  | Construct.Degraded (r, rep) ->
+      Alcotest.(check (list int)) "excludes the dead coordinator" [ 1 ] rep.excluded;
+      check_int "index spans survivors" (m - 1) (Eppi.Index.providers r.index)
+
+let test_construct_ft_too_few_survivors_fails () =
+  let m = 4 in
+  let membership = make_matrix ~m ~freqs:[| 2; 3 |] in
+  let epsilons = [| 0.5; 0.5 |] in
+  let sss_plan = { Simnet.no_faults with crashes = [ (0.0, 0); (0.0, 2) ] } in
+  match
+    Construct.run_ft ~sss_plan (Rng.create 45) ~membership ~epsilons ~policy:Eppi.Policy.Basic
+  with
+  | Construct.Failed (_, rep) ->
+      check_bool "both dead providers excluded" true
+        (List.mem 0 rep.excluded && List.mem 2 rep.excluded)
+  | _ -> Alcotest.fail "2 of 4 providers dead cannot sustain c = 3"
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -588,5 +815,30 @@ let () =
           Alcotest.test_case "epsilon grid consistency" `Quick
             test_construct_epsilon_grid_consistency;
           Alcotest.test_case "phase estimate monotone" `Quick test_beta_phase_estimate_monotone;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "mpcnet reliable matches lossless at 10% drop" `Quick
+            test_mpcnet_reliable_matches_lossless;
+          Alcotest.test_case "mpcnet detects a crashed party" `Quick
+            test_mpcnet_reliable_crash_detected;
+          Alcotest.test_case "mpcnet suppresses duplicates" `Quick
+            test_mpcnet_reliable_duplicates_suppressed;
+          Alcotest.test_case "mpcnet retransmit schedule deterministic" `Quick
+            test_mpcnet_reliable_deterministic;
+          Alcotest.test_case "secsumshare ft survives loss" `Quick
+            test_secsumshare_ft_complete_under_loss;
+          Alcotest.test_case "secsumshare ft blames only the dead" `Quick
+            test_secsumshare_ft_crash_blames_only_the_dead;
+          Alcotest.test_case "construct ft clean run is Complete" `Quick
+            test_construct_ft_clean_is_complete;
+          Alcotest.test_case "construct ft loss is bit-identical" `Quick
+            test_construct_ft_loss_bit_identical;
+          Alcotest.test_case "construct ft crash degrades" `Quick
+            test_construct_ft_crash_degrades;
+          Alcotest.test_case "construct ft coordinator crash degrades" `Quick
+            test_construct_ft_mpc_crash_degrades;
+          Alcotest.test_case "construct ft too few survivors fails" `Quick
+            test_construct_ft_too_few_survivors_fails;
         ] );
     ]

@@ -167,6 +167,156 @@ let test_validation () =
   Alcotest.check_raises "no nodes" (Invalid_argument "Simnet.create: need at least one node")
     (fun () -> ignore (Simnet.create ~nodes:0 () : unit Simnet.t))
 
+(* ---------- fault plans ---------- *)
+
+let test_per_link_fault () =
+  (* Link 0->1 always drops; 0->2 is untouched by the default. *)
+  let plan =
+    { Simnet.no_faults with links = [ ((0, 1), { Simnet.perfect_link with drop = 1.0 }) ] }
+  in
+  let net = Simnet.create ~plan ~nodes:3 () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Simnet.on_receive net i (fun _ ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Simnet.at net ~delay:0.0 0 (fun sim ->
+      Simnet.send sim ~src:0 ~dst:1 ~size:10 ();
+      Simnet.send sim ~src:0 ~dst:2 ~size:10 ());
+  Simnet.run net;
+  Alcotest.(check (array int)) "only the faulty link loses" [| 0; 0; 1 |] got;
+  check_int "drop counted" 1 (Simnet.metrics net).messages_dropped
+
+let test_duplication () =
+  let plan =
+    { Simnet.no_faults with default_link = { Simnet.perfect_link with duplicate = 1.0 } }
+  in
+  let net = Simnet.create ~plan ~nodes:2 () in
+  let got = ref 0 in
+  Simnet.on_receive net 1 (fun _ ~src:_ _ -> incr got);
+  Simnet.at net ~delay:0.0 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:10 ());
+  Simnet.run net;
+  check_int "delivered twice" 2 !got;
+  check_int "duplicate counted" 1 (Simnet.metrics net).messages_duplicated;
+  check_int "sent counted once" 1 (Simnet.metrics net).messages_sent
+
+let test_partition_window () =
+  (* Nodes {0} | {1} are partitioned during [0, 1); a message sent inside
+     the window is dropped, one sent after it heals is delivered. *)
+  let plan =
+    {
+      Simnet.no_faults with
+      partitions = [ { Simnet.starts = 0.0; stops = 1.0; islands = [ [ 0 ]; [ 1 ] ] } ];
+    }
+  in
+  let net = Simnet.create ~plan ~nodes:2 () in
+  let got = ref 0 in
+  Simnet.on_receive net 1 (fun _ ~src:_ _ -> incr got);
+  Simnet.at net ~delay:0.5 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:10 ());
+  Simnet.at net ~delay:1.5 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:10 ());
+  Simnet.run net;
+  check_int "only the post-heal message" 1 !got;
+  check_int "partition drop counted" 1 (Simnet.metrics net).messages_dropped
+
+let test_partition_implicit_island () =
+  (* Unlisted nodes form one implicit island: 1 and 2 can still talk while
+     cut off from 0. *)
+  let plan =
+    {
+      Simnet.no_faults with
+      partitions = [ { Simnet.starts = 0.0; stops = 10.0; islands = [ [ 0 ] ] } ];
+    }
+  in
+  let net = Simnet.create ~plan ~nodes:3 () in
+  let got = Array.make 3 0 in
+  for i = 0 to 2 do
+    Simnet.on_receive net i (fun _ ~src:_ _ -> got.(i) <- got.(i) + 1)
+  done;
+  Simnet.at net ~delay:0.0 1 (fun sim ->
+      Simnet.send sim ~src:1 ~dst:2 ~size:10 ();
+      Simnet.send sim ~src:1 ~dst:0 ~size:10 ());
+  Simnet.run net;
+  Alcotest.(check (array int)) "peer island delivers, cut island drops" [| 0; 0; 1 |] got
+
+let test_crash_schedule () =
+  (* Node 1 fail-stops at t = 1: the first message lands, the second is
+     cancelled. *)
+  let plan = { Simnet.no_faults with crashes = [ (1.0, 1) ] } in
+  let net = Simnet.create ~plan ~nodes:2 () in
+  let got = ref 0 in
+  Simnet.on_receive net 1 (fun _ ~src:_ _ -> incr got);
+  Simnet.at net ~delay:0.0 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:10 ());
+  Simnet.at net ~delay:2.0 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:10 ());
+  Simnet.run net;
+  check_int "pre-crash delivery only" 1 !got;
+  check_bool "flag set by schedule" true (Simnet.is_crashed net 1)
+
+let test_crash_cancels_timers_and_work () =
+  (* Regression pin for crash semantics: a crashed node's pending timers
+     never fire, and work charged to it is a no-op — so the crash cannot
+     extend the completion time. *)
+  let net = Simnet.create ~nodes:2 () in
+  let fired = ref false in
+  Simnet.on_receive net 1 (fun _ ~src:_ _ -> ());
+  Simnet.at net ~delay:5.0 1 (fun _ -> fired := true);
+  Simnet.at net ~delay:0.1 0 (fun sim ->
+      Simnet.crash sim 1;
+      Simnet.work sim 1 100.0;
+      Simnet.work sim 0 0.2);
+  Simnet.run net;
+  check_bool "pending timer cancelled" false !fired;
+  Alcotest.(check (float 1e-9)) "no work charged to the dead" 0.0 (Simnet.node_busy_time net 1);
+  let m = Simnet.metrics net in
+  check_bool "completion unaffected by the dead node"
+    true
+    (m.completion_time < 1.0 && m.completion_time >= 0.3 -. 1e-9)
+
+let test_slow_node_multiplier () =
+  let plan = { Simnet.no_faults with slow = [ (1, 4.0) ] } in
+  let net = Simnet.create ~plan ~nodes:2 () in
+  Simnet.on_receive net 1 (fun sim ~src:_ _ -> Simnet.work sim 1 1.0);
+  Simnet.at net ~delay:0.0 0 (fun sim -> Simnet.send sim ~src:0 ~dst:1 ~size:0 ());
+  Simnet.run net;
+  Alcotest.(check (float 1e-9)) "straggler charged 4x" 4.0 (Simnet.node_busy_time net 1)
+
+let test_fault_plan_deterministic () =
+  (* Same fault seed => identical drop/duplicate pattern; a different fault
+     seed perturbs it. *)
+  let run_with seed =
+    let plan =
+      {
+        Simnet.no_faults with
+        fault_seed = seed;
+        default_link = { drop = 0.3; duplicate = 0.2; reorder = 0.2 };
+      }
+    in
+    let net = Simnet.create ~plan ~nodes:2 () in
+    let got = ref 0 in
+    Simnet.on_receive net 1 (fun _ ~src:_ _ -> incr got);
+    Simnet.at net ~delay:0.0 0 (fun sim ->
+        for _ = 1 to 500 do
+          Simnet.send sim ~src:0 ~dst:1 ~size:1 ()
+        done);
+    Simnet.run net;
+    let m = Simnet.metrics net in
+    (!got, m.messages_dropped, m.messages_duplicated)
+  in
+  check_bool "same seed, same faults" true (run_with 7 = run_with 7);
+  check_bool "different seed, different faults" true (run_with 7 <> run_with 8)
+
+let test_fault_plan_validation () =
+  Alcotest.check_raises "unknown node in crash schedule"
+    (Invalid_argument "Simnet: fault plan names unknown node") (fun () ->
+      ignore
+        (Simnet.create
+           ~plan:{ Simnet.no_faults with crashes = [ (0.0, 9) ] }
+           ~nodes:2 ()
+          : unit Simnet.t));
+  Alcotest.check_raises "non-positive slow factor"
+    (Invalid_argument "Simnet: slow factor must be > 0") (fun () ->
+      ignore
+        (Simnet.create ~plan:{ Simnet.no_faults with slow = [ (0, 0.0) ] } ~nodes:2 ()
+          : unit Simnet.t))
+
 let qcheck_tests =
   let open QCheck in
   [
@@ -205,6 +355,19 @@ let () =
           Alcotest.test_case "crash silences node" `Quick test_crash_silences_node;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "per-link fault" `Quick test_per_link_fault;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "partition window" `Quick test_partition_window;
+          Alcotest.test_case "implicit island" `Quick test_partition_implicit_island;
+          Alcotest.test_case "crash schedule" `Quick test_crash_schedule;
+          Alcotest.test_case "crash cancels timers and work" `Quick
+            test_crash_cancels_timers_and_work;
+          Alcotest.test_case "slow node multiplier" `Quick test_slow_node_multiplier;
+          Alcotest.test_case "fault plan determinism" `Quick test_fault_plan_deterministic;
+          Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validation;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
