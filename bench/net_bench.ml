@@ -1,17 +1,27 @@
 (* Network front-end bench: drive the real socket path — daemon in one
    domain, clients in this one — and measure (1) replay throughput as a
-   function of pipeline depth and (2) the latency of a hot-swap republish
-   while pipelined query load keeps flowing.  Writes BENCH_net.json.
+   function of pipeline depth, (2) throughput as a function of the
+   daemon's worker-domain count at a fixed depth, and (3) the latency of
+   hot-swap republishes (binary codec vs the legacy CSV payload) while
+   pipelined query load keeps flowing.  Writes BENCH_net.json.
 
    Correctness is asserted along the way: every replay conserves requests
    (served + unknown + shed = requests), the response volume matches the
-   ground truth of the generation served, and every republish returns the
-   next generation in sequence.
+   ground truth of the generation served, a fixed query slice must come
+   back bit-identical (same generation tags, same rows) from every
+   domain count, the binary republish payload must undercut the CSV one
+   by at least 8x on the full-size index, and every republish returns
+   the next generation in sequence.
+
+   Throughput *scaling* across domain counts is recorded, not asserted:
+   the JSON carries a "cores" field and CI gates the >= 2x expectation on
+   machines with enough cores (a single-core box cannot exhibit parallel
+   speedup, only the absence of a regression).
 
    Environment knobs: NET_N (owners, default 2000), NET_M (providers,
    default 1024), NET_QUERIES (replay size, default 50000), NET_DEPTHS
-   (comma list, default 1,4,16,64), NET_SWAPS (republish count under load,
-   default 30). *)
+   (comma list, default 1,4,16,64), NET_DOMAINS (comma list, default
+   1,2,4,8), NET_SWAPS (republish count under load, default 30). *)
 
 open Eppi_prelude
 open Eppi_net
@@ -23,29 +33,38 @@ let getenv_int name default =
   | Some s -> ( try int_of_string (String.trim s) with _ -> default)
   | None -> default
 
-let depths () =
-  match Sys.getenv_opt "NET_DEPTHS" with
-  | None -> [ 1; 4; 16; 64 ]
+let getenv_int_list name default =
+  match Sys.getenv_opt name with
+  | None -> default
   | Some s ->
       String.split_on_char ',' s
       |> List.filter_map (fun tok -> int_of_string_opt (String.trim tok))
       |> List.filter (fun d -> d >= 1)
+
+let depths () = getenv_int_list "NET_DEPTHS" [ 1; 4; 16; 64 ]
+let domain_counts () = getenv_int_list "NET_DOMAINS" [ 1; 2; 4; 8 ]
 
 (* Nearest-rank percentile over a sorted array of seconds. *)
 let percentile sorted q =
   let len = Array.length sorted in
   sorted.(max 0 (min (len - 1) (int_of_float (Float.round (q *. float_of_int (len - 1))))))
 
+let sorted_stats seconds =
+  let s = Array.copy seconds in
+  Array.sort compare s;
+  (percentile s 0.50, percentile s 0.99, s.(Array.length s - 1))
+
 let run () =
   let n = getenv_int "NET_N" 2000 in
   let m = getenv_int "NET_M" 1024 in
   let queries = getenv_int "NET_QUERIES" 50_000 in
   let swaps = max 1 (getenv_int "NET_SWAPS" 30) in
+  let cores = Domain.recommended_domain_count () in
   Bench_util.heading
     (Printf.sprintf
-       "Network front-end: pipeline depth sweep + hot-swap latency (n=%d owners, m=%d \
-        providers, %d queries)"
-       n m queries);
+       "Network front-end: pipeline/domain sweeps + hot-swap latency (n=%d owners, m=%d \
+        providers, %d queries, %d cores)"
+       n m queries cores);
   let rng = Rng.create 2026 in
   let freqs = Array.init n (fun j -> 1 + (j mod 8)) in
   let membership = Bench_util.matrix_of_frequencies rng ~m ~freqs in
@@ -61,110 +80,206 @@ let run () =
   let expect_listed =
     Array.fold_left (fun acc owner -> acc + truth_len.(owner)) 0 workload
   in
-  (* The daemon: sharded engine in its own domain, this domain is the client. *)
+  (* A fixed slice of owners whose (generation, reply) pairs must come
+     back identical from every daemon configuration. *)
+  let identity_slice = Array.init (min n 200) (fun i -> i * 37 mod n) in
   let path = Printf.sprintf "/tmp/eppi-net-bench-%d.sock" (Unix.getpid ()) in
   let addr = Addr.Unix_socket path in
-  let engine = Serve.create ~config:{ Serve.default_config with shards = 4 } index1 in
-  let server = Server.create engine in
-  let listener = Server.listen addr in
-  let daemon = Domain.spawn (fun () -> Server.run server listener) in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-    (fun () ->
-      (* Depth sweep: same workload, one connection per depth. *)
-      let depth_runs =
+  (* Start a daemon over [index1] with [workers] domains, run [f], then
+     shut it down and join. *)
+  let with_daemon ~workers f =
+    let engine = Serve.create ~config:{ Serve.default_config with shards = 4 } index1 in
+    let server = Server.create ~config:{ Server.default_config with workers } engine in
+    let listener = Server.listen addr in
+    let daemon = Domain.spawn (fun () -> Server.run server listener) in
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let c = Client.connect addr in
+           (try Client.shutdown c with _ -> ());
+           Client.close c
+         with _ -> ());
+        Domain.join daemon;
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () -> f engine)
+  in
+  let replay_checked ~depth client =
+    let summary = Replay.run ~depth client workload in
+    if summary.served + summary.unknown + summary.shed <> queries then
+      failwith "net: replay lost requests";
+    if summary.served <> queries then failwith "net: replay shed or missed requests";
+    if summary.providers_listed <> expect_listed then
+      failwith "net: response volume diverged from Index.query";
+    if summary.first_generation <> 1 || summary.last_generation <> 1 then
+      failwith "net: unexpected generation during a sweep";
+    summary
+  in
+  (* ---- pipeline depth sweep (single-domain daemon, the PR 4 shape) ---- *)
+  let depth_runs =
+    with_daemon ~workers:1 (fun _engine ->
         List.map
           (fun depth ->
             let client = Client.connect ~retries:100 addr in
             let summary =
               Fun.protect
                 ~finally:(fun () -> Client.close client)
-                (fun () -> Replay.run ~depth client workload)
+                (fun () -> replay_checked ~depth client)
             in
-            if summary.served + summary.unknown + summary.shed <> queries then
-              failwith "net: replay lost requests";
-            if summary.served <> queries then failwith "net: replay shed or missed requests";
-            if summary.providers_listed <> expect_listed then
-              failwith "net: response volume diverged from Index.query";
-            if summary.first_generation <> 1 || summary.last_generation <> 1 then
-              failwith "net: unexpected generation during the depth sweep";
             let qps = float_of_int queries /. summary.wall_seconds in
             Bench_util.note "depth %3d: %.3f s (%.0f q/s)" depth summary.wall_seconds qps;
             (depth, summary.wall_seconds, qps))
-          (depths ())
-      in
-      (* Hot-swap latency under load: a second domain keeps pipelined
-         queries in flight while this one times republish round-trips,
-         alternating between the two indexes. *)
-      let stop = Atomic.make false in
-      let load =
-        Domain.spawn (fun () ->
+          (depths ()))
+  in
+  (* ---- worker-domain sweep at fixed depth 16 ---- *)
+  let reference_slice = ref None in
+  let domain_runs =
+    List.map
+      (fun workers ->
+        with_daemon ~workers (fun _engine ->
             let client = Client.connect ~retries:100 addr in
-            let rng = Rng.create 5 in
-            let replies = ref 0 in
-            while not (Atomic.get stop) do
-              let frames = List.init 32 (fun _ -> Wire.Query { owner = Rng.int rng n }) in
-              List.iter
-                (function
-                  | Wire.Reply _ -> incr replies
-                  | other -> Client.unexpected "load query" other)
-                (Client.pipeline client frames)
-            done;
-            Client.close client;
-            !replies)
-      in
-      let admin = Client.connect ~retries:100 addr in
-      let swap_seconds =
-        Array.init swaps (fun i ->
-            let csv = if i mod 2 = 0 then csv2 else csv1 in
-            let t0 = Clock.seconds () in
-            (match Client.republish admin ~index_csv:csv with
-            | Ok generation when generation = i + 2 -> ()
-            | Ok generation -> failwith (Printf.sprintf "net: swap %d installed generation %d" i generation)
-            | Error msg -> failwith ("net: republish failed: " ^ msg));
-            Clock.seconds () -. t0)
-      in
-      Atomic.set stop true;
-      let load_replies = Domain.join load in
-      if load_replies = 0 then failwith "net: load domain made no progress";
-      let final_generation = Serve.generation engine in
-      if final_generation <> swaps + 1 then failwith "net: final generation off";
-      let stats = Client.stats_json admin in
-      Client.shutdown admin;
-      Client.close admin;
-      Domain.join daemon;
-      Array.sort compare swap_seconds;
-      let p50 = percentile swap_seconds 0.50
-      and p99 = percentile swap_seconds 0.99
-      and worst = swap_seconds.(Array.length swap_seconds - 1) in
-      Bench_util.note
-        "hot swap under load: %d republishes, p50 %.2g s, p99 %.2g s, worst %.2g s (%d \
-         concurrent replies)"
-        swaps p50 p99 worst load_replies;
-      (* JSON out. *)
-      let b = Buffer.create 1024 in
-      Buffer.add_string b "{\n";
-      Buffer.add_string b "  \"bench\": \"net\",\n";
-      Buffer.add_string b (Printf.sprintf "  \"n_owners\": %d,\n" n);
-      Buffer.add_string b (Printf.sprintf "  \"m_providers\": %d,\n" m);
-      Buffer.add_string b (Printf.sprintf "  \"queries\": %d,\n" queries);
-      Buffer.add_string b "  \"depth_runs\": [\n";
-      List.iteri
-        (fun i (depth, seconds, qps) ->
-          Buffer.add_string b
-            (Printf.sprintf "    { \"depth\": %d, \"seconds\": %.6f, \"qps\": %.0f }%s\n" depth
-               seconds qps
-               (if i = List.length depth_runs - 1 then "" else ",")))
-        depth_runs;
-      Buffer.add_string b "  ],\n";
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                let summary = replay_checked ~depth:16 client in
+                let slice =
+                  Array.map (fun owner -> Client.query client ~owner) identity_slice
+                in
+                (match !reference_slice with
+                | None -> reference_slice := Some slice
+                | Some reference ->
+                    if slice <> reference then
+                      failwith
+                        (Printf.sprintf
+                           "net: replies at %d domains diverge from the 1-domain run" workers));
+                let qps = float_of_int queries /. summary.wall_seconds in
+                Bench_util.note "domains %2d: %.3f s (%.0f q/s)" workers summary.wall_seconds qps;
+                (workers, summary.wall_seconds, qps))))
+      (domain_counts ())
+  in
+  (* ---- republish payload sizes ---- *)
+  let binary2 = Index_codec.encode index2 in
+  let csv_bytes = String.length csv2 and binary_bytes = String.length binary2 in
+  let payload_ratio = float_of_int csv_bytes /. float_of_int binary_bytes in
+  Bench_util.note "republish payload: csv %d bytes, binary %d bytes (%.1fx smaller)" csv_bytes
+    binary_bytes payload_ratio;
+  if n >= 1000 && m >= 512 && payload_ratio < 8.0 then
+    failwith
+      (Printf.sprintf "net: binary payload only %.1fx smaller than CSV (need >= 8x)"
+         payload_ratio);
+  (* ---- hot-swap latency under load: binary codec vs CSV baseline ----
+     One 4-domain daemon, one load domain keeping 32-deep pipelined
+     queries in flight, admin connection timing republish round-trips
+     alternating between the two indexes.  CSV parses a full-size index
+     per swap, so its baseline runs fewer iterations. *)
+  let csv_swaps = min swaps 10 in
+  let swap_stats =
+    with_daemon ~workers:4 (fun engine ->
+        let stop = Atomic.make false in
+        let load =
+          Domain.spawn (fun () ->
+              let client = Client.connect ~retries:100 addr in
+              let rng = Rng.create 5 in
+              let replies = ref 0 in
+              while not (Atomic.get stop) do
+                let frames = List.init 32 (fun _ -> Wire.Query { owner = Rng.int rng n }) in
+                List.iter
+                  (function
+                    | Wire.Reply _ -> incr replies
+                    | other -> Client.unexpected "load query" other)
+                  (Client.pipeline client frames)
+              done;
+              Client.close client;
+              !replies)
+        in
+        let admin = Client.connect ~retries:100 addr in
+        let expected_generation = ref 1 in
+        let time_swap send =
+          incr expected_generation;
+          let t0 = Clock.seconds () in
+          (match send () with
+          | Ok generation when generation = !expected_generation -> ()
+          | Ok generation ->
+              failwith
+                (Printf.sprintf "net: swap installed generation %d, expected %d" generation
+                   !expected_generation)
+          | Error msg -> failwith ("net: republish failed: " ^ msg));
+          Clock.seconds () -. t0
+        in
+        let csv_seconds =
+          Array.init csv_swaps (fun i ->
+              let csv = if i mod 2 = 0 then csv2 else csv1 in
+              time_swap (fun () -> Client.republish admin ~index_csv:csv))
+        in
+        let binary_seconds =
+          Array.init swaps (fun i ->
+              let index = if i mod 2 = 0 then index2 else index1 in
+              time_swap (fun () -> Client.republish_index admin index))
+        in
+        Atomic.set stop true;
+        let load_replies = Domain.join load in
+        if load_replies = 0 then failwith "net: load domain made no progress";
+        let final_generation = Serve.generation engine in
+        if final_generation <> csv_swaps + swaps + 1 then failwith "net: final generation off";
+        let stats = Client.stats_json admin in
+        Client.shutdown admin;
+        Client.close admin;
+        let csv_p50, csv_p99, csv_worst = sorted_stats csv_seconds in
+        let p50, p99, worst = sorted_stats binary_seconds in
+        Bench_util.note
+          "hot swap under load (4 domains): binary p50 %.2g s, p99 %.2g s, worst %.2g s over \
+           %d swaps; csv p50 %.2g s, p99 %.2g s over %d swaps (%d concurrent replies)"
+          p50 p99 worst swaps csv_p50 csv_p99 csv_swaps load_replies;
+        ( (p50, p99, worst),
+          (csv_p50, csv_p99, csv_worst),
+          final_generation,
+          load_replies,
+          stats ))
+  in
+  let (p50, p99, worst), (csv_p50, csv_p99, csv_worst), final_generation, load_replies, stats =
+    swap_stats
+  in
+  (* JSON out. *)
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"net\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"n_owners\": %d,\n" n);
+  Buffer.add_string b (Printf.sprintf "  \"m_providers\": %d,\n" m);
+  Buffer.add_string b (Printf.sprintf "  \"queries\": %d,\n" queries);
+  Buffer.add_string b (Printf.sprintf "  \"cores\": %d,\n" cores);
+  Buffer.add_string b "  \"depth_runs\": [\n";
+  List.iteri
+    (fun i (depth, seconds, qps) ->
       Buffer.add_string b
-        (Printf.sprintf
-           "  \"swap\": { \"count\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \"worst_s\": %.9f, \
-            \"final_generation\": %d, \"concurrent_replies\": %d },\n"
-           swaps p50 p99 worst final_generation load_replies);
-      Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (String.trim stats));
-      Buffer.add_string b "}\n";
-      let out = open_out "BENCH_net.json" in
-      output_string out (Buffer.contents b);
-      close_out out;
-      Bench_util.note "wrote BENCH_net.json")
+        (Printf.sprintf "    { \"depth\": %d, \"seconds\": %.6f, \"qps\": %.0f }%s\n" depth
+           seconds qps
+           (if i = List.length depth_runs - 1 then "" else ",")))
+    depth_runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"domain_runs\": [\n";
+  List.iteri
+    (fun i (domains, seconds, qps) ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"domains\": %d, \"seconds\": %.6f, \"qps\": %.0f }%s\n" domains
+           seconds qps
+           (if i = List.length domain_runs - 1 then "" else ",")))
+    domain_runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"payload\": { \"csv_bytes\": %d, \"binary_bytes\": %d, \"ratio\": %.2f },\n" csv_bytes
+       binary_bytes payload_ratio);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"swap\": { \"count\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \"worst_s\": %.9f, \
+        \"final_generation\": %d, \"concurrent_replies\": %d },\n"
+       swaps p50 p99 worst final_generation load_replies);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"swap_csv\": { \"count\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \"worst_s\": %.9f },\n"
+       csv_swaps csv_p50 csv_p99 csv_worst);
+  Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (String.trim stats));
+  Buffer.add_string b "}\n";
+  let out = open_out "BENCH_net.json" in
+  output_string out (Buffer.contents b);
+  close_out out;
+  Bench_util.note "wrote BENCH_net.json"

@@ -526,7 +526,9 @@ let serve_cmd =
     Arg.(
       value & opt int 1
       & info [ "domains" ] ~docv:"INT"
-          ~doc:"Domain-pool size for the replay; 1 runs the shards sequentially.")
+          ~doc:
+            "Engine-calling domains: worker domains for the daemon ($(b,--listen)), the \
+             domain-pool size for in-process replay.  1 serves inline on a single domain.")
   in
   let cache =
     Arg.(
@@ -603,8 +605,10 @@ let serve_cmd =
         Printf.eprintf "serve: --listen and --stdio are mutually exclusive\n";
         exit 2
     | Some addr, false ->
-        let server = Eppi_net.Server.create engine in
-        Printf.eprintf "listening on %s (%d shards, generation %d)\n" addr shards
+        let config = { Eppi_net.Server.default_config with workers = max 1 domains } in
+        let server = Eppi_net.Server.create ~config engine in
+        Printf.eprintf "listening on %s (%d shards, %d worker domains, generation %d)\n" addr
+          shards config.workers
           (Eppi_serve.Serve.generation engine);
         with_trace trace (fun () -> Eppi_net.Server.serve server (Eppi_net.Addr.of_string addr));
         Printf.eprintf "daemon stopped; final metrics:\n";
@@ -658,21 +662,36 @@ let connect_required_arg =
   Arg.(required & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
 
 let republish_cmd =
-  let run addr index_path =
+  let csv_arg =
+    let doc =
+      "Ship the index as the legacy CSV payload instead of the compact binary codec — for \
+       daemons that predate the binary republish frame."
+    in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run addr index_path csv =
     let index_csv = read_file index_path in
     with_client addr (fun client ->
-        match Eppi_net.Client.republish client ~index_csv with
+        let result =
+          if csv then Eppi_net.Client.republish client ~index_csv
+          else
+            match Eppi.Index.of_csv index_csv with
+            | index -> Eppi_net.Client.republish_index client index
+            | exception Failure msg -> Error msg
+        in
+        match result with
         | Ok generation -> Printf.printf "generation %d\n" generation
         | Error msg ->
             Printf.eprintf "republish rejected: %s\n" msg;
             exit 1)
   in
-  let term = Term.(const run $ connect_required_arg $ index_arg) in
+  let term = Term.(const run $ connect_required_arg $ index_arg $ csv_arg) in
   Cmd.v
     (Cmd.info "republish"
        ~doc:
          "Hot-swap the index of a running daemon: queries keep flowing, the new generation \
-          takes effect atomically, per-shard caches invalidate")
+          takes effect atomically, per-shard caches invalidate.  The index travels as the \
+          compact binary codec unless $(b,--csv) asks for the legacy payload")
     term
 
 let stats_cmd =

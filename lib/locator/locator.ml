@@ -93,11 +93,6 @@ let query_ppi_result t ~owner =
   | None -> Error No_index
   | Some index -> Ok (Eppi.Index.query index ~owner)
 
-let query_ppi t ~owner =
-  match query_ppi_result t ~owner with
-  | Ok providers -> providers
-  | Error No_index -> failwith "Locator.query_ppi: no index constructed yet"
-
 let serve_engine ?config t =
   match t.index with
   | None -> Error No_index

@@ -64,11 +64,6 @@ val query_ppi_result : t -> owner:int -> (int list, query_error) result
 (** QueryPPI with a typed failure — the variant the serving path consumes.
     @raise Invalid_argument on a bad owner id. *)
 
-val query_ppi : t -> owner:int -> int list
-  [@@ocaml.deprecated "use Locator.query_ppi_result instead"]
-(** @deprecated Raising wrapper over {!query_ppi_result}.
-    @raise Failure if no index has been constructed yet. *)
-
 val serve_engine :
   ?config:Eppi_serve.Serve.config -> t -> (Eppi_serve.Serve.t, query_error) result
 (** Compile the published index into an online serving engine

@@ -297,6 +297,12 @@ let republish t ~index_csv =
   | Server_error msg -> Error msg
   | other -> unexpected "republish" other
 
+let republish_index t index =
+  match call t (Wire.Republish_binary { data = Index_codec.encode index }) with
+  | Republished { generation } -> Ok generation
+  | Server_error msg -> Error msg
+  | other -> unexpected "republish" other
+
 let ping t =
   match call t Wire.Ping with
   | Pong -> ()

@@ -93,6 +93,12 @@ val republish : t -> index_csv:string -> (int, string) result
     [Ok generation] on success, [Error message] when the server rejects
     the CSV. *)
 
+val republish_index : t -> Eppi.Index.t -> (int, string) result
+(** {!republish} with the compact {!Index_codec} payload — an order of
+    magnitude smaller on the wire than the CSV form, and decoded off the
+    server's I/O loop.  Prefer this unless the peer predates the binary
+    codec. *)
+
 val ping : t -> unit
 
 val shutdown : t -> unit

@@ -1,0 +1,281 @@
+open Eppi_prelude
+
+let codec_version = 1
+
+type error =
+  | Unsupported_version of int
+  | Truncated of string
+  | Malformed of string
+
+let error_to_string = function
+  | Unsupported_version v -> Printf.sprintf "unsupported index codec version %d" v
+  | Truncated what -> Printf.sprintf "truncated input (%s)" what
+  | Malformed msg -> Printf.sprintf "malformed index: %s" msg
+
+(* floor(log2 x) for x >= 1 *)
+let ilog2 x =
+  let k = ref 0 and v = ref x in
+  while !v > 1 do
+    incr k;
+    v := !v lsr 1
+  done;
+  !k
+
+(* Rice parameter for a row of [c] ids out of [m] providers.  The gaps of a
+   uniformly sparse row are near-geometric with mean mu = (m - c)/(c + 1);
+   the classic rule 2^k ~ ln(2) * mu picks the parameter within a fraction
+   of a bit of the Golomb optimum.  Computed in integer arithmetic (scaled
+   by 1000, rounded to the nearest power of two in log space) so encoder
+   and decoder derive the identical k from (c, m) alone — the format spends
+   no bits on it. *)
+let rice_k ~c ~m =
+  let mu_scaled = 693 * (m - c) / (1000 * (c + 1)) in
+  if mu_scaled <= 1 then 0
+  else
+    let k = ilog2 mu_scaled in
+    if 2 * mu_scaled > 3 * (1 lsl k) then k + 1 else k
+
+(* A row dense enough that Rice gaps would cost about as much as the raw
+   m-bit bitmap (mean gap <= 2, so >= ~1/3 density) is stored as the
+   bitmap.  Both sides apply this rule, so no per-row flag is spent. *)
+let row_is_bitmap ~m count = 3 * count >= m
+
+(* ---- unsigned LEB128 (byte-aligned header fields) ---- *)
+
+let put_uvarint b n =
+  let u = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !u land 0x7F in
+    u := !u lsr 7;
+    if !u = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let uvarint_bytes n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+exception Fail of error
+
+type cursor = { payload : string; mutable pos : int }
+
+let get_uvarint c ~what =
+  let u = ref 0 and shift = ref 0 and value = ref (-1) in
+  while !value < 0 do
+    if c.pos >= String.length c.payload then raise (Fail (Truncated what));
+    if !shift > 56 then raise (Fail (Malformed (what ^ ": varint longer than 9 bytes")));
+    let byte = Char.code c.payload.[c.pos] in
+    c.pos <- c.pos + 1;
+    u := !u lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then value := !u
+  done;
+  !value
+
+(* ---- bit stream (row bodies) ----
+
+   Bits are appended LSB-first within each byte: stream bit i is
+   [(byte i/8 lsr (i mod 8)) land 1].  The whole body is one continuous
+   stream; only the final byte is padded (with zero bits), so per-row
+   alignment costs nothing. *)
+
+type bitwriter = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+let writer buf = { buf; acc = 0; nbits = 0 }
+
+let put_bit w bit =
+  if bit then w.acc <- w.acc lor (1 lsl w.nbits);
+  w.nbits <- w.nbits + 1;
+  if w.nbits = 8 then begin
+    Buffer.add_char w.buf (Char.chr w.acc);
+    w.acc <- 0;
+    w.nbits <- 0
+  end
+
+let put_bits w v n =
+  for i = 0 to n - 1 do
+    put_bit w ((v lsr i) land 1 = 1)
+  done
+
+let flush_writer w =
+  if w.nbits > 0 then begin
+    Buffer.add_char w.buf (Char.chr w.acc);
+    w.acc <- 0;
+    w.nbits <- 0
+  end
+
+type bitreader = { c : cursor; base : int; mutable bitpos : int }
+
+let reader c = { c; base = c.pos; bitpos = 0 }
+
+let get_bit r ~what =
+  let byte = r.base + (r.bitpos lsr 3) in
+  if byte >= String.length r.c.payload then raise (Fail (Truncated what));
+  let bit = (Char.code r.c.payload.[byte] lsr (r.bitpos land 7)) land 1 in
+  r.bitpos <- r.bitpos + 1;
+  bit = 1
+
+let get_bits r n ~what =
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    if get_bit r ~what then v := !v lor (1 lsl i)
+  done;
+  !v
+
+(* Close the body stream: zero pad bits to the byte boundary, exact length. *)
+let finish_reader r =
+  while r.bitpos land 7 <> 0 do
+    if get_bit r ~what:"final padding" then raise (Fail (Malformed "nonzero padding bits"))
+  done;
+  r.c.pos <- r.base + (r.bitpos lsr 3)
+
+(* ---- row bodies ---- *)
+
+(* Gaps: g_0 = p_0 and g_i = p_i - p_{i-1} - 1, so strictly ascending rows
+   are exactly the rows with all gaps >= 0 — ordering is free by
+   construction on both sides.  Each gap is Rice-coded: quotient
+   [g lsr k] in unary (that many 1-bits, then a 0), then the k low bits. *)
+
+let rice_row_bits row ~c ~m =
+  let k = rice_k ~c ~m in
+  let bits = ref 0 and prev = ref (-1) in
+  Bitvec.iter_set
+    (fun p ->
+      let g = p - !prev - 1 in
+      prev := p;
+      bits := !bits + (g lsr k) + 1 + k)
+    row;
+  !bits
+
+let row_bits row ~c ~m = if row_is_bitmap ~m c then m else rice_row_bits row ~c ~m
+
+let put_row w row ~c ~m =
+  if row_is_bitmap ~m c then
+    for p = 0 to m - 1 do
+      put_bit w (Bitvec.get row p)
+    done
+  else begin
+    let k = rice_k ~c ~m in
+    let prev = ref (-1) in
+    Bitvec.iter_set
+      (fun p ->
+        let g = p - !prev - 1 in
+        prev := p;
+        for _ = 1 to g lsr k do
+          put_bit w true
+        done;
+        put_bit w false;
+        put_bits w g k)
+      row
+  end
+
+let get_row r matrix ~j ~c ~m =
+  let what = Printf.sprintf "row %d" j in
+  if row_is_bitmap ~m c then begin
+    let set = ref 0 in
+    for p = 0 to m - 1 do
+      if get_bit r ~what then begin
+        incr set;
+        Bitmatrix.set matrix ~row:j ~col:p true
+      end
+    done;
+    if !set <> c then
+      raise (Fail (Malformed (Printf.sprintf "%s: bitmap population %d, declared count %d" what !set c)))
+  end
+  else begin
+    let k = rice_k ~c ~m in
+    let prev = ref (-1) in
+    for _ = 1 to c do
+      let q = ref 0 in
+      while get_bit r ~what do
+        incr q;
+        (* A valid gap never exceeds m, so neither does its quotient. *)
+        if !q lsl k > m then raise (Fail (Malformed (what ^ ": gap exceeds provider count")))
+      done;
+      let g = (!q lsl k) lor get_bits r k ~what in
+      let p = !prev + 1 + g in
+      if p >= m then
+        raise (Fail (Malformed (Printf.sprintf "%s: provider %d >= %d" what p m)));
+      prev := p;
+      Bitmatrix.set matrix ~row:j ~col:p true
+    done
+  end
+
+(* ---- encoding ---- *)
+
+let row_counts matrix =
+  Array.init (Bitmatrix.rows matrix) (fun j -> Bitmatrix.row_count matrix j)
+
+let encoded_bytes index =
+  let matrix = Eppi.Index.matrix index in
+  let n = Bitmatrix.rows matrix and m = Bitmatrix.cols matrix in
+  let counts = row_counts matrix in
+  let header =
+    Array.fold_left
+      (fun acc c -> acc + uvarint_bytes c)
+      (1 + uvarint_bytes n + uvarint_bytes m)
+      counts
+  in
+  let body_bits = ref 0 in
+  for j = 0 to n - 1 do
+    body_bits := !body_bits + row_bits (Bitmatrix.row matrix j) ~c:counts.(j) ~m
+  done;
+  header + ((!body_bits + 7) / 8)
+
+let encode index =
+  let matrix = Eppi.Index.matrix index in
+  let n = Bitmatrix.rows matrix and m = Bitmatrix.cols matrix in
+  let counts = row_counts matrix in
+  let b = Buffer.create (encoded_bytes index) in
+  Buffer.add_char b (Char.chr codec_version);
+  put_uvarint b n;
+  put_uvarint b m;
+  Array.iter (put_uvarint b) counts;
+  let w = writer b in
+  for j = 0 to n - 1 do
+    put_row w (Bitmatrix.row matrix j) ~c:counts.(j) ~m
+  done;
+  flush_writer w;
+  Buffer.contents b
+
+(* ---- decoding ---- *)
+
+let dims_limit = 1 lsl 30
+
+let decode_exn payload =
+  let c = { payload; pos = 0 } in
+  if String.length payload = 0 then raise (Fail (Truncated "version byte"));
+  let v = Char.code payload.[0] in
+  c.pos <- 1;
+  if v <> codec_version then raise (Fail (Unsupported_version v));
+  let n = get_uvarint c ~what:"owner count" in
+  let m = get_uvarint c ~what:"provider count" in
+  if n < 1 || n > dims_limit then raise (Fail (Malformed (Printf.sprintf "owner count %d" n)));
+  if m < 1 || m > dims_limit then
+    raise (Fail (Malformed (Printf.sprintf "provider count %d" m)));
+  let counts =
+    Array.init n (fun j ->
+        let cnt = get_uvarint c ~what:(Printf.sprintf "count of row %d" j) in
+        if cnt > m then
+          raise (Fail (Malformed (Printf.sprintf "row %d count %d exceeds %d providers" j cnt m)));
+        cnt)
+  in
+  let matrix = Bitmatrix.create ~rows:n ~cols:m in
+  let r = reader c in
+  for j = 0 to n - 1 do
+    get_row r matrix ~j ~c:counts.(j) ~m
+  done;
+  finish_reader r;
+  if c.pos <> String.length payload then
+    raise
+      (Fail (Malformed (Printf.sprintf "%d trailing bytes" (String.length payload - c.pos))));
+  Eppi.Index.of_matrix matrix
+
+let decode payload =
+  match decode_exn payload with
+  | index -> Ok index
+  | exception Fail e -> Error e

@@ -7,6 +7,8 @@ type config = {
   idle_timeout : float;
   max_payload : int;
   max_pending_bytes : int;
+  workers : int;
+  max_inflight : int;
 }
 
 let default_config =
@@ -15,6 +17,8 @@ let default_config =
     idle_timeout = 300.0;
     max_payload = Wire.default_max_payload;
     max_pending_bytes = 8 * 1024 * 1024;
+    workers = 1;
+    max_inflight = 1024;
   }
 
 type t = {
@@ -25,6 +29,8 @@ type t = {
 let create ?(config = default_config) engine =
   if config.max_connections < 1 then invalid_arg "Server: max_connections must be >= 1";
   if config.max_pending_bytes < 1 then invalid_arg "Server: max_pending_bytes must be >= 1";
+  if config.workers < 1 then invalid_arg "Server: workers must be >= 1";
+  if config.max_inflight < 1 then invalid_arg "Server: max_inflight must be >= 1";
   { engine; config }
 
 let engine t = t.engine
@@ -39,6 +45,7 @@ let request_code = function
   | Wire.Republish _ -> 5
   | Wire.Ping -> 6
   | Wire.Shutdown -> 7
+  | Wire.Republish_binary _ -> 8
 
 let handle_request t (request : Wire.request) : Wire.response =
   match request with
@@ -66,6 +73,10 @@ let handle_request t (request : Wire.request) : Wire.response =
       match Eppi.Index.of_csv index_csv with
       | index -> Republished { generation = Serve.republish_index t.engine index }
       | exception Failure msg -> Server_error ("republish: " ^ msg))
+  | Republish_binary { data } -> (
+      match Index_codec.decode data with
+      | Ok index -> Republished { generation = Serve.republish_index t.engine index }
+      | Error e -> Server_error ("republish: " ^ Index_codec.error_to_string e))
   | Ping -> Pong
   | Shutdown -> Shutting_down
 
@@ -95,6 +106,202 @@ let listen address =
      raise e);
   fd
 
+(* ---- worker domains ----
+
+   The mux never calls the engine when [workers > 1]; it assigns each
+   request a per-connection sequence number and hands it to a worker
+   domain.  Shard-affine requests (Query, Audit) go to worker
+   [shard mod workers], which preserves the engine's
+   single-writer-per-shard contract: shard state is only ever touched
+   from the one domain that owns it.  Republish decodes and installs on
+   a worker too — the engine's generation slot is atomic, so any domain
+   may CAS it — keeping index parsing off the I/O loop.  Batch frames
+   split into one part per owning worker; the last part to finish
+   assembles the reply.
+
+   Workers push finished, pre-encoded response frames onto a lock-free
+   Treiber stack and write one byte down a self-pipe so [select] wakes.
+   The mux drains the stack, slots each frame into its connection's
+   reorder buffer, and flushes in sequence order — so the wire keeps the
+   strict one-response-per-request-in-order contract no matter how the
+   domains interleave. *)
+
+type batch_acc = {
+  b_conn : int;
+  b_seq : int;
+  b_replies : Serve.reply array;
+  b_generation : int Atomic.t;  (* max generation over all parts *)
+  b_remaining : int Atomic.t;  (* parts still running *)
+}
+
+type job =
+  | Job of { conn_id : int; seq : int; request : Wire.request }
+  | Part of { acc : batch_acc; positions : int array; owners : int array }
+      (* [owners.(k)] is the batch entry at index [positions.(k)]. *)
+  | Stop
+
+type completion = {
+  c_conn : int;
+  c_seq : int;
+  frame : string;  (* the whole response frame, encoded on the worker *)
+}
+
+type worker = {
+  w_id : int;
+  inbox : job Queue.t;  (* guarded by [w_lock] *)
+  w_lock : Mutex.t;
+  w_ready : Condition.t;
+  w_depth : int Atomic.t;  (* inbox length, sampled for counters *)
+  w_track : string;  (* counter track name, e.g. "net.worker-0" *)
+  mutable w_served : int;  (* only the worker domain writes these two *)
+  mutable w_busy_ns : int;
+}
+
+type workers = {
+  pool : worker array;
+  completions : completion list Atomic.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable domains : unit Domain.t array;
+  mutable rr : int;  (* round-robin cursor for shardless jobs (mux only) *)
+}
+
+let enqueue w job =
+  Mutex.lock w.w_lock;
+  Queue.push job w.inbox;
+  Condition.signal w.w_ready;
+  Mutex.unlock w.w_lock;
+  Atomic.incr w.w_depth
+
+let wake_byte = Bytes.make 1 '!'
+
+let rec wake fd =
+  match Unix.write fd wake_byte 0 1 with
+  | _ -> ()
+  | exception Unix.Unix_error (EINTR, _, _) -> wake fd
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+      (* Pipe full: a wakeup is already pending, which is all we need. *)
+      ()
+
+let push_completion ws comp =
+  let rec push () =
+    let old = Atomic.get ws.completions in
+    if not (Atomic.compare_and_set ws.completions old (comp :: old)) then push ()
+  in
+  push ();
+  wake ws.wake_w
+
+let encode_frame response =
+  let b = Buffer.create 128 in
+  Wire.encode_response b response;
+  Buffer.contents b
+
+let rec store_max_generation a g =
+  let old = Atomic.get a in
+  if g > old && not (Atomic.compare_and_set a old g) then store_max_generation a g
+
+let worker_counters w =
+  if Trace.enabled () then
+    Trace.counter w.w_track
+      [
+        ("queue_depth", Atomic.get w.w_depth);
+        ("busy_us", w.w_busy_ns / 1000);
+        ("served", w.w_served);
+      ]
+
+let worker_loop t ws w =
+  let running = ref true in
+  while !running do
+    Mutex.lock w.w_lock;
+    while Queue.is_empty w.inbox do
+      Condition.wait w.w_ready w.w_lock
+    done;
+    let job = Queue.pop w.inbox in
+    Mutex.unlock w.w_lock;
+    Atomic.decr w.w_depth;
+    (match job with
+    | Stop -> running := false
+    | Job { conn_id; seq; request } ->
+        let t0 = Clock.monotonic_ns () in
+        let response = handle t request in
+        push_completion ws { c_conn = conn_id; c_seq = seq; frame = encode_frame response };
+        w.w_served <- w.w_served + 1;
+        w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0
+    | Part { acc; positions; owners } ->
+        let t0 = Clock.monotonic_ns () in
+        let work () =
+          let generation = ref 0 in
+          Array.iteri
+            (fun k position ->
+              let g, reply = Serve.query_tagged t.engine ~owner:owners.(k) in
+              if g > !generation then generation := g;
+              acc.b_replies.(position) <- reply)
+            positions;
+          store_max_generation acc.b_generation !generation
+        in
+        if Trace.enabled () then
+          Trace.span "net.batch_part"
+            ~args:[ ("requests", Array.length owners) ]
+            work
+        else work ();
+        (* The finisher observes every other part's plain writes to
+           [b_replies]: each part's stores happen before its decrement,
+           and all decrements precede the final fetch-and-add. *)
+        if Atomic.fetch_and_add acc.b_remaining (-1) = 1 then
+          push_completion ws
+            {
+              c_conn = acc.b_conn;
+              c_seq = acc.b_seq;
+              frame =
+                encode_frame
+                  (Wire.Batch_reply
+                     { generation = Atomic.get acc.b_generation; replies = acc.b_replies });
+            };
+        w.w_served <- w.w_served + 1;
+        w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0);
+    worker_counters w
+  done
+
+let start_workers t n =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let pool =
+    Array.init n (fun i ->
+        {
+          w_id = i;
+          inbox = Queue.create ();
+          w_lock = Mutex.create ();
+          w_ready = Condition.create ();
+          w_depth = Atomic.make 0;
+          w_track = Printf.sprintf "net.worker-%d" i;
+          w_served = 0;
+          w_busy_ns = 0;
+        })
+  in
+  let ws = { pool; completions = Atomic.make []; wake_r; wake_w; domains = [||]; rr = 0 } in
+  ws.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t ws w)) pool;
+  ws
+
+let stop_workers ws =
+  Array.iter (fun w -> enqueue w Stop) ws.pool;
+  Array.iter Domain.join ws.domains;
+  (try Unix.close ws.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close ws.wake_w with Unix.Unix_error _ -> ()
+
+(* Mirror the engine's owner → shard mapping (owner mod shards, folded
+   into range for negative ids), then pin shard i to worker i mod d. *)
+let worker_for_owner engine ws owner =
+  let shards = Serve.shards engine in
+  let shard = owner mod shards in
+  let shard = if shard < 0 then shard + shards else shard in
+  ws.pool.(shard mod Array.length ws.pool)
+
+let next_round_robin ws =
+  let w = ws.pool.(ws.rr mod Array.length ws.pool) in
+  ws.rr <- ws.rr + 1;
+  w
+
 (* ---- the select loop ---- *)
 
 type conn = {
@@ -105,9 +312,14 @@ type conn = {
   mutable last_activity : float;
   mutable closing : bool;  (* no more reads; close once the buffer drains *)
   id : int;
+  mutable next_seq : int;  (* sequence assigned to the next request *)
+  mutable next_flush : int;  (* next sequence to append to [out] *)
+  replies : (int, string) Hashtbl.t;  (* completed frames awaiting flush *)
+  mutable stall_seq : int;  (* seq of an in-flight republish, or -1 *)
 }
 
 let pending c = Buffer.length c.out - c.out_off
+let inflight c = c.next_seq - c.next_flush
 
 let instant_conn name c =
   if Trace.enabled () then Trace.instant name ~args:[ ("conn", c.id) ]
@@ -115,34 +327,129 @@ let instant_conn name c =
 let run t listener =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Unix.set_nonblock listener;
+  let ws = if t.config.workers > 1 then Some (start_workers t t.config.workers) else None in
   let conns = ref [] in
+  let conn_tbl : (int, conn) Hashtbl.t = Hashtbl.create 64 in
   let next_id = ref 0 in
   let shutting = ref false in
   let readbuf = Bytes.create 65536 in
   let close_conn c =
     instant_conn "net.close" c;
     (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conn_tbl c.id;
     conns := List.filter (fun c' -> c'.id <> c.id) !conns
   in
-  let respond c response =
-    Wire.encode_response c.out response;
-    if response = Wire.Shutting_down then shutting := true
+  (* Append every frame whose turn has come.  Frames complete out of
+     order across workers; the wire stays in request order. *)
+  let flush_replies c =
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt c.replies c.next_flush with
+      | None -> continue := false
+      | Some frame ->
+          Hashtbl.remove c.replies c.next_flush;
+          c.next_flush <- c.next_flush + 1;
+          Buffer.add_string c.out frame
+    done
+  in
+  let complete c seq frame =
+    Hashtbl.replace c.replies seq frame;
+    flush_replies c
+  in
+  (* Route one decoded request.  Inline (workers = 1): call the engine
+     here, exactly the pre-multicore daemon.  Otherwise dispatch to the
+     worker that owns the request's shard. *)
+  let route c request =
+    let seq = c.next_seq in
+    c.next_seq <- seq + 1;
+    match ws with
+    | None ->
+        let response = handle t request in
+        if response = Wire.Shutting_down then shutting := true;
+        complete c seq (encode_frame response)
+    | Some ws -> (
+        match request with
+        | Wire.Query { owner } ->
+            enqueue (worker_for_owner t.engine ws owner) (Job { conn_id = c.id; seq; request })
+        | Wire.Audit _ ->
+            (* Audit walks every shard's postings but records its metrics
+               on shard 0, so it must run on shard 0's worker. *)
+            enqueue ws.pool.(0) (Job { conn_id = c.id; seq; request })
+        | Wire.Republish _ | Wire.Republish_binary _ ->
+            (* Decode + install off the mux.  Stall this connection until
+               the swap lands so a pipelined query behind it cannot answer
+               from the old generation after the republish reply. *)
+            c.stall_seq <- seq;
+            enqueue (next_round_robin ws) (Job { conn_id = c.id; seq; request })
+        | Wire.Batch owners when Array.length owners > 0 ->
+            let nworkers = Array.length ws.pool in
+            let counts = Array.make nworkers 0 in
+            Array.iter
+              (fun owner ->
+                let w = worker_for_owner t.engine ws owner in
+                counts.(w.w_id) <- counts.(w.w_id) + 1)
+              owners;
+            let parts = Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 counts in
+            let acc =
+              {
+                b_conn = c.id;
+                b_seq = seq;
+                b_replies = Array.make (Array.length owners) Serve.Unknown_owner;
+                b_generation = Atomic.make 0;
+                b_remaining = Atomic.make parts;
+              }
+            in
+            let positions = Array.map (fun n -> Array.make (max n 1) 0) counts in
+            let part_owners = Array.map (fun n -> Array.make (max n 1) 0) counts in
+            let fill = Array.make nworkers 0 in
+            Array.iteri
+              (fun position owner ->
+                let w = (worker_for_owner t.engine ws owner).w_id in
+                positions.(w).(fill.(w)) <- position;
+                part_owners.(w).(fill.(w)) <- owner;
+                fill.(w) <- fill.(w) + 1)
+              owners;
+            Array.iteri
+              (fun w n ->
+                if n > 0 then
+                  enqueue ws.pool.(w)
+                    (Part { acc; positions = positions.(w); owners = part_owners.(w) }))
+              counts
+        | Wire.Batch _ ->
+            complete c seq
+              (encode_frame
+                 (Wire.Batch_reply { generation = Serve.generation t.engine; replies = [||] }))
+        | Wire.Stats ->
+            (* Reads only merged metrics — safe from the mux domain. *)
+            complete c seq
+              (encode_frame (Wire.Stats_json (Eppi_serve.Metrics.to_json (Serve.metrics t.engine))))
+        | Wire.Ping -> complete c seq (encode_frame Wire.Pong)
+        | Wire.Shutdown ->
+            shutting := true;
+            complete c seq (encode_frame Wire.Shutting_down))
+  in
+  let respond_error c msg =
+    let seq = c.next_seq in
+    c.next_seq <- seq + 1;
+    complete c seq (encode_frame (Wire.Server_error msg));
+    c.closing <- true
   in
   (* Drain every complete frame the connection has buffered.  A decode
      error answers [Server_error] and flags the connection for close; the
-     error is sticky, so no further frame can be misread from the wreck. *)
+     error is sticky, so no further frame can be misread from the wreck.
+     Draining pauses while a republish is in flight ([stall_seq]) or the
+     connection has [max_inflight] unanswered requests — the bytes stay
+     buffered in the decoder. *)
   let drain c =
     let continue = ref true in
-    while !continue && not c.closing do
+    while
+      !continue && (not c.closing) && c.stall_seq < 0 && inflight c < t.config.max_inflight
+    do
       match Wire.Decoder.next c.decoder with
       | Ok None -> continue := false
-      | Ok (Some (Wire.Request request)) -> respond c (handle t request)
-      | Ok (Some (Wire.Response _)) ->
-          respond c (Wire.Server_error "protocol: response frame sent to server");
-          c.closing <- true
-      | Error e ->
-          respond c (Wire.Server_error (Wire.error_to_string e));
-          c.closing <- true
+      | Ok (Some (Wire.Request request)) -> route c request
+      | Ok (Some (Wire.Response _)) -> respond_error c "protocol: response frame sent to server"
+      | Error e -> respond_error c (Wire.error_to_string e)
     done
   in
   let read_from c =
@@ -164,10 +471,36 @@ let run t listener =
         if c.out_off = Bytes.length bytes then begin
           Buffer.clear c.out;
           c.out_off <- 0;
-          if c.closing then close_conn c
+          if c.closing && inflight c = 0 then close_conn c
         end
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
     | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> close_conn c
+  in
+  let process_completions ws =
+    match Atomic.exchange ws.completions [] with
+    | [] -> ()
+    | batch ->
+        List.iter
+          (fun { c_conn; c_seq; frame } ->
+            match Hashtbl.find_opt conn_tbl c_conn with
+            | None -> () (* connection died while the job was in flight *)
+            | Some c ->
+                complete c c_seq frame;
+                if c.stall_seq = c_seq then begin
+                  c.stall_seq <- -1;
+                  drain c (* frames buffered behind the republish *)
+                end)
+          batch
+  in
+  let drain_wake_pipe ws =
+    let continue = ref true in
+    while !continue do
+      match Unix.read ws.wake_r readbuf 0 (Bytes.length readbuf) with
+      | 0 -> continue := false
+      | _ -> ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
   in
   let accept_one () =
     match Unix.accept listener with
@@ -183,28 +516,52 @@ let run t listener =
             last_activity = Clock.seconds ();
             closing = false;
             id = !next_id;
+            next_seq = 0;
+            next_flush = 0;
+            replies = Hashtbl.create 8;
+            stall_seq = -1;
           }
         in
         conns := c :: !conns;
+        Hashtbl.replace conn_tbl c.id c;
         instant_conn "net.accept" c
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) -> ()
   in
-  let finished () = !shutting && List.for_all (fun c -> pending c = 0) !conns in
+  let stalled c =
+    c.stall_seq >= 0 || inflight c >= t.config.max_inflight
+    || pending c >= t.config.max_pending_bytes
+  in
+  let last_stalled = ref (-1) in
+  let mux_counters () =
+    if Trace.enabled () then begin
+      let n = List.fold_left (fun acc c -> if stalled c then acc + 1 else acc) 0 !conns in
+      if n <> !last_stalled then begin
+        last_stalled := n;
+        Trace.counter "net.mux" [ ("stalled_conns", n) ]
+      end
+    end
+  in
+  let finished () =
+    !shutting && List.for_all (fun c -> pending c = 0 && inflight c = 0) !conns
+  in
   while not (finished ()) do
     let accepting = (not !shutting) && List.length !conns < t.config.max_connections in
     let reads =
       (if accepting then [ listener ] else [])
+      @ (match ws with Some ws -> [ ws.wake_r ] | None -> [])
       @ List.filter_map
-          (fun c ->
-            if (not c.closing) && (not !shutting) && pending c < t.config.max_pending_bytes then
-              Some c.fd
-            else None)
+          (fun c -> if (not c.closing) && (not !shutting) && not (stalled c) then Some c.fd else None)
           !conns
     in
     let writes = List.filter_map (fun c -> if pending c > 0 then Some c.fd else None) !conns in
-    match Unix.select reads writes [] 0.5 with
+    (match Unix.select reads writes [] 0.5 with
     | exception Unix.Unix_error (EINTR, _, _) -> ()
     | readable, writable, _ ->
+        (match ws with
+        | Some ws ->
+            if List.memq ws.wake_r readable then drain_wake_pipe ws;
+            process_completions ws
+        | None -> ());
         List.iter
           (fun c -> if List.memq c.fd writable then write_to c)
           !conns;
@@ -216,12 +573,16 @@ let run t listener =
           let now = Clock.seconds () in
           List.iter
             (fun c ->
-              if pending c = 0 && now -. c.last_activity > t.config.idle_timeout then close_conn c)
+              if pending c = 0 && inflight c = 0 && now -. c.last_activity > t.config.idle_timeout
+              then close_conn c)
             !conns
-        end
+        end);
+    mux_counters ()
   done;
   List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
   conns := [];
+  Hashtbl.reset conn_tbl;
+  (match ws with Some ws -> stop_workers ws | None -> ());
   try Unix.close listener with Unix.Unix_error _ -> ()
 
 let serve t address =

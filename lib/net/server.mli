@@ -1,29 +1,45 @@
 (** The locator daemon: a persistent RPC front-end over {!Eppi_serve.Serve}.
 
     One [Unix.select] loop owns the listening socket and every client
-    connection; requests decode through {!Wire.Decoder}, route into the
-    sharded engine, and their responses queue on bounded per-connection
-    write buffers.  The loop is single-threaded — it is the sole caller
-    into the engine, which satisfies {!Eppi_serve.Serve.query}'s
-    single-writer-per-shard contract without locks.
+    connection.  With [workers = 1] it is also the sole engine caller —
+    the pre-multicore daemon, no extra domains.  With [workers = d > 1]
+    the loop becomes a pure I/O mux: it decodes frames, stamps each
+    request with a per-connection sequence number, and routes it to one
+    of [d] worker domains.  Shard-affine requests (Query, Audit) are
+    pinned to worker [shard mod d], so every shard keeps exactly one
+    writing domain and {!Eppi_serve.Serve.query}'s
+    single-writer-per-shard contract holds without locks.  Batch frames
+    split into per-worker parts served in parallel; Republish — CSV or
+    the compact {!Index_codec} form — decodes and installs on a worker,
+    off the I/O loop.  Workers return pre-encoded response frames over a
+    lock-free queue with a self-pipe wakeup, and the mux flushes them in
+    sequence order, preserving the wire contract of exactly one response
+    per request, in request order, per connection.
 
     Flow control and hygiene:
     - a connection whose write buffer exceeds [max_pending_bytes] stops
       being read until the client drains it (backpressure, not buffering
-      without bound);
+      without bound); one with [max_inflight] unanswered requests stops
+      being read until workers catch up;
     - connections idle longer than [idle_timeout] are closed;
     - a framing error poisons only its connection: the server replies
       [Server_error] and closes after flushing, other clients are
       untouched;
-    - a [Republish] frame hot-swaps the engine's index generation
-      ({!Eppi_serve.Serve.republish_index}) between requests — queries
-      keep flowing, no drain, caches invalidate per shard;
+    - a [Republish]/[Republish_binary] frame hot-swaps the engine's index
+      generation ({!Eppi_serve.Serve.republish_index}) — queries keep
+      flowing, no drain, caches invalidate per shard.  Requests pipelined
+      {e behind} a republish on the same connection wait for the swap, so
+      a reply that follows a [Republished {generation}] on the wire never
+      carries an older generation;
     - a [Shutdown] frame stops accepting, flushes every pending reply,
-      closes all connections and returns from {!run}.
+      closes all connections, joins the worker domains and returns from
+      {!run}.
 
     With tracing enabled ({!Eppi_obs.Trace}), every request is a
-    [net.request] span tagged with its frame kind and accepted/closed
-    connections are instant events. *)
+    [net.request] span tagged with its frame kind, accepted/closed
+    connections are instant events, each worker domain samples a
+    [net.worker-<i>] counter track (queue depth, busy µs, requests
+    served), and the mux samples [net.mux] stalled-connection counts. *)
 
 type config = {
   max_connections : int;  (** Accepted clients beyond this are refused. *)
@@ -31,17 +47,25 @@ type config = {
   max_payload : int;  (** Per-frame payload bound fed to {!Wire.Decoder}. *)
   max_pending_bytes : int;
       (** Per-connection write-buffer bound before backpressure. *)
+  workers : int;
+      (** Engine-calling domains. 1 = serve inline on the I/O loop (no
+          domains spawned); d > 1 = mux + d worker domains with shard i
+          pinned to worker i mod d. *)
+  max_inflight : int;
+      (** Per-connection bound on routed-but-unanswered requests before
+          the mux stops reading that connection. *)
 }
 
 val default_config : config
 (** 64 connections, 300 s idle timeout, {!Wire.default_max_payload},
-    8 MiB pending bound. *)
+    8 MiB pending bound, 1 worker (inline), 1024 in-flight requests. *)
 
 type t
 
 val create : ?config:config -> Eppi_serve.Serve.t -> t
 (** Wrap an engine.  The server does not own the engine: it can be shared
-    with in-process readers (e.g. a metrics poller). *)
+    with in-process readers (e.g. a metrics poller).
+    @raise Invalid_argument on a non-positive bound in [config]. *)
 
 val engine : t -> Eppi_serve.Serve.t
 
@@ -56,7 +80,8 @@ val listen : Addr.t -> Unix.file_descr
 
 val run : t -> Unix.file_descr -> unit
 (** Serve until a [Shutdown] frame arrives, then flush and return.  Closes
-    the listener and every connection; does not unlink socket files. *)
+    the listener and every connection, and joins any worker domains; does
+    not unlink socket files. *)
 
 val serve : t -> Addr.t -> unit
 (** {!listen} + {!run}, unlinking a Unix-socket path on the way out (also
@@ -64,5 +89,6 @@ val serve : t -> Addr.t -> unit
 
 val run_stdio : t -> unit
 (** The [--stdio] transport: frames on stdin, responses on stdout, until
-    EOF or a [Shutdown] frame.  For inetd-style supervision and tests
-    without socket plumbing. *)
+    EOF or a [Shutdown] frame.  Always inline (single-domain), regardless
+    of [workers] — for inetd-style supervision and tests without socket
+    plumbing. *)

@@ -15,6 +15,7 @@ type request =
   | Republish of { index_csv : string }
   | Ping
   | Shutdown
+  | Republish_binary of { data : string }
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -42,6 +43,7 @@ let tag_stats = 0x04
 let tag_republish = 0x05
 let tag_ping = 0x06
 let tag_shutdown = 0x07
+let tag_republish_binary = 0x08
 let tag_reply = 0x11
 let tag_batch_reply = 0x12
 let tag_audit_reply = 0x13
@@ -147,6 +149,9 @@ let payload_of_request b = function
       tag_republish
   | Ping -> tag_ping
   | Shutdown -> tag_shutdown
+  | Republish_binary { data } ->
+      Buffer.add_string b data;
+      tag_republish_binary
 
 let payload_of_response b = function
   | Reply { generation; reply } ->
@@ -241,6 +246,7 @@ let parse_payload tag payload =
     else if tag = tag_republish then Request (Republish { index_csv = rest c })
     else if tag = tag_ping then Request Ping
     else if tag = tag_shutdown then Request Shutdown
+    else if tag = tag_republish_binary then Request (Republish_binary { data = rest c })
     else if tag = tag_reply then begin
       let generation = get_varint c in
       Response (Reply { generation; reply = get_reply c })
@@ -271,7 +277,8 @@ let parse_payload tag payload =
     raise (Corrupt_payload (Printf.sprintf "%d trailing bytes" (String.length payload - c.pos)));
   frame
 
-let known_tag tag = (tag >= tag_query && tag <= tag_shutdown) || (tag >= tag_reply && tag <= tag_server_error)
+let known_tag tag =
+  (tag >= tag_query && tag <= tag_republish_binary) || (tag >= tag_reply && tag <= tag_server_error)
 
 (* ---- the incremental decoder ---- *)
 

@@ -29,6 +29,11 @@ type request =
       (** Hot-swap: install the index serialized as {!Eppi.Index.to_csv}. *)
   | Ping  (** Liveness probe. *)
   | Shutdown  (** Graceful stop: the server flushes replies and exits. *)
+  | Republish_binary of { data : string }
+      (** Hot-swap: install the index serialized with {!Index_codec} —
+          the compact bit-packed payload ({!Index_codec.encode}), ~10x
+          smaller than the CSV form on typical ε-PPI indexes.  The
+          payload carries its own codec version byte. *)
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }

@@ -77,10 +77,11 @@ fi
 rm -f /tmp/eppi_trace_dataset.csv /tmp/eppi_trace_index.csv
 
 # A ~5 s smoke of the network front-end (docs/SERVE.md): start the daemon
-# on a Unix socket, drive 100 pipelined queries and a hot-swap republish
-# through `eppi query`/`eppi republish`, assert the metrics conserve every
-# request and record the swap, then shut down gracefully and check that
-# the daemon exits 0 and leaves no socket file behind.
+# on a Unix socket with 4 worker domains, drive 100 pipelined queries, a
+# binary hot-swap republish and a CSV compat republish through
+# `eppi query`/`eppi republish`, assert the metrics conserve every request
+# and record the swaps, then shut down gracefully and check that the
+# daemon exits 0 and leaves no socket file behind.
 echo "== net smoke =="
 EPPI=./_build/default/bin/eppi_cli.exe
 NET_DIR=$(mktemp -d /tmp/eppi_net_smoke.XXXXXX)
@@ -89,14 +90,16 @@ trap 'rm -rf "$NET_DIR"' EXIT
 "$EPPI" generate --owners 80 --providers 24 --seed 5 -o "$NET_DIR/net.csv" >/dev/null
 "$EPPI" construct -d "$NET_DIR/net.csv" -o "$NET_DIR/index1.csv" 2>/dev/null
 "$EPPI" construct -d "$NET_DIR/net.csv" --seed 9 --policy basic -o "$NET_DIR/index2.csv" 2>/dev/null
-"$EPPI" serve -i "$NET_DIR/index1.csv" --listen "$NET_SOCK" --shards 2 \
+"$EPPI" serve -i "$NET_DIR/index1.csv" --listen "$NET_SOCK" --shards 2 --domains 4 \
   >"$NET_DIR/server.json" 2>"$NET_DIR/server.log" &
 NET_PID=$!
 # 100 queries: two rounds of 50, pipelined over one connection each, with a
-# hot-swap republish in between (generation 1 -> 2, queries keep flowing).
+# binary hot-swap republish in between (generation 1 -> 2, queries keep
+# flowing), then a CSV-payload republish (generation 3) for compat.
 seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$NET_SOCK" >"$NET_DIR/replies1.txt"
 "$EPPI" republish --connect "$NET_SOCK" -i "$NET_DIR/index2.csv" | grep -q "generation 2"
 seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$NET_SOCK" >"$NET_DIR/replies2.txt"
+"$EPPI" republish --connect "$NET_SOCK" --csv -i "$NET_DIR/index1.csv" | grep -q "generation 3"
 test "$(wc -l < "$NET_DIR/replies1.txt")" -eq 50
 test "$(wc -l < "$NET_DIR/replies2.txt")" -eq 50
 "$EPPI" stats --connect "$NET_SOCK" >"$NET_DIR/stats.json"
@@ -109,8 +112,8 @@ if m["queries"] != m["served"] + m["unknown"] + m["shed_rate"] + m["shed_queue"]
     raise SystemExit(f"net: request conservation violated: {m}")
 if m["queries"] < 100:
     raise SystemExit(f"net: expected >= 100 queries, got {m['queries']}")
-if m["generation"] != 2:
-    raise SystemExit(f"net: expected generation 2 after republish, got {m['generation']}")
+if m["generation"] != 3:
+    raise SystemExit(f"net: expected generation 3 after republishes, got {m['generation']}")
 if m["swaps"] < 1:
     raise SystemExit(f"net: republish recorded no swap: {m}")
 print(f"net stats ok: {m['queries']} queries conserved, generation {m['generation']}, "
@@ -124,21 +127,28 @@ rm -rf "$NET_DIR"
 trap - EXIT
 
 # A ~5 s smoke of the network bench: tiny index, short replay, two pipeline
-# depths, a handful of republishes under load; then check the emitted JSON.
+# depths, a 1-vs-2 domain sweep (with its reply-equality check), CSV and
+# binary republishes under load; then check the emitted JSON.
 echo "== net bench smoke =="
-NET_N=120 NET_M=64 NET_QUERIES=3000 NET_DEPTHS=1,8 NET_SWAPS=5 dune exec bench/main.exe -- net
+NET_N=120 NET_M=64 NET_QUERIES=3000 NET_DEPTHS=1,8 NET_DOMAINS=1,2 NET_SWAPS=5 \
+  dune exec bench/main.exe -- net
 test -s BENCH_net.json
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 with open("BENCH_net.json") as f:
     data = json.load(f)
-for key in ("depth_runs", "swap", "metrics"):
+for key in ("depth_runs", "domain_runs", "payload", "swap", "swap_csv", "cores", "metrics"):
     if key not in data:
         raise SystemExit(f"BENCH_net.json missing {key!r}")
 if len(data["depth_runs"]) < 2:
     raise SystemExit("BENCH_net.json: depth sweep not populated")
-if data["swap"]["final_generation"] != data["swap"]["count"] + 1:
+if len(data["domain_runs"]) < 2:
+    raise SystemExit("BENCH_net.json: domain sweep not populated")
+if data["payload"]["ratio"] <= 1.0:
+    raise SystemExit(f"BENCH_net.json: binary payload not smaller than CSV: {data['payload']}")
+csv_swaps = data["swap_csv"]["count"]
+if data["swap"]["final_generation"] != data["swap"]["count"] + csv_swaps + 1:
     raise SystemExit(f"BENCH_net.json: generation accounting off: {data['swap']}")
 print("BENCH_net.json well-formed")
 EOF

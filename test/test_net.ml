@@ -57,6 +57,8 @@ let sample_frames =
       Stats;
       Republish { index_csv = "3,4\n0,1,0,1\n" };
       Republish { index_csv = "" };
+      Republish_binary { data = "" };
+      Republish_binary { data = "\x01\x02\x03\xFF\x00binary payload" };
       Ping;
       Shutdown;
     ]
@@ -206,6 +208,127 @@ let test_addr () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty address must be rejected"
 
+
+(* ---------- Index codec ---------- *)
+
+(* Decode must be total: typed errors on any input, never an exception. *)
+let decode_total name payload =
+  match Index_codec.decode payload with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+      Alcotest.fail (Printf.sprintf "%s: decode raised %s" name (Printexc.to_string e))
+
+let matrices_equal a b = Bitmatrix.equal (Eppi.Index.matrix a) (Eppi.Index.matrix b)
+
+let test_index_codec_roundtrip () =
+  let shapes = [ (1, 1); (5, 3); (20, 9); (40, 11); (7, 64); (3, 200); (25, 9) ] in
+  List.iter
+    (fun (n, m) ->
+      let index = test_index ~n ~m in
+      let encoded = Index_codec.encode index in
+      check_int
+        (Printf.sprintf "encoded_bytes exact for %dx%d" n m)
+        (String.length encoded)
+        (Index_codec.encoded_bytes index);
+      check_bool
+        (Printf.sprintf "encode deterministic for %dx%d" n m)
+        true
+        (String.equal encoded (Index_codec.encode index));
+      match Index_codec.decode encoded with
+      | Ok decoded ->
+          check_bool (Printf.sprintf "round-trip %dx%d" n m) true (matrices_equal index decoded)
+      | Error e -> Alcotest.fail (Index_codec.error_to_string e))
+    shapes;
+  (* A full matrix exercises the bitmap rows, an empty one the zero-count
+     packed rows; both must survive the trip. *)
+  let full = Bitmatrix.create ~rows:6 ~cols:40 in
+  for j = 0 to 5 do
+    for p = 0 to 39 do
+      Bitmatrix.set full ~row:j ~col:p true
+    done
+  done;
+  let full = Eppi.Index.of_matrix full in
+  check_bool "dense round-trip" true
+    (match Index_codec.decode (Index_codec.encode full) with
+    | Ok d -> matrices_equal full d
+    | Error _ -> false);
+  let empty = Eppi.Index.of_matrix (Bitmatrix.create ~rows:4 ~cols:16) in
+  check_bool "empty round-trip" true
+    (match Index_codec.decode (Index_codec.encode empty) with
+    | Ok d -> matrices_equal empty d
+    | Error _ -> false)
+
+let test_index_codec_truncation () =
+  let index = test_index ~n:20 ~m:9 in
+  let encoded = Index_codec.encode index in
+  for len = 0 to String.length encoded - 1 do
+    let prefix = String.sub encoded 0 len in
+    decode_total "prefix" prefix;
+    match Index_codec.decode prefix with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "prefix of %d/%d bytes decoded" len (String.length encoded))
+  done
+
+let test_index_codec_wrong_version () =
+  let index = test_index ~n:5 ~m:7 in
+  let encoded = Bytes.of_string (Index_codec.encode index) in
+  Bytes.set encoded 0 '\x02';
+  (match Index_codec.decode (Bytes.to_string encoded) with
+  | Error (Index_codec.Unsupported_version 2) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Index_codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "future version must not decode");
+  match Index_codec.decode "" with
+  | Error (Index_codec.Truncated _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Index_codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "empty payload must not decode"
+
+(* Hand-built payloads hitting each validator: the header is
+   version, owners n, providers m, then the row counts and bodies. *)
+let test_index_codec_malformed () =
+  let reject name payload expect =
+    decode_total name payload;
+    match Index_codec.decode payload with
+    | Error (Index_codec.Malformed msg) when contains msg expect -> ()
+    | Error e ->
+        Alcotest.fail (Printf.sprintf "%s: wrong error %s" name (Index_codec.error_to_string e))
+    | Ok _ -> Alcotest.fail (name ^ ": must be rejected")
+  in
+  reject "zero owners" "\x01\x00\x01" "owner count";
+  reject "zero providers" "\x01\x01\x00" "provider count";
+  reject "count exceeds providers" "\x01\x01\x01\x02" "exceeds";
+  (* m=5, count 1 (Rice branch, k=0): body byte 0x81 decodes gap 1 in its
+     low bits, but its top bit lands in the final padding. *)
+  reject "nonzero padding after gaps" "\x01\x01\x05\x01\x81" "padding";
+  (* m=5, count 1, body 0x1F: unary quotient 5 with k=0 is gap 5, so the
+     decoded provider id is 5 — out of range for m=5. *)
+  reject "gap lands out of range" "\x01\x01\x05\x01\x1F" "provider 5 >= 5";
+  (* m=5, count 1, body 0xFF: the unary run alone exceeds any gap a 5-wide
+     row could hold — rejected before scanning further. *)
+  reject "gap exceeds provider count" "\x01\x01\x05\x01\xFF" "gap exceeds";
+  (* m=2: bitmap declares 2 set bits but populates 1. *)
+  reject "bitmap population mismatch" "\x01\x01\x02\x02\x01" "population";
+  (* m=2, count 1, body 0x05: bitmap bits (1, 0) match the count, but
+     bit 2 sits in the final padding. *)
+  reject "nonzero padding after bitmap" "\x01\x01\x02\x01\x05" "padding";
+  let valid = Index_codec.encode (test_index ~n:3 ~m:5) in
+  reject "trailing bytes" (valid ^ "\x00") "trailing"
+
+let test_index_codec_mutation_fuzz () =
+  (* Every single-byte corruption of a valid payload must decode to a
+     typed result — never an exception.  (Some mutations remain valid
+     payloads for a different matrix; that is fine, the wire checksum is
+     the transport's business.) *)
+  let index = test_index ~n:12 ~m:17 in
+  let encoded = Index_codec.encode index in
+  for i = 0 to String.length encoded - 1 do
+    List.iter
+      (fun delta ->
+        let b = Bytes.of_string encoded in
+        Bytes.set b i (Char.chr (Char.code encoded.[i] lxor delta));
+        decode_total (Printf.sprintf "byte %d xor %d" i delta) (Bytes.to_string b))
+      [ 0x01; 0x80; 0xFF ]
+  done
+
 (* ---------- Live daemon ---------- *)
 
 let sock_counter = ref 0
@@ -217,11 +340,11 @@ let sock_path () =
 
 (* Start a daemon over [index] in its own domain, run [f addr engine]
    against it, then shut it down (if [f] has not already) and join. *)
-let with_server ?(shards = 1) index f =
+let with_server ?(shards = 1) ?(workers = 1) index f =
   let path = sock_path () in
   let addr = Addr.Unix_socket path in
   let engine = Serve.create ~config:{ Serve.default_config with shards } index in
-  let server = Server.create engine in
+  let server = Server.create ~config:{ Server.default_config with workers } engine in
   let listener = Server.listen addr in
   let daemon = Domain.spawn (fun () -> Server.run server listener) in
   let stop () =
@@ -235,10 +358,10 @@ let with_server ?(shards = 1) index f =
   in
   Fun.protect ~finally:stop (fun () -> f addr engine)
 
-let test_daemon_basics () =
+let daemon_basics ~shards ~workers () =
   let n = 20 and m = 9 in
   let index = test_index ~n ~m in
-  with_server index (fun addr engine ->
+  with_server ~shards ~workers index (fun addr engine ->
       let c = Client.connect addr in
       Fun.protect
         ~finally:(fun () -> Client.close c)
@@ -266,7 +389,21 @@ let test_daemon_basics () =
           check_bool "audit out of range" true (out_of_range = None);
           let json = Client.stats_json c in
           check_bool "stats is json" true (String.length json > 0 && json.[0] = '{');
-          check_bool "stats counts queries" true (contains json "\"queries\"")))
+          check_bool "stats counts queries" true (contains json "\"queries\"");
+          (* A batch wider than the worker pool splits across every
+             domain and must reassemble in order. *)
+          let owners = Array.init 64 (fun i -> i mod (n + 4)) in
+          let generation, replies = Client.batch c owners in
+          check_int "wide batch generation" 1 generation;
+          check_int "wide batch size" 64 (Array.length replies);
+          Array.iteri
+            (fun i owner ->
+              let expected =
+                if owner < n then Serve.Providers (Eppi.Index.query index ~owner)
+                else Serve.Unknown_owner
+              in
+              check_bool (Printf.sprintf "wide batch entry %d" i) true (replies.(i) = expected))
+            owners))
 
 let test_daemon_republish () =
   let n = 20 and m = 9 in
@@ -304,10 +441,10 @@ let test_daemon_republish () =
           check_bool "stats carries generation" true (contains json "\"generation\": 2");
           check_bool "stats counts swaps" true (contains json "\"swaps\"")))
 
-let test_daemon_pipeline () =
+let daemon_pipeline ~shards ~workers () =
   let n = 30 and m = 9 in
   let index = test_index ~n ~m in
-  with_server index (fun addr _engine ->
+  with_server ~shards ~workers index (fun addr _engine ->
       let c = Client.connect addr in
       Fun.protect
         ~finally:(fun () -> Client.close c)
@@ -339,16 +476,97 @@ let test_daemon_pipeline () =
               | _, other -> Client.unexpected "pipelined response" other)
             requests responses))
 
+let test_daemon_republish_binary () =
+  let n = 20 and m = 9 in
+  let index1 = test_index ~n ~m in
+  let index2 = test_index_v2 ~n:25 ~m in
+  with_server ~shards:4 ~workers:4 index1 (fun addr engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.republish_index c index2 with
+          | Ok generation -> check_int "binary republish generation" 2 generation
+          | Error e -> Alcotest.fail e);
+          let generation, reply = Client.query c ~owner:22 in
+          check_int "post-swap generation" 2 generation;
+          check_bool "post-swap reply" true
+            (reply = Serve.Providers (Eppi.Index.query index2 ~owner:22));
+          (* A payload the codec rejects must bounce as a Server_error,
+             leaving the installed generation alone. *)
+          (match Client.call c (Wire.Republish_binary { data = "garbage bytes" }) with
+          | Wire.Server_error msg -> check_bool "error names republish" true (contains msg "republish")
+          | other -> Client.unexpected "corrupt binary republish" other);
+          (match Client.call c (Wire.Republish_binary { data = "" }) with
+          | Wire.Server_error _ -> ()
+          | other -> Client.unexpected "empty binary republish" other);
+          check_int "failed republish keeps generation" 2 (Serve.generation engine)))
+
+(* Requests pipelined behind a republish on one connection must answer
+   from the new generation: the mux stalls the connection until the swap
+   lands, so the wire never shows [Republished {g}] followed by a reply
+   from a generation < g. *)
+let test_multicore_republish_ordering () =
+  let n = 20 and m = 9 in
+  let index1 = test_index ~n ~m in
+  let index2 = test_index_v2 ~n ~m in
+  with_server ~shards:4 ~workers:4 index1 (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let requests =
+            [
+              Wire.Query { owner = 0 };
+              Wire.Query { owner = 1 };
+              Wire.Republish_binary { data = Index_codec.encode index2 };
+              Wire.Query { owner = 0 };
+              Wire.Query { owner = 1 };
+              Wire.Ping;
+              Wire.Query { owner = 2 };
+            ]
+          in
+          match Client.pipeline c requests with
+          | [ a; b; Wire.Republished { generation = 2 }; d; e; Wire.Pong; g ] ->
+              (* Replies routed before the republish may land either side
+                 of the swap; their generation tag says which index. *)
+              List.iter
+                (fun (owner, response) ->
+                  match response with
+                  | Wire.Reply { generation; reply } ->
+                      let index = if generation = 1 then index1 else index2 in
+                      check_bool
+                        (Printf.sprintf "pre-swap owner %d consistent" owner)
+                        true
+                        (generation <= 2 && reply = Serve.Providers (Eppi.Index.query index ~owner))
+                  | other -> Client.unexpected "pre-swap reply" other)
+                [ (0, a); (1, b) ];
+              (* Replies behind the republish must be the new index, exactly. *)
+              List.iter
+                (fun (owner, response) ->
+                  match response with
+                  | Wire.Reply { generation; reply } ->
+                      check_int (Printf.sprintf "post-swap owner %d generation" owner) 2 generation;
+                      check_bool
+                        (Printf.sprintf "post-swap owner %d reply" owner)
+                        true
+                        (reply = Serve.Providers (Eppi.Index.query index2 ~owner))
+                  | other -> Client.unexpected "post-swap reply" other)
+                [ (0, d); (1, e); (2, g) ]
+          | responses ->
+              Alcotest.fail
+                (Printf.sprintf "unexpected response shape (%d frames)" (List.length responses))))
+
 (* The acceptance test from the issue: queries keep flowing while the index
    hot-swaps underneath them; every reply must match the generation it is
    tagged with, none may be dropped. *)
-let test_daemon_hot_swap_under_load () =
+let daemon_hot_swap_under_load ~workers ~binary () =
   let n = 40 and m = 11 in
   let index1 = test_index ~n ~m in
   let index2 = test_index_v2 ~n ~m in
   let truth1 = Array.init n (fun owner -> Eppi.Index.query index1 ~owner) in
   let truth2 = Array.init n (fun owner -> Eppi.Index.query index2 ~owner) in
-  with_server ~shards:4 index1 (fun addr engine ->
+  with_server ~shards:4 ~workers index1 (fun addr engine ->
       let worker =
         Domain.spawn (fun () ->
             let c = Client.connect ~retries:20 addr in
@@ -375,7 +593,11 @@ let test_daemon_hot_swap_under_load () =
       in
       let admin = Client.connect addr in
       Unix.sleepf 0.02;
-      (match Client.republish admin ~index_csv:(Eppi.Index.to_csv index2) with
+      let swap =
+        if binary then Client.republish_index admin index2
+        else Client.republish admin ~index_csv:(Eppi.Index.to_csv index2)
+      in
+      (match swap with
       | Ok generation -> check_int "swap generation" 2 generation
       | Error e -> Alcotest.fail e);
       let generation, reply = Client.query admin ~owner:0 in
@@ -602,6 +824,7 @@ let qcheck_tests =
         Gen.map (fun provider -> Wire.Audit { provider }) Gen.nat;
         Gen.return Wire.Stats;
         Gen.map (fun s -> Wire.Republish { index_csv = s }) Gen.(small_string ~gen:printable);
+        Gen.map (fun s -> Wire.Republish_binary { data = s }) Gen.(small_string ~gen:char);
         Gen.return Wire.Ping;
         Gen.return Wire.Shutdown;
       ]
@@ -634,6 +857,27 @@ let qcheck_tests =
       (fun (frames, chunk) ->
         let stream = String.concat "" (List.map Wire.frame_to_string frames) in
         decode_chunked ~chunk stream = Ok (frames, 0));
+    Test.make ~name:"index codec round-trips any matrix" ~count:200
+      (make Gen.(quad (int_range 1 30) (int_range 1 50) (int_range 0 100) (int_range 0 10000)))
+      (fun (n, m, density, seed) ->
+        let rng = Rng.create seed in
+        let matrix = Bitmatrix.create ~rows:n ~cols:m in
+        for j = 0 to n - 1 do
+          for p = 0 to m - 1 do
+            if Rng.int rng 100 < density then Bitmatrix.set matrix ~row:j ~col:p true
+          done
+        done;
+        let index = Eppi.Index.of_matrix matrix in
+        match Index_codec.decode (Index_codec.encode index) with
+        | Ok decoded -> matrices_equal index decoded
+        | Error _ -> false);
+    Test.make ~name:"index codec decode is total on junk" ~count:500
+      (make Gen.(small_string ~gen:char))
+      (fun junk ->
+        (* Version-byte prefix steers the fuzz past the cheapest reject. *)
+        List.for_all
+          (fun payload -> match Index_codec.decode payload with Ok _ | Error _ -> true)
+          [ junk; "\x01" ^ junk ]);
   ]
 
 let () =
@@ -648,17 +892,42 @@ let () =
           Alcotest.test_case "poisoned decoder stays poisoned" `Quick test_codec_poisoned_decoder;
         ] );
       ("addr", [ Alcotest.test_case "parse and print" `Quick test_addr ]);
+      ( "index codec",
+        [
+          Alcotest.test_case "round-trips" `Quick test_index_codec_roundtrip;
+          Alcotest.test_case "every truncation rejected" `Quick test_index_codec_truncation;
+          Alcotest.test_case "wrong version rejected" `Quick test_index_codec_wrong_version;
+          Alcotest.test_case "malformed payloads rejected" `Quick test_index_codec_malformed;
+          Alcotest.test_case "single-byte mutations never crash" `Quick
+            test_index_codec_mutation_fuzz;
+        ] );
       ( "daemon",
         [
-          Alcotest.test_case "query, batch, audit, stats" `Quick test_daemon_basics;
+          Alcotest.test_case "query, batch, audit, stats" `Quick
+            (daemon_basics ~shards:1 ~workers:1);
           Alcotest.test_case "hot-swap republish" `Quick test_daemon_republish;
-          Alcotest.test_case "pipelined mixed requests" `Quick test_daemon_pipeline;
+          Alcotest.test_case "pipelined mixed requests" `Quick
+            (daemon_pipeline ~shards:1 ~workers:1);
           Alcotest.test_case "hot swap under concurrent load" `Quick
-            test_daemon_hot_swap_under_load;
+            (daemon_hot_swap_under_load ~workers:1 ~binary:false);
           Alcotest.test_case "trace-driven replay" `Quick test_daemon_replay;
           Alcotest.test_case "replay loads jsonl" `Quick test_replay_load_jsonl;
           Alcotest.test_case "clean shutdown" `Quick test_daemon_shutdown;
           Alcotest.test_case "listen hygiene" `Quick test_listen_stale_and_occupied;
+        ] );
+      ( "multicore daemon",
+        [
+          Alcotest.test_case "query, batch, audit, stats (4 domains)" `Quick
+            (daemon_basics ~shards:4 ~workers:4);
+          Alcotest.test_case "pipelined mixed requests (4 domains)" `Quick
+            (daemon_pipeline ~shards:4 ~workers:4);
+          Alcotest.test_case "more shards than workers" `Quick
+            (daemon_basics ~shards:8 ~workers:3);
+          Alcotest.test_case "binary republish" `Quick test_daemon_republish_binary;
+          Alcotest.test_case "pipelined republish ordering" `Quick
+            test_multicore_republish_ordering;
+          Alcotest.test_case "hot swap under concurrent load (4 domains, binary)" `Quick
+            (daemon_hot_swap_under_load ~workers:4 ~binary:true);
         ] );
       ( "client robustness",
         [
