@@ -246,6 +246,14 @@ let encode index =
 
 let dims_limit = 1 lsl 30
 
+(* The matrix materializes n*m bits no matter how sparse the payload is,
+   so the header alone could demand an arbitrarily large allocation —
+   attacker-controlled n and m must be bounded BEFORE anything is sized
+   from them, not after.  [cells_limit] caps the product (2^33 bits =
+   1 GiB of backing), far above any index this daemon serves but far
+   below an allocation that would take the process down. *)
+let cells_limit = 1 lsl 33
+
 let decode_exn payload =
   let c = { payload; pos = 0 } in
   if String.length payload = 0 then raise (Fail (Truncated "version byte"));
@@ -257,6 +265,12 @@ let decode_exn payload =
   if n < 1 || n > dims_limit then raise (Fail (Malformed (Printf.sprintf "owner count %d" n)));
   if m < 1 || m > dims_limit then
     raise (Fail (Malformed (Printf.sprintf "provider count %d" m)));
+  if n * m > cells_limit then
+    raise (Fail (Malformed (Printf.sprintf "matrix %dx%d exceeds %d cells" n m cells_limit)));
+  (* Every row count costs at least one byte, so a payload with fewer
+     remaining bytes than rows is guaranteed truncated — reject before
+     the counts array (n words) is allocated. *)
+  if n > String.length payload - c.pos then raise (Fail (Truncated "row counts"));
   let counts =
     Array.init n (fun j ->
         let cnt = get_uvarint c ~what:(Printf.sprintf "count of row %d" j) in
@@ -279,3 +293,9 @@ let decode payload =
   match decode_exn payload with
   | index -> Ok index
   | exception Fail e -> Error e
+  (* Defense in depth behind the dimension caps: the total Ok/Error
+     contract must hold even if an allocation still fails — this decoder
+     runs on daemon domains fed bytes off the network, and an escaped
+     Out_of_memory would kill a worker (inline, the whole daemon). *)
+  | exception Out_of_memory -> Error (Malformed "index too large to materialize")
+  | exception Invalid_argument msg -> Error (Malformed msg)

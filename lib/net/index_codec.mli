@@ -36,8 +36,11 @@
 
     Decoding validates everything it reads: version, dimensions, counts,
     bit-population, ordering, range, padding, and exact payload length.
-    Malformed input is a typed {!error}, never an exception — the daemon
-    feeds this decoder bytes that arrived off the network. *)
+    Dimensions are bounded {e before} anything is allocated from them
+    (the row-count array and the n x m matrix), so a small hostile
+    header cannot demand a huge allocation.  Malformed input is a typed
+    {!error}, never an exception — the daemon feeds this decoder bytes
+    that arrived off the network. *)
 
 val codec_version : int
 (** The version byte leading every encoded index (currently 1). *)

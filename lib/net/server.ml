@@ -132,6 +132,7 @@ type batch_acc = {
   b_replies : Serve.reply array;
   b_generation : int Atomic.t;  (* max generation over all parts *)
   b_remaining : int Atomic.t;  (* parts still running *)
+  b_error : string option Atomic.t;  (* first part failure, if any *)
 }
 
 type job =
@@ -209,6 +210,17 @@ let worker_counters w =
         ("served", w.w_served);
       ]
 
+(* Exception barrier: nothing a job raises may escape the worker loop.
+   An escaped exception would silently kill the domain at [Domain.join]
+   time — every shard pinned to it stops answering, stalled connections
+   never resume, and shutdown hangs.  Instead the failure becomes a
+   [Server_error] completion so the sequence hole is filled and the
+   connection keeps making progress. *)
+let worker_failed w e =
+  let msg = "worker: " ^ Printexc.to_string e in
+  if Trace.enabled () then Trace.instant "net.worker_error" ~args:[ ("worker", w.w_id) ];
+  msg
+
 let worker_loop t ws w =
   let running = ref true in
   while !running do
@@ -223,8 +235,11 @@ let worker_loop t ws w =
     | Stop -> running := false
     | Job { conn_id; seq; request } ->
         let t0 = Clock.monotonic_ns () in
-        let response = handle t request in
-        push_completion ws { c_conn = conn_id; c_seq = seq; frame = encode_frame response };
+        let frame =
+          try encode_frame (handle t request)
+          with e -> encode_frame (Wire.Server_error (worker_failed w e))
+        in
+        push_completion ws { c_conn = conn_id; c_seq = seq; frame };
         w.w_served <- w.w_served + 1;
         w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0
     | Part { acc; positions; owners } ->
@@ -239,11 +254,13 @@ let worker_loop t ws w =
             positions;
           store_max_generation acc.b_generation !generation
         in
-        if Trace.enabled () then
-          Trace.span "net.batch_part"
-            ~args:[ ("requests", Array.length owners) ]
-            work
-        else work ();
+        (try
+           if Trace.enabled () then
+             Trace.span "net.batch_part"
+               ~args:[ ("requests", Array.length owners) ]
+               work
+           else work ()
+         with e -> Atomic.set acc.b_error (Some (worker_failed w e)));
         (* The finisher observes every other part's plain writes to
            [b_replies]: each part's stores happen before its decrement,
            and all decrements precede the final fetch-and-add. *)
@@ -254,8 +271,11 @@ let worker_loop t ws w =
               c_seq = acc.b_seq;
               frame =
                 encode_frame
-                  (Wire.Batch_reply
-                     { generation = Atomic.get acc.b_generation; replies = acc.b_replies });
+                  (match Atomic.get acc.b_error with
+                  | Some msg -> Wire.Server_error msg
+                  | None ->
+                      Wire.Batch_reply
+                        { generation = Atomic.get acc.b_generation; replies = acc.b_replies });
             };
         w.w_served <- w.w_served + 1;
         w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0);
@@ -397,6 +417,7 @@ let run t listener =
                 b_replies = Array.make (Array.length owners) Serve.Unknown_owner;
                 b_generation = Atomic.make 0;
                 b_remaining = Atomic.make parts;
+                b_error = Atomic.make None;
               }
             in
             let positions = Array.map (fun n -> Array.make (max n 1) 0) counts in
@@ -486,10 +507,16 @@ let run t listener =
             | None -> () (* connection died while the job was in flight *)
             | Some c ->
                 complete c c_seq frame;
-                if c.stall_seq = c_seq then begin
-                  c.stall_seq <- -1;
-                  drain c (* frames buffered behind the republish *)
-                end)
+                if c.stall_seq = c_seq then c.stall_seq <- -1;
+                (* Resume decoding: this completion may have cleared a
+                   republish stall or dropped [inflight] back below the
+                   cap while surplus frames sit buffered in the decoder.
+                   [select] alone would never notice — it only fires on
+                   NEW bytes — so a client that pipelines past the cap
+                   and then waits would hang.  [drain] is a no-op when
+                   the decoder holds nothing. *)
+                if (not c.closing) && c.stall_seq < 0 && inflight c < t.config.max_inflight
+                then drain c)
           batch
   in
   let drain_wake_pipe ws =

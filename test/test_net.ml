@@ -313,6 +313,29 @@ let test_index_codec_malformed () =
   let valid = Index_codec.encode (test_index ~n:3 ~m:5) in
   reject "trailing bytes" (valid ^ "\x00") "trailing"
 
+(* A header may declare dimensions far larger than anything the payload
+   could back; decode must reject them before sizing any allocation from
+   them.  (A ~20-byte payload once forced a multi-GiB matrix attempt —
+   Out_of_memory off the wire, escaping the typed-error contract.) *)
+let test_index_codec_hostile_dims () =
+  (* n=16, m=2^30: each dimension is within bounds but the product blows
+     the cells cap, rejected before the counts are even read. *)
+  let payload = "\x01\x10\x80\x80\x80\x80\x04" in
+  decode_total "oversized matrix" payload;
+  (match Index_codec.decode payload with
+  | Error (Index_codec.Malformed msg) ->
+      check_bool "names the cells cap" true (contains msg "cells")
+  | Error e -> Alcotest.fail ("wrong error: " ^ Index_codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized matrix must be rejected");
+  (* n=2^20 rows declared by a 5-byte payload: fewer bytes remain than
+     rows, so it is truncated before the counts array is allocated. *)
+  let payload = "\x01\x80\x80\x40\x05" in
+  decode_total "overdeclared rows" payload;
+  match Index_codec.decode payload with
+  | Error (Index_codec.Truncated _) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Index_codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "overdeclared rows must be rejected"
+
 let test_index_codec_mutation_fuzz () =
   (* Every single-byte corruption of a valid payload must decode to a
      typed result — never an exception.  (Some mutations remain valid
@@ -340,11 +363,14 @@ let sock_path () =
 
 (* Start a daemon over [index] in its own domain, run [f addr engine]
    against it, then shut it down (if [f] has not already) and join. *)
-let with_server ?(shards = 1) ?(workers = 1) index f =
+let with_server ?(shards = 1) ?(workers = 1)
+    ?(max_inflight = Server.default_config.max_inflight) index f =
   let path = sock_path () in
   let addr = Addr.Unix_socket path in
   let engine = Serve.create ~config:{ Serve.default_config with shards } index in
-  let server = Server.create ~config:{ Server.default_config with workers } engine in
+  let server =
+    Server.create ~config:{ Server.default_config with workers; max_inflight } engine
+  in
   let listener = Server.listen addr in
   let daemon = Domain.spawn (fun () -> Server.run server listener) in
   let stop () =
@@ -474,6 +500,33 @@ let daemon_pipeline ~shards ~workers () =
                     (if provider < m then owners <> None else owners = None)
               | Wire.Ping, Wire.Pong -> ()
               | _, other -> Client.unexpected "pipelined response" other)
+            requests responses))
+
+(* Regression: a client that pipelines more requests than [max_inflight]
+   and then waits for replies must still get every one.  The mux pauses
+   decoding at the cap with the surplus frames buffered in the decoder;
+   each completion must resume the drain — [select] alone never would,
+   it only fires when the client sends MORE bytes. *)
+let daemon_pipeline_past_inflight_cap ~workers () =
+  let n = 30 and m = 9 in
+  let index = test_index ~n ~m in
+  with_server ~shards:4 ~workers ~max_inflight:8 index (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let requests = List.init 100 (fun i -> Wire.Query { owner = i mod n }) in
+          let responses = Client.pipeline c requests in
+          check_int "every request answered" 100 (List.length responses);
+          List.iter2
+            (fun request response ->
+              match (request, response) with
+              | Wire.Query { owner }, Wire.Reply { reply; _ } ->
+                  check_bool
+                    (Printf.sprintf "capped pipeline owner %d" owner)
+                    true
+                    (reply = Serve.Providers (Eppi.Index.query index ~owner))
+              | _, other -> Client.unexpected "capped pipeline" other)
             requests responses))
 
 let test_daemon_republish_binary () =
@@ -898,6 +951,8 @@ let () =
           Alcotest.test_case "every truncation rejected" `Quick test_index_codec_truncation;
           Alcotest.test_case "wrong version rejected" `Quick test_index_codec_wrong_version;
           Alcotest.test_case "malformed payloads rejected" `Quick test_index_codec_malformed;
+          Alcotest.test_case "hostile dimensions rejected before allocation" `Quick
+            test_index_codec_hostile_dims;
           Alcotest.test_case "single-byte mutations never crash" `Quick
             test_index_codec_mutation_fuzz;
         ] );
@@ -923,6 +978,8 @@ let () =
             (daemon_pipeline ~shards:4 ~workers:4);
           Alcotest.test_case "more shards than workers" `Quick
             (daemon_basics ~shards:8 ~workers:3);
+          Alcotest.test_case "pipeline past the inflight cap (4 domains)" `Quick
+            (daemon_pipeline_past_inflight_cap ~workers:4);
           Alcotest.test_case "binary republish" `Quick test_daemon_republish_binary;
           Alcotest.test_case "pipelined republish ordering" `Quick
             test_multicore_republish_ordering;
