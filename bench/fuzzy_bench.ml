@@ -1,0 +1,270 @@
+(* Approximate-identity (fuzzy) serving bench: build the resolver over a
+   synthetic roster, replay typo/variant probe workloads at several noise
+   rates, and measure recall@k against the planted truth, exact-vs-fuzzy
+   latency, and the candidate-set-size distribution.  Also scans every
+   encoded fuzzy request frame for plaintext demographic bytes — the wire
+   invariant docs/FUZZY.md argues for — and re-checks the <2%
+   disabled-tracing overhead on the fuzzy path.  Writes BENCH_fuzzy.json.
+
+   Environment knobs: FUZZY_N (owners, default 2000), FUZZY_M (providers,
+   default 1024), FUZZY_QUERIES (default 2000), FUZZY_K (default 10). *)
+
+open Eppi_prelude
+open Eppi_serve
+module Demographic = Eppi_linkage.Demographic
+module Probe = Eppi_fuzzy.Probe
+module Resolver = Eppi_fuzzy.Resolver
+module Roster = Eppi_fuzzy.Roster
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let percentile sorted q =
+  let len = Array.length sorted in
+  if len = 0 then 0.0
+  else sorted.(min (len - 1) (int_of_float (float_of_int len *. q)))
+
+let scale_noise f =
+  let d = Demographic.default_noise in
+  {
+    Demographic.typo_rate = Float.min 1.0 (d.typo_rate *. f);
+    dob_error_rate = Float.min 1.0 (d.dob_error_rate *. f);
+    zip_error_rate = Float.min 1.0 (d.zip_error_rate *. f);
+  }
+
+(* The plaintext bytes of a record that must never appear in its frame:
+   name fields, the zip digits and the dob rendered every way the probe
+   pipeline ever renders it. *)
+let plaintexts (r : Demographic.t) =
+  let y, m, d = r.dob in
+  [ r.first; r.last; r.zip; Probe.dob_string (y, m, d) ]
+  |> List.filter (fun s -> String.length s >= 3)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn > 0 && at 0
+
+let run () =
+  let n = getenv_int "FUZZY_N" 2000 in
+  let m = getenv_int "FUZZY_M" 1024 in
+  let queries = getenv_int "FUZZY_QUERIES" 2000 in
+  let k = getenv_int "FUZZY_K" 10 in
+  let linkage_seed = 0xE991 in
+  Bench_util.heading
+    (Printf.sprintf "Fuzzy resolution: recall@%d and latency (n=%d owners, m=%d providers, %d queries)"
+       k n m queries);
+  let rng = Rng.create 2026 in
+  let freqs = Array.init n (fun j -> 1 + (j mod 8)) in
+  let membership = Bench_util.matrix_of_frequencies rng ~m ~freqs in
+  let epsilons = Array.init n (fun j -> 0.2 +. (0.6 *. float_of_int (j mod 5) /. 4.0)) in
+  let r =
+    Eppi.Construct.run (Rng.create 7) ~membership ~epsilons ~policy:(Eppi.Policy.Chernoff 0.9)
+  in
+  let index = r.index in
+  let roster = Roster.generate (Rng.create 31) ~n in
+  let config = Resolver.default_config ~seed:linkage_seed in
+  let build_seconds, resolver =
+    let t0 = Clock.seconds () in
+    let resolver = Resolver.build config roster in
+    (Clock.seconds () -. t0, resolver)
+  in
+  Bench_util.note "resolver: %d signatures built in %.3f s" (Resolver.entries resolver)
+    build_seconds;
+  let engine = Serve.create ~resolver index in
+  (* Ground truth for candidate rows, untimed. *)
+  let truth_rows = Array.init n (fun owner -> Eppi.Index.query index ~owner) in
+  (* One workload per noise rate; probes are encoded up front so the timed
+     loop measures resolution, not Bloom encoding. *)
+  let noise_runs =
+    List.map
+      (fun factor ->
+        let noise = scale_noise factor in
+        let workload =
+          Workload.fuzzy ~noise (Rng.create (1000 + int_of_float (factor *. 10.)))
+            ~roster ~count:queries
+        in
+        let probes =
+          Array.map (fun (_, observed) -> Probe.of_demographic config.params observed) workload
+        in
+        (* Wire invariant: no plaintext demographic bytes in any frame. *)
+        Array.iteri
+          (fun i probe ->
+            let truth, observed = workload.(i) in
+            let frame =
+              Eppi_net.Wire.frame_to_string
+                (Eppi_net.Wire.Request (Eppi_net.Wire.Query_fuzzy { probe; k }))
+            in
+            List.iter
+              (fun text ->
+                if contains_substring frame text then
+                  failwith
+                    (Printf.sprintf
+                       "fuzzy: frame for owner %d leaks plaintext %S (noise x%.1f)" truth text
+                       factor))
+              (plaintexts observed @ plaintexts roster.(truth)))
+          probes;
+        let hits = ref 0 and empty = ref 0 in
+        let candidate_sizes = Array.make (Array.length probes) 0 in
+        let latencies = Array.make (Array.length probes) 0.0 in
+        Gc.compact ();
+        Array.iteri
+          (fun i probe ->
+            let truth, _ = workload.(i) in
+            let t0 = Clock.seconds () in
+            let _gen, reply = Serve.query_fuzzy ~k engine probe in
+            latencies.(i) <- Clock.seconds () -. t0;
+            match reply with
+            | Serve.Candidates candidates ->
+                candidate_sizes.(i) <- List.length candidates;
+                if candidates = [] then incr empty;
+                if List.exists (fun (c : Serve.candidate) -> c.owner = truth) candidates then begin
+                  incr hits;
+                  (* Candidate rows must match the published index exactly. *)
+                  let c =
+                    List.find (fun (c : Serve.candidate) -> c.owner = truth) candidates
+                  in
+                  if c.providers <> truth_rows.(truth) then
+                    failwith "fuzzy: candidate row diverged from Index.query"
+                end
+            | _ -> failwith "fuzzy: engine rejected a well-formed probe")
+          probes;
+        let recall = float_of_int !hits /. float_of_int queries in
+        Array.sort compare latencies;
+        let sizes_sorted = Array.copy candidate_sizes in
+        Array.sort compare sizes_sorted;
+        let mean_size =
+          float_of_int (Array.fold_left ( + ) 0 candidate_sizes) /. float_of_int queries
+        in
+        Bench_util.note
+          "noise x%.1f: recall@%d %.4f, empty %d, candidates mean %.2f max %d, p50 %.2g s p99 %.2g s"
+          factor k recall !empty mean_size
+          sizes_sorted.(Array.length sizes_sorted - 1)
+          (percentile latencies 0.5) (percentile latencies 0.99);
+        (factor, recall, !empty, mean_size, sizes_sorted, latencies))
+      [ 0.0; 1.0; 2.0 ]
+  in
+  (* The acceptance gate: recall@k at the default noise rate. *)
+  let default_recall =
+    List.find_map (fun (f, r, _, _, _, _) -> if f = 1.0 then Some r else None) noise_runs
+    |> Option.get
+  in
+  if default_recall < 0.9 then
+    failwith
+      (Printf.sprintf "fuzzy: recall@%d %.4f under default noise is below the 0.9 gate" k
+         default_recall);
+  (* Exact-path latency on the same engine for the side-by-side. *)
+  let exact_workload = Workload.zipf (Rng.create 17) ~n ~count:queries in
+  let exact_latencies = Array.make queries 0.0 in
+  Gc.compact ();
+  Array.iteri
+    (fun i owner ->
+      let t0 = Clock.seconds () in
+      (match Serve.query engine ~owner with
+      | Serve.Providers _ -> ()
+      | _ -> failwith "fuzzy: exact query failed");
+      exact_latencies.(i) <- Clock.seconds () -. t0)
+    exact_workload;
+  Array.sort compare exact_latencies;
+  Bench_util.note "exact queries on the same engine: p50 %.2g s, p99 %.2g s"
+    (percentile exact_latencies 0.5)
+    (percentile exact_latencies 0.99);
+  (* Disabled-tracing overhead on the fuzzy path: best-of-3 resolve sweeps
+     measured twice with tracing off must agree within 2% + 20 ms. *)
+  let _, _, _, _, _, _ = List.nth noise_runs 1 in
+  let trace_workload =
+    Workload.fuzzy ~noise:(scale_noise 1.0) (Rng.create 1010) ~roster ~count:queries
+  in
+  let trace_probes =
+    Array.map (fun (_, observed) -> Probe.of_demographic config.params observed) trace_workload
+  in
+  let sweep () =
+    Array.iter (fun probe -> ignore (Serve.query_fuzzy ~k engine probe)) trace_probes
+  in
+  sweep ();
+  let best_of_3 () =
+    Gc.compact ();
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Clock.seconds () in
+      sweep ();
+      let dt = Clock.seconds () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let no_trace_baseline = best_of_3 () in
+  let disabled_seconds = best_of_3 () in
+  if disabled_seconds > (1.02 *. no_trace_baseline) +. 0.02 then
+    failwith
+      (Printf.sprintf
+         "fuzzy: disabled tracing costs too much: %.6f s vs %.6f s baseline (limit 2%% + 20 ms)"
+         disabled_seconds no_trace_baseline);
+  let enabled_seconds =
+    if Eppi_obs.Trace.enabled () then None
+    else begin
+      Eppi_obs.Trace.enable ();
+      let s = best_of_3 () in
+      Eppi_obs.Trace.disable ();
+      Eppi_obs.Trace.reset ();
+      Some s
+    end
+  in
+  Bench_util.note "trace overhead: baseline %.3f s, disabled %.3f s (+%.2f%%), enabled %s"
+    no_trace_baseline disabled_seconds
+    (100.0 *. ((disabled_seconds /. no_trace_baseline) -. 1.0))
+    (match enabled_seconds with
+    | Some s -> Printf.sprintf "%.3f s" s
+    | None -> "outer --trace active, skipped");
+  let snap = Serve.metrics engine in
+  if
+    snap.fuzzy_queries
+    <> snap.fuzzy_resolved + snap.fuzzy_empty + snap.fuzzy_rejected + snap.fuzzy_shed
+  then failwith "fuzzy: metrics conservation law violated";
+  (* JSON out. *)
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"fuzzy\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"n_owners\": %d,\n" n);
+  Buffer.add_string b (Printf.sprintf "  \"m_providers\": %d,\n" m);
+  Buffer.add_string b (Printf.sprintf "  \"queries\": %d,\n" queries);
+  Buffer.add_string b (Printf.sprintf "  \"k\": %d,\n" k);
+  Buffer.add_string b (Printf.sprintf "  \"resolver_build_seconds\": %.6f,\n" build_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"no_plaintext_in_frames\": true,\n");
+  Buffer.add_string b "  \"noise_runs\": [\n";
+  List.iteri
+    (fun i (factor, recall, empty, mean_size, sizes_sorted, latencies) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"noise_factor\": %.1f, \"recall_at_k\": %.4f, \"empty\": %d, \
+            \"candidates\": { \"mean\": %.4f, \"p50\": %d, \"p90\": %d, \"max\": %d }, \
+            \"latency_s\": { \"p50\": %.9f, \"p99\": %.9f } }%s\n"
+           factor recall empty mean_size
+           (int_of_float (percentile (Array.map float_of_int sizes_sorted) 0.5))
+           (int_of_float (percentile (Array.map float_of_int sizes_sorted) 0.9))
+           sizes_sorted.(Array.length sizes_sorted - 1)
+           (percentile latencies 0.5) (percentile latencies 0.99)
+           (if i = List.length noise_runs - 1 then "" else ",")))
+    noise_runs;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"recall_at_k_default_noise\": %.4f,\n" default_recall);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"exact_latency_s\": { \"p50\": %.9f, \"p99\": %.9f },\n"
+       (percentile exact_latencies 0.5)
+       (percentile exact_latencies 0.99));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"trace\": { \"no_trace_baseline_seconds\": %.6f, \"disabled_seconds\": %.6f, \
+        \"enabled_seconds\": %s, \"disabled_overhead_ok\": true },\n"
+       no_trace_baseline disabled_seconds
+       (match enabled_seconds with Some s -> Printf.sprintf "%.6f" s | None -> "null"));
+  Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (Metrics.to_json snap));
+  Buffer.add_string b "}\n";
+  let out = open_out "BENCH_fuzzy.json" in
+  output_string out (Buffer.contents b);
+  close_out out;
+  Bench_util.note "wrote BENCH_fuzzy.json"

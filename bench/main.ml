@@ -31,6 +31,7 @@ let targets : (string * (unit -> unit)) list =
     ("scaling", Scaling.run);
     ("serve", Serve_bench.run);
     ("net", Net_bench.run);
+    ("fuzzy", Fuzzy_bench.run);
     ("chaos", Chaos.run);
   ]
 

@@ -55,6 +55,14 @@ let output_arg =
   let doc = "Write to $(docv) instead of standard output." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let linkage_seed_arg =
+  let doc =
+    "Shared linkage secret keying the fuzzy resolver's Bloom encodings and blocking hashes.  \
+     Daemon and clients must agree on it; there is deliberately no default — a well-known seed \
+     would let anyone replay dictionary probes (docs/FUZZY.md)."
+  in
+  Arg.(value & opt (some int) None & info [ "linkage-seed" ] ~docv:"INT" ~doc)
+
 let trace_arg =
   let doc =
     "Record a trace of the run and write it to $(docv) as Chrome trace-event JSON \
@@ -126,7 +134,16 @@ let generate_cmd =
       & info [ "epsilon" ] ~docv:"FLOAT"
           ~doc:"Constant privacy degree for every owner (default: uniform random).")
   in
-  let run seed providers owners common_fraction epsilon output =
+  let roster =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "roster" ] ~docv:"FILE"
+          ~doc:
+            "Also write a demographic roster CSV: one identity per owner id, the ground truth \
+             the serving daemon's fuzzy resolver is built from ($(b,eppi serve --roster)).")
+  in
+  let run seed providers owners common_fraction epsilon output roster =
     let rng = Rng.create seed in
     let profile = { Eppi_dataset.Dataset.default_profile with common_fraction } in
     let dataset = Eppi_dataset.Dataset.generate ~profile rng ~providers ~owners in
@@ -136,10 +153,20 @@ let generate_cmd =
       | None -> Eppi_dataset.Dataset.uniform_epsilons rng dataset
     in
     write_output output (Eppi_dataset.Dataset.to_csv dataset);
+    (match roster with
+    | None -> ()
+    | Some path ->
+        let people = Eppi_fuzzy.Roster.generate rng ~n:owners in
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Eppi_fuzzy.Roster.to_csv people));
+        Printf.eprintf "roster: %d identities written to %s\n" owners path);
     Printf.eprintf "%s\n" (Eppi_dataset.Dataset.stats_summary dataset)
   in
   let term =
-    Term.(const run $ seed_arg $ providers $ owners $ common_fraction $ epsilon $ output_arg)
+    Term.(
+      const run $ seed_arg $ providers $ owners $ common_fraction $ epsilon $ output_arg $ roster)
   in
   Cmd.v (Cmd.info "generate" ~doc:"Synthesize an information-network dataset") term
 
@@ -320,7 +347,71 @@ let query_cmd =
     Printf.eprintf "query: %s\n" msg;
     exit 2
   in
-  let run index_path connect owners replay_log depth =
+  let parse_dob s =
+    if s = "" then (0, 0, 0)
+    else
+      match String.split_on_char '-' s with
+      | [ y; m; d ] -> (
+          match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+          | Some y, Some m, Some d when y > 0 && m >= 1 && m <= 12 && d >= 1 && d <= 31 ->
+              (y, m, d)
+          | _ -> usage_error (Printf.sprintf "bad --dob %S (want YYYY-MM-DD)" s))
+      | _ -> usage_error (Printf.sprintf "bad --dob %S (want YYYY-MM-DD)" s)
+  in
+  let run_fuzzy addr ~linkage_seed ~first ~last ~dob ~zip ~k =
+    let seed =
+      match linkage_seed with
+      | Some s -> s
+      | None -> usage_error "--fuzzy requires --linkage-seed (the daemon's shared secret)"
+    in
+    if first = "" && last = "" && dob = "" && zip = "" then
+      usage_error "--fuzzy needs at least one of --first/--last/--dob/--zip";
+    let record : Eppi_linkage.Demographic.t =
+      {
+        first = String.lowercase_ascii first;
+        last = String.lowercase_ascii last;
+        dob = parse_dob dob;
+        zip;
+        gender = Eppi_linkage.Demographic.Other (* not encoded in probes *);
+      }
+    in
+    let config = Eppi_fuzzy.Resolver.default_config ~seed in
+    (* Encoding happens here, client-side: only the Bloom filters and
+       keyed blocking hashes leave this process. *)
+    let probe = Eppi_fuzzy.Probe.of_demographic config.params record in
+    let _generation, result = with_client addr (fun c -> Eppi_net.Client.query_fuzzy ~k c probe) in
+    match (result : Eppi_serve.Serve.fuzzy_reply) with
+    | Candidates [] ->
+        Printf.eprintf "no match above threshold\n";
+        exit 1
+    | Candidates candidates ->
+        List.iter
+          (fun (cand : Eppi_serve.Serve.candidate) ->
+            Printf.printf "%d %.4f %s\n" cand.owner cand.score
+              (String.concat "," (List.map string_of_int cand.providers)))
+          candidates
+    | No_resolver ->
+        Printf.eprintf "daemon has no fuzzy resolver (start it with --roster)\n";
+        exit 1
+    | Probe_mismatch ->
+        Printf.eprintf "probe geometry rejected: linkage parameters disagree with the daemon\n";
+        exit 1
+    | Fuzzy_shed ->
+        Printf.eprintf "shed\n";
+        exit 1
+  in
+  let run index_path connect owners replay_log depth fuzzy first last dob zip k linkage_seed =
+    if fuzzy then begin
+      if owners <> [] then usage_error "--fuzzy excludes --owner";
+      if replay_log <> None then usage_error "--fuzzy excludes --replay-log";
+      if k < 1 then usage_error "--k must be positive";
+      match (index_path, connect) with
+      | None, Some addr -> run_fuzzy addr ~linkage_seed ~first ~last ~dob ~zip ~k
+      | _ -> usage_error "--fuzzy needs --connect (fuzzy resolution lives in the daemon)"
+    end
+    else if first <> "" || last <> "" || dob <> "" || zip <> "" then
+      usage_error "--first/--last/--dob/--zip need --fuzzy"
+    else
     match (index_path, connect) with
     | Some _, Some _ | None, None -> usage_error "give exactly one of --index or --connect"
     | Some path, None ->
@@ -358,7 +449,38 @@ let query_cmd =
                     | other -> Eppi_net.Client.unexpected "query" other)
                   (Eppi_net.Client.pipeline client requests)))
   in
-  let term = Term.(const run $ index_path $ connect_opt_arg $ owners $ replay_log $ depth) in
+  let fuzzy =
+    let doc =
+      "Approximate-identity lookup: resolve the demographics given with \
+       $(b,--first)/$(b,--last)/$(b,--dob)/$(b,--zip) against the daemon's roster, then print \
+       one line per candidate: owner id, match score, provider list.  Demographics are \
+       Bloom-encoded locally under $(b,--linkage-seed); plaintext never crosses the wire."
+    in
+    Arg.(value & flag & info [ "fuzzy" ] ~doc)
+  in
+  let first =
+    Arg.(value & opt string "" & info [ "first" ] ~docv:"NAME" ~doc:"First name (fuzzy probe).")
+  in
+  let last =
+    Arg.(value & opt string "" & info [ "last" ] ~docv:"NAME" ~doc:"Last name (fuzzy probe).")
+  in
+  let dob =
+    Arg.(
+      value & opt string ""
+      & info [ "dob" ] ~docv:"YYYY-MM-DD" ~doc:"Date of birth (fuzzy probe).")
+  in
+  let zip =
+    Arg.(value & opt string "" & info [ "zip" ] ~docv:"ZIP" ~doc:"Zip code (fuzzy probe).")
+  in
+  let k =
+    Arg.(
+      value & opt int 10 & info [ "k" ] ~docv:"INT" ~doc:"Candidate limit for $(b,--fuzzy).")
+  in
+  let term =
+    Term.(
+      const run $ index_path $ connect_opt_arg $ owners $ replay_log $ depth $ fuzzy $ first
+      $ last $ dob $ zip $ k $ linkage_seed_arg)
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:
@@ -585,8 +707,16 @@ let serve_cmd =
     in
     Arg.(value & opt (some file) None & info [ "replay-log" ] ~docv:"FILE" ~doc)
   in
+  let roster =
+    let doc =
+      "Roster CSV ($(b,eppi generate --roster)) naming each owner id's demographics.  Builds \
+       the approximate-identity resolver, enabling $(b,eppi query --fuzzy) against the daemon.  \
+       Requires $(b,--linkage-seed)."
+    in
+    Arg.(value & opt (some file) None & info [ "roster" ] ~docv:"FILE" ~doc)
+  in
   let run seed index_path queries shards domains cache zipf_exponent unknown_fraction rate burst
-      queue listen stdio replay_log trace =
+      queue listen stdio replay_log roster linkage_seed trace =
     let index = Eppi.Index.of_csv (read_file index_path) in
     let n = Eppi.Index.owners index in
     let admission =
@@ -595,7 +725,25 @@ let serve_cmd =
     let config =
       { Eppi_serve.Serve.default_config with shards; cache_capacity = cache; admission }
     in
-    let engine = Eppi_serve.Serve.create ~config index in
+    let resolver =
+      match (roster, linkage_seed) with
+      | None, _ -> None
+      | Some _, None ->
+          Printf.eprintf
+            "serve: --roster requires --linkage-seed (the shared linkage secret; never a \
+             built-in default on a network path)\n";
+          exit 2
+      | Some path, Some seed ->
+          let people = Eppi_fuzzy.Roster.of_csv (read_file path) in
+          if Array.length people <> n then begin
+            Printf.eprintf "serve: roster names %d identities but the index has %d owners\n"
+              (Array.length people) n;
+            exit 2
+          end;
+          Printf.eprintf "roster: %d identities, fuzzy resolver enabled\n" (Array.length people);
+          Some (Eppi_fuzzy.Resolver.build (Eppi_fuzzy.Resolver.default_config ~seed) people)
+    in
+    let engine = Eppi_serve.Serve.create ~config ?resolver index in
     let postings = Eppi_serve.Serve.postings engine in
     Printf.eprintf "index: %d owners, %d providers; postings store %d bytes\n" n
       (Eppi.Index.providers index)
@@ -643,7 +791,8 @@ let serve_cmd =
   let term =
     Term.(
       const run $ seed_arg $ index_arg $ queries $ shards $ domains $ cache $ zipf_exponent
-      $ unknown_fraction $ rate $ burst $ queue $ listen $ stdio $ replay_log $ trace_arg)
+      $ unknown_fraction $ rate $ burst $ queue $ listen $ stdio $ replay_log $ roster
+      $ linkage_seed_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"

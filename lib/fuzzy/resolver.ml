@@ -1,0 +1,135 @@
+open Eppi_prelude
+open Eppi_linkage
+
+type config = {
+  params : Bloom.params;
+  match_threshold : float;
+  min_scan : int;
+}
+
+let default_config ~seed =
+  { params = Bloom.keyed ~seed (); match_threshold = 0.6; min_scan = 64 }
+
+type t = {
+  config : config;
+  signatures : Probe.t array;
+  buckets : (int, int list) Hashtbl.t;
+}
+
+let build config roster =
+  if config.match_threshold < 0.0 || config.match_threshold > 1.0 then
+    invalid_arg "Resolver.build: threshold out of [0, 1]";
+  if config.min_scan < 0 then invalid_arg "Resolver.build: negative padding floor";
+  if config.params.bits <= 0 || config.params.hashes <= 0 then
+    invalid_arg "Resolver.build: bad filter parameters";
+  let signatures = Array.map (Probe.of_demographic config.params) roster in
+  let buckets = Hashtbl.create (max 16 (2 * Array.length roster)) in
+  Array.iteri
+    (fun owner (s : Probe.t) ->
+      Array.iter
+        (fun key ->
+          let members = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+          Hashtbl.replace buckets key (owner :: members))
+        s.keys)
+    signatures;
+  { config; signatures; buckets }
+
+let config t = t.config
+let entries t = Array.length t.signatures
+
+let compatible t (p : Probe.t) =
+  p.bits = t.config.params.bits && p.hashes = t.config.params.hashes
+
+let dice a b =
+  let ca = Bitvec.count a and cb = Bitvec.count b in
+  if ca = 0 && cb = 0 then 1.0
+  else 2.0 *. float_of_int (Bitvec.count (Bitvec.inter a b)) /. float_of_int (ca + cb)
+
+(* Field weights mirror Linkage.field_score with gender dropped (it is
+   not encoded) and its share redistributed: names 50%, dob 30%, zip 20%.
+   Weights renormalize over the probe's non-empty filters so a partial
+   probe is scored on what it actually states. *)
+let weights = [| 0.25; 0.25; 0.30; 0.20 |]
+
+let fields (p : Probe.t) = [| p.first; p.last; p.dob; p.zip |]
+
+let score probe signature =
+  let pf = fields probe and sf = fields signature in
+  let acc = ref 0.0 and total = ref 0.0 in
+  Array.iteri
+    (fun i f ->
+      if Bitvec.count f > 0 then begin
+        total := !total +. weights.(i);
+        acc := !acc +. (weights.(i) *. dice f sf.(i))
+      end)
+    pf;
+  if !total = 0.0 then 0.0
+  else
+    (* Quantize to 1e-4 so the score survives the wire's basis-point
+       encoding bit-exactly. *)
+    Float.round (!acc /. !total *. 10000.) /. 10000.
+
+type resolved = {
+  owner : int;
+  score : float;
+}
+
+type outcome = {
+  candidates : resolved list;
+  scanned : int;
+  buckets_hit : int;
+}
+
+let resolve t (probe : Probe.t) ~k =
+  if k <= 0 then invalid_arg "Resolver.resolve: k must be positive";
+  if not (compatible t probe) then invalid_arg "Resolver.resolve: incompatible probe geometry";
+  let n = Array.length t.signatures in
+  if n = 0 then { candidates = []; scanned = 0; buckets_hit = 0 }
+  else begin
+    let seen = Bytes.make n '\000' in
+    let members = ref [] and count = ref 0 and buckets_hit = ref 0 in
+    let add owner =
+      if owner >= 0 && owner < n && Bytes.get seen owner = '\000' then begin
+        Bytes.set seen owner '\001';
+        members := owner :: !members;
+        incr count
+      end
+    in
+    Array.iter
+      (fun key ->
+        match Hashtbl.find_opt t.buckets key with
+        | Some owners ->
+            incr buckets_hit;
+            List.iter add owners
+        | None -> ())
+      probe.keys;
+    (* Candidate-set padding: always score at least [min_scan] signatures,
+       topping the bucket harvest up with decoys drawn deterministically
+       from the probe hash, so scan size (and its timing) does not reveal
+       how rare the probed name is. *)
+    let target = min t.config.min_scan n in
+    if !count < target then begin
+      let rng = Rng.create (Probe.routing_hash probe) in
+      while !count < target do
+        add (Rng.int rng n)
+      done
+    end;
+    let scored =
+      List.filter_map
+        (fun owner ->
+          let s = score probe t.signatures.(owner) in
+          if s >= t.config.match_threshold then Some { owner; score = s } else None)
+        !members
+    in
+    let sorted =
+      List.sort
+        (fun a b -> if a.score <> b.score then compare b.score a.score else compare a.owner b.owner)
+        scored
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    { candidates = take k sorted; scanned = !count; buckets_hit = !buckets_hit }
+  end

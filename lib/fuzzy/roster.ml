@@ -1,0 +1,76 @@
+open Eppi_linkage
+
+let generate rng ~n =
+  if n < 0 then invalid_arg "Roster.generate: negative size";
+  let people = ref [] in
+  for _ = 1 to n do
+    people := Demographic.random_person rng :: !people
+  done;
+  Array.of_list (List.rev !people)
+
+let gender_code = function
+  | Demographic.Female -> "f"
+  | Demographic.Male -> "m"
+  | Demographic.Other -> "o"
+
+let header = "owner,first,last,dob,zip,gender"
+
+let to_csv roster =
+  let b = Buffer.create (32 + (Array.length roster * 40)) in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun owner (r : Demographic.t) ->
+      let y, m, d = r.dob in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%s,%04d-%02d-%02d,%s,%s\n" owner r.first r.last y m d r.zip
+           (gender_code r.gender)))
+    roster;
+  Buffer.contents b
+
+let fail lineno what = failwith (Printf.sprintf "Roster: line %d: %s" lineno what)
+
+let parse_dob lineno s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some y, Some m, Some d
+        when y >= 0 && y <= 9999 && m >= 0 && m <= 12 && d >= 0 && d <= 31 ->
+          (y, m, d)
+      | _ -> fail lineno (Printf.sprintf "bad date of birth %S" s))
+  | _ -> fail lineno (Printf.sprintf "bad date of birth %S" s)
+
+let parse_gender lineno = function
+  | "f" -> Demographic.Female
+  | "m" -> Demographic.Male
+  | "o" -> Demographic.Other
+  | g -> fail lineno (Printf.sprintf "unknown gender code %S" g)
+
+let of_csv text =
+  let rows = ref [] in
+  let expected = ref 0 in
+  let lineno = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun raw ->
+         incr lineno;
+         let line = String.trim raw in
+         if line <> "" && line <> header then
+           match String.split_on_char ',' line with
+           | [ owner; first; last; dob; zip; gender ] ->
+               (match int_of_string_opt (String.trim owner) with
+               | Some o when o = !expected -> ()
+               | Some o -> fail !lineno (Printf.sprintf "owner %d, expected %d" o !expected)
+               | None -> fail !lineno (Printf.sprintf "bad owner id %S" owner));
+               incr expected;
+               rows :=
+                 {
+                   Demographic.first = String.trim first;
+                   last = String.trim last;
+                   dob = parse_dob !lineno (String.trim dob);
+                   zip = String.trim zip;
+                   gender = parse_gender !lineno (String.trim gender);
+                 }
+                 :: !rows
+           | fields ->
+               fail !lineno (Printf.sprintf "%d fields, expected 6" (List.length fields)));
+  Array.of_list (List.rev !rows)

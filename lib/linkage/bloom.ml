@@ -7,6 +7,7 @@ type params = {
 }
 
 let default_params = { bits = 128; hashes = 4; seed = 7 }
+let keyed ~seed ?(bits = 256) ?(hashes = 4) () = { bits; hashes; seed }
 
 type t = { params : params; filter : Bitvec.t }
 

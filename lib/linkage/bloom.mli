@@ -18,7 +18,17 @@ type params = {
 }
 
 val default_params : params
-(** 128 bits, 4 hashes, seed 7. *)
+(** 128 bits, 4 hashes, seed 7.  The fixed well-known seed is fine for
+    offline experiments and tests, where both sides are the same process
+    — it must never key filters that cross a trust boundary.  Anything on
+    a network path (the fuzzy-resolution daemon and its clients) takes
+    the linkage secret explicitly: build parameters with {!keyed} and a
+    seed supplied at configuration time (CLI [--linkage-seed]). *)
+
+val keyed : seed:int -> ?bits:int -> ?hashes:int -> unit -> params
+(** Serving-grade parameters under an explicit linkage secret: 256 bits
+    and 4 hashes unless overridden.  There is deliberately no default for
+    [seed]. *)
 
 type t
 

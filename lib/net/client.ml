@@ -265,6 +265,7 @@ let unexpected what (response : Wire.response) =
     | Pong -> "pong"
     | Shutting_down -> "shutting down"
     | Server_error msg -> Printf.sprintf "server error: %s" msg
+    | Fuzzy_reply _ -> "fuzzy reply"
   in
   raise (Protocol_error (Printf.sprintf "%s answered with %s" what kind))
 
@@ -280,6 +281,11 @@ let batch t owners =
         raise (Protocol_error "batch reply length mismatch");
       (generation, replies)
   | other -> unexpected "batch" other
+
+let query_fuzzy ?(k = 10) t probe =
+  match call t (Wire.Query_fuzzy { probe; k }) with
+  | Fuzzy_reply { generation; result } -> (generation, result)
+  | other -> unexpected "fuzzy query" other
 
 let audit t ~provider =
   match call t (Wire.Audit { provider }) with

@@ -81,6 +81,14 @@ val pipeline : t -> Wire.request list -> Wire.response list
 val query : t -> owner:int -> int * Eppi_serve.Serve.reply
 (** (generation, reply). *)
 
+val query_fuzzy : ?k:int -> t -> Eppi_fuzzy.Probe.t -> int * Eppi_serve.Serve.fuzzy_reply
+(** Approximate-identity lookup: at most [k] (default 10) candidates,
+    each with its ε-PPI row, tagged with the generation of the
+    (postings, resolver) pair that answered.  Build the probe locally
+    with {!Eppi_fuzzy.Probe.of_demographic} under the shared linkage
+    seed — only Bloom filters and keyed blocking hashes go on the
+    wire. *)
+
 val batch : t -> int array -> int * Eppi_serve.Serve.reply array
 
 val audit : t -> provider:int -> int * int list option

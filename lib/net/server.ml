@@ -46,6 +46,7 @@ let request_code = function
   | Wire.Ping -> 6
   | Wire.Shutdown -> 7
   | Wire.Republish_binary _ -> 8
+  | Wire.Query_fuzzy _ -> 9
 
 let handle_request t (request : Wire.request) : Wire.response =
   match request with
@@ -77,6 +78,9 @@ let handle_request t (request : Wire.request) : Wire.response =
       match Index_codec.decode data with
       | Ok index -> Republished { generation = Serve.republish_index t.engine index }
       | Error e -> Server_error ("republish: " ^ Index_codec.error_to_string e))
+  | Query_fuzzy { probe; k } ->
+      let generation, result = Serve.query_fuzzy ~k t.engine probe in
+      Fuzzy_reply { generation; result }
   | Ping -> Pong
   | Shutdown -> Shutting_down
 
@@ -391,6 +395,12 @@ let run t listener =
         match request with
         | Wire.Query { owner } ->
             enqueue (worker_for_owner t.engine ws owner) (Job { conn_id = c.id; seq; request })
+        | Wire.Query_fuzzy { probe; _ } ->
+            (* Fuzzy metrics/admission land on Serve.fuzzy_shard's shard;
+               route to that shard's worker so the single-writer contract
+               holds for fuzzy exactly as for exact queries. *)
+            let shard = Serve.fuzzy_shard t.engine probe in
+            enqueue ws.pool.(shard mod Array.length ws.pool) (Job { conn_id = c.id; seq; request })
         | Wire.Audit _ ->
             (* Audit walks every shard's postings but records its metrics
                on shard 0, so it must run on shard 0's worker. *)

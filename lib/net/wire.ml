@@ -16,6 +16,14 @@ type request =
   | Ping
   | Shutdown
   | Republish_binary of { data : string }
+  | Query_fuzzy of {
+      probe : Eppi_fuzzy.Probe.t;
+      k : int;
+    }
+      (* The probe carries only keyed blocking hashes, filter geometry and
+         Bloom-encoded filters — never plaintext demographics.  The
+         linkage seed itself stays off the wire: a probe keyed with the
+         wrong seed scores as noise and resolves nothing. *)
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -26,6 +34,10 @@ type response =
   | Pong
   | Shutting_down
   | Server_error of string
+  | Fuzzy_reply of {
+      generation : int;
+      result : Eppi_serve.Serve.fuzzy_reply;
+    }
 
 type frame =
   | Request of request
@@ -44,6 +56,7 @@ let tag_republish = 0x05
 let tag_ping = 0x06
 let tag_shutdown = 0x07
 let tag_republish_binary = 0x08
+let tag_query_fuzzy = 0x09
 let tag_reply = 0x11
 let tag_batch_reply = 0x12
 let tag_audit_reply = 0x13
@@ -52,6 +65,14 @@ let tag_republished = 0x15
 let tag_pong = 0x16
 let tag_shutting_down = 0x17
 let tag_server_error = 0x18
+let tag_fuzzy_reply = 0x19
+
+(* Probe limits: sane ceilings well above anything the CLI or bench
+   generates, well below anything that could balloon a decode. *)
+let max_fuzzy_k = 100_000
+let max_probe_keys = 64
+let max_probe_bits = 1 lsl 20
+let max_probe_hashes = 1024
 
 type error =
   | Bad_magic of int
@@ -123,6 +144,25 @@ let put_int_list b ids =
   put_varint b (List.length ids);
   List.iter (put_varint b) ids
 
+(* A filter travels as its set-bit indexes, ascending: Bloom filters on
+   serving-grade parameters are sparse (a short field sets at most
+   hashes * bigrams bits of 256+), so index varints beat raw bitmap bytes,
+   and ascending order gives the decoder a strictness check for free. *)
+let put_bitvec b bv =
+  let indexes = Eppi_prelude.Bitvec.to_index_list bv in
+  put_varint b (List.length indexes);
+  List.iter (put_varint b) indexes
+
+let put_probe b (probe : Eppi_fuzzy.Probe.t) =
+  put_varint b (Array.length probe.keys);
+  Array.iter (put_varint b) probe.keys;
+  put_varint b probe.bits;
+  put_varint b probe.hashes;
+  put_bitvec b probe.first;
+  put_bitvec b probe.last;
+  put_bitvec b probe.dob;
+  put_bitvec b probe.zip
+
 let put_reply b (reply : Eppi_serve.Serve.reply) =
   match reply with
   | Providers providers ->
@@ -152,6 +192,10 @@ let payload_of_request b = function
   | Republish_binary { data } ->
       Buffer.add_string b data;
       tag_republish_binary
+  | Query_fuzzy { probe; k } ->
+      put_varint b k;
+      put_probe b probe;
+      tag_query_fuzzy
 
 let payload_of_response b = function
   | Reply { generation; reply } ->
@@ -182,6 +226,24 @@ let payload_of_response b = function
   | Server_error message ->
       Buffer.add_string b message;
       tag_server_error
+  | Fuzzy_reply { generation; result } ->
+      put_varint b generation;
+      (match result with
+      | Candidates candidates ->
+          Buffer.add_char b '\x00';
+          put_varint b (List.length candidates);
+          List.iter
+            (fun (cand : Eppi_serve.Serve.candidate) ->
+              put_varint b cand.owner;
+              (* Scores are quantized to 1e-4 at the resolver, so basis
+                 points round-trip them bit-exactly. *)
+              put_varint b (int_of_float (Float.round (cand.score *. 10000.)));
+              put_int_list b cand.providers)
+            candidates
+      | No_resolver -> Buffer.add_char b '\x01'
+      | Probe_mismatch -> Buffer.add_char b '\x02'
+      | Fuzzy_shed -> Buffer.add_char b '\x03');
+      tag_fuzzy_reply
 
 let add_frame b payload_of value =
   let body = Buffer.create 64 in
@@ -228,6 +290,36 @@ let get_reply c : Eppi_serve.Serve.reply =
   | 3 -> Shed_queue_full
   | k -> raise (Corrupt_payload (Printf.sprintf "unknown reply kind %d" k))
 
+let get_bitvec c ~bits =
+  (* Each index costs at least a byte; no filter sets more than [bits]. *)
+  let limit = min bits (String.length c.payload - c.pos) in
+  let count = get_count c ~what:"filter bit" ~limit in
+  let prev = ref (-1) in
+  let indexes =
+    List.init count (fun _ ->
+        let i = get_varint c in
+        if i <= !prev || i >= bits then
+          raise (Corrupt_payload (Printf.sprintf "filter index %d out of order or range" i));
+        prev := i;
+        i)
+  in
+  Eppi_prelude.Bitvec.of_index_list bits indexes
+
+let get_probe c : Eppi_fuzzy.Probe.t =
+  let key_count = get_count c ~what:"blocking key" ~limit:max_probe_keys in
+  let keys = Array.init key_count (fun _ -> get_varint c) in
+  let bits = get_varint c in
+  if bits < 1 || bits > max_probe_bits then
+    raise (Corrupt_payload (Printf.sprintf "filter bits %d" bits));
+  let hashes = get_varint c in
+  if hashes < 1 || hashes > max_probe_hashes then
+    raise (Corrupt_payload (Printf.sprintf "filter hashes %d" hashes));
+  let first = get_bitvec c ~bits in
+  let last = get_bitvec c ~bits in
+  let dob = get_bitvec c ~bits in
+  let zip = get_bitvec c ~bits in
+  { keys; bits; hashes; first; last; dob; zip }
+
 let rest c =
   let s = String.sub c.payload c.pos (String.length c.payload - c.pos) in
   c.pos <- String.length c.payload;
@@ -247,6 +339,12 @@ let parse_payload tag payload =
     else if tag = tag_ping then Request Ping
     else if tag = tag_shutdown then Request Shutdown
     else if tag = tag_republish_binary then Request (Republish_binary { data = rest c })
+    else if tag = tag_query_fuzzy then begin
+      let k = get_varint c in
+      if k < 1 || k > max_fuzzy_k then
+        raise (Corrupt_payload (Printf.sprintf "fuzzy k %d" k));
+      Request (Query_fuzzy { probe = get_probe c; k })
+    end
     else if tag = tag_reply then begin
       let generation = get_varint c in
       Response (Reply { generation; reply = get_reply c })
@@ -271,6 +369,35 @@ let parse_payload tag payload =
     else if tag = tag_pong then Response Pong
     else if tag = tag_shutting_down then Response Shutting_down
     else if tag = tag_server_error then Response (Server_error (rest c))
+    else if tag = tag_fuzzy_reply then begin
+      let generation = get_varint c in
+      if c.pos >= String.length payload then raise (Corrupt_payload "truncated fuzzy reply");
+      let kind = Char.code payload.[c.pos] in
+      c.pos <- c.pos + 1;
+      let result : Eppi_serve.Serve.fuzzy_reply =
+        match kind with
+        | 0 ->
+            (* A candidate costs at least three bytes (owner, score,
+               provider count). *)
+            let count =
+              get_count c ~what:"candidate" ~limit:((String.length payload - c.pos) / 3 + 1)
+            in
+            Candidates
+              (List.init count (fun _ ->
+                   let owner = get_varint c in
+                   let bp = get_varint c in
+                   if bp < 0 || bp > 10_000 then
+                     raise (Corrupt_payload (Printf.sprintf "score %d bp" bp));
+                   let providers = get_int_list c ~what:"provider" in
+                   ({ owner; score = float_of_int bp /. 10000.0; providers }
+                     : Eppi_serve.Serve.candidate)))
+        | 1 -> No_resolver
+        | 2 -> Probe_mismatch
+        | 3 -> Fuzzy_shed
+        | k -> raise (Corrupt_payload (Printf.sprintf "unknown fuzzy reply kind %d" k))
+      in
+      Response (Fuzzy_reply { generation; result })
+    end
     else assert false (* the decoder rejects unknown tags at the header *)
   in
   if c.pos <> String.length payload then
@@ -278,7 +405,7 @@ let parse_payload tag payload =
   frame
 
 let known_tag tag =
-  (tag >= tag_query && tag <= tag_republish_binary) || (tag >= tag_reply && tag <= tag_server_error)
+  (tag >= tag_query && tag <= tag_query_fuzzy) || (tag >= tag_reply && tag <= tag_fuzzy_reply)
 
 (* ---- the incremental decoder ---- *)
 

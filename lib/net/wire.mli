@@ -34,6 +34,14 @@ type request =
           the compact bit-packed payload ({!Index_codec.encode}), ~10x
           smaller than the CSV form on typical ε-PPI indexes.  The
           payload carries its own codec version byte. *)
+  | Query_fuzzy of { probe : Eppi_fuzzy.Probe.t; k : int }
+      (** Approximate-identity lookup: resolve the probe against the
+          published resolver, return at most [k] candidates with their
+          ε-PPI rows.  The payload carries {e only} keyed blocking hashes,
+          the filter geometry, and Bloom-encoded field filters (set-bit
+          indexes, ascending) — plaintext demographics never cross the
+          wire, and neither does the linkage seed: a probe keyed with the
+          wrong seed scores as noise. *)
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -47,6 +55,9 @@ type response =
   | Server_error of string
       (** The request was understood but could not be served (e.g. a
           republish payload that fails CSV validation). *)
+  | Fuzzy_reply of { generation : int; result : Eppi_serve.Serve.fuzzy_reply }
+      (** Candidate scores travel as basis-point varints (the resolver
+          quantizes scores to 1e-4, so the encoding is lossless). *)
 
 type frame =
   | Request of request

@@ -12,6 +12,12 @@ type t = {
   mutable audits : int;
   mutable generation : int;
   mutable swaps : int;
+  mutable fuzzy_queries : int;
+  mutable fuzzy_resolved : int;
+  mutable fuzzy_empty : int;
+  mutable fuzzy_rejected : int;
+  mutable fuzzy_shed : int;
+  mutable fuzzy_scanned : int;
   latency : Stats.Log2_histogram.t;
 }
 
@@ -28,6 +34,12 @@ let create () =
     audits = 0;
     generation = 1;
     swaps = 0;
+    fuzzy_queries = 0;
+    fuzzy_resolved = 0;
+    fuzzy_empty = 0;
+    fuzzy_rejected = 0;
+    fuzzy_shed = 0;
+    fuzzy_scanned = 0;
     latency = Stats.Log2_histogram.create ();
   }
 
@@ -41,6 +53,12 @@ let incr_shed_rate t = t.shed_rate <- t.shed_rate + 1
 let incr_shed_queue t = t.shed_queue <- t.shed_queue + 1
 let incr_audits t = t.audits <- t.audits + 1
 let incr_swaps t = t.swaps <- t.swaps + 1
+let incr_fuzzy t = t.fuzzy_queries <- t.fuzzy_queries + 1
+let incr_fuzzy_resolved t = t.fuzzy_resolved <- t.fuzzy_resolved + 1
+let incr_fuzzy_empty t = t.fuzzy_empty <- t.fuzzy_empty + 1
+let incr_fuzzy_rejected t = t.fuzzy_rejected <- t.fuzzy_rejected + 1
+let incr_fuzzy_shed t = t.fuzzy_shed <- t.fuzzy_shed + 1
+let add_fuzzy_scanned t n = t.fuzzy_scanned <- t.fuzzy_scanned + n
 let set_generation t generation = t.generation <- generation
 let record_latency t seconds = Stats.Log2_histogram.add t.latency seconds
 
@@ -56,6 +74,12 @@ type snapshot = {
   audits : int;
   generation : int;
   swaps : int;
+  fuzzy_queries : int;
+  fuzzy_resolved : int;
+  fuzzy_empty : int;
+  fuzzy_rejected : int;
+  fuzzy_shed : int;
+  fuzzy_scanned : int;
   latency_count : int;
   latency_mean : float;
   p50 : float;
@@ -85,6 +109,12 @@ let snapshot shards =
     audits = sum (fun t -> t.audits);
     generation = List.fold_left (fun acc (m : t) -> max acc m.generation) 1 shards;
     swaps = sum (fun t -> t.swaps);
+    fuzzy_queries = sum (fun t -> t.fuzzy_queries);
+    fuzzy_resolved = sum (fun t -> t.fuzzy_resolved);
+    fuzzy_empty = sum (fun t -> t.fuzzy_empty);
+    fuzzy_rejected = sum (fun t -> t.fuzzy_rejected);
+    fuzzy_shed = sum (fun t -> t.fuzzy_shed);
+    fuzzy_scanned = sum (fun t -> t.fuzzy_scanned);
     latency_count = Stats.Log2_histogram.total latency;
     latency_mean = Stats.Log2_histogram.mean latency;
     p50 = Stats.Log2_histogram.quantile latency 0.5;
@@ -109,6 +139,12 @@ let diff (newer : snapshot) (older : snapshot) =
     audits = newer.audits - older.audits;
     generation = newer.generation;
     swaps = newer.swaps - older.swaps;
+    fuzzy_queries = newer.fuzzy_queries - older.fuzzy_queries;
+    fuzzy_resolved = newer.fuzzy_resolved - older.fuzzy_resolved;
+    fuzzy_empty = newer.fuzzy_empty - older.fuzzy_empty;
+    fuzzy_rejected = newer.fuzzy_rejected - older.fuzzy_rejected;
+    fuzzy_shed = newer.fuzzy_shed - older.fuzzy_shed;
+    fuzzy_scanned = newer.fuzzy_scanned - older.fuzzy_scanned;
     latency_count = newer.latency_count - older.latency_count;
     latency_mean = newer.latency_mean;
     p50 = newer.p50;
@@ -125,15 +161,20 @@ let to_json s =
     "{ \"queries\": %d, \"served\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
      \"cache_hit_rate\": %.4f, \"negative_hits\": %d, \"unknown\": %d, \"shed_rate\": %d, \
      \"shed_queue\": %d, \"audits\": %d, \"generation\": %d, \"swaps\": %d, \
+     \"fuzzy_queries\": %d, \"fuzzy_resolved\": %d, \"fuzzy_empty\": %d, \
+     \"fuzzy_rejected\": %d, \"fuzzy_shed\": %d, \"fuzzy_scanned\": %d, \
      \"latency_count\": %d, \"latency_mean_s\": %.9f, \
      \"p50_s\": %.9f, \"p95_s\": %.9f, \"p99_s\": %.9f }"
     s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
-    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.latency_count s.latency_mean
+    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.fuzzy_queries s.fuzzy_resolved
+    s.fuzzy_empty s.fuzzy_rejected s.fuzzy_shed s.fuzzy_scanned s.latency_count s.latency_mean
     s.p50 s.p95 s.p99
 
 let pp ppf s =
   Format.fprintf ppf
     "queries=%d served=%d hits=%d misses=%d hit_rate=%.3f negative=%d unknown=%d \
-     shed_rate=%d shed_queue=%d audits=%d gen=%d swaps=%d p50=%.2gs p95=%.2gs p99=%.2gs"
+     shed_rate=%d shed_queue=%d audits=%d gen=%d swaps=%d fuzzy=%d/%d p50=%.2gs p95=%.2gs \
+     p99=%.2gs"
     s.queries s.served s.cache_hits s.cache_misses (hit_rate s) s.negative_hits s.unknown
-    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.p50 s.p95 s.p99
+    s.shed_rate s.shed_queue s.audits s.generation s.swaps s.fuzzy_queries s.fuzzy_resolved
+    s.p50 s.p95 s.p99

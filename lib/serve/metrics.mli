@@ -26,6 +26,28 @@ val incr_swaps : t -> unit
 val set_generation : t -> int -> unit
 (** The index generation this shard last served from (starts at 1). *)
 
+val incr_fuzzy : t -> unit
+(** One fuzzy (approximate-identity) request reached this shard.  The
+    fuzzy counters obey their own conservation law:
+    [fuzzy_queries = fuzzy_resolved + fuzzy_empty + fuzzy_rejected +
+    fuzzy_shed]. *)
+
+val incr_fuzzy_resolved : t -> unit
+(** A fuzzy request answered with at least one candidate. *)
+
+val incr_fuzzy_empty : t -> unit
+(** A fuzzy request that resolved no candidate above the threshold. *)
+
+val incr_fuzzy_rejected : t -> unit
+(** A fuzzy request the engine could not score: no resolver published, or
+    the probe's filter geometry differs from the resolver's. *)
+
+val incr_fuzzy_shed : t -> unit
+(** A fuzzy request shed by the shard's token bucket. *)
+
+val add_fuzzy_scanned : t -> int -> unit
+(** Candidate signatures scored for one resolve (padding included). *)
+
 val record_latency : t -> float -> unit
 (** Record one query's service time in seconds. *)
 
@@ -48,6 +70,12 @@ type snapshot = {
           generation changes it noticed (and invalidated its caches for),
           so with [k] trafficked shards one republish contributes up to
           [k]. *)
+  fuzzy_queries : int;  (** Fuzzy requests that reached the engine. *)
+  fuzzy_resolved : int;  (** Fuzzy requests with >= 1 candidate returned. *)
+  fuzzy_empty : int;  (** Fuzzy requests resolving nothing above threshold. *)
+  fuzzy_rejected : int;  (** No resolver published / probe geometry mismatch. *)
+  fuzzy_shed : int;  (** Fuzzy requests shed by the token bucket. *)
+  fuzzy_scanned : int;  (** Candidate signatures scored, padding included. *)
   latency_count : int;  (** Latency samples recorded (sampling may skip). *)
   latency_mean : float;
   p50 : float;

@@ -1,5 +1,7 @@
 open Eppi_prelude
 module Trace = Eppi_obs.Trace
+module Probe = Eppi_fuzzy.Probe
+module Resolver = Eppi_fuzzy.Resolver
 
 type config = {
   shards : int;
@@ -33,12 +35,15 @@ type shard = {
   mutable generation : int;  (* the generation the caches were filled from *)
 }
 
-(* The currently published index: one immutable pair behind an atomic, so
-   a republish is a single pointer swap — readers always see a consistent
-   (generation, postings) and never a torn mix of two indexes. *)
+(* The currently published index: one immutable record behind an atomic,
+   so a republish is a single pointer swap — readers always see a
+   consistent (generation, postings, resolver) and never a torn mix of
+   two indexes, or a resolver naming identities of a different vintage
+   than the postings it rides with. *)
 type published = {
   generation : int;
   store : Postings.t;
+  resolver : Resolver.t option;
 }
 
 type t = {
@@ -48,7 +53,7 @@ type t = {
   queue_capacity : int;  (* max_int when admission is off *)
 }
 
-let of_postings ?(config = default_config) postings =
+let of_postings ?(config = default_config) ?resolver postings =
   if config.shards < 1 then invalid_arg "Serve: shards must be >= 1";
   if config.cache_capacity < 0 || config.negative_capacity < 0 then
     invalid_arg "Serve: negative cache capacity";
@@ -66,29 +71,34 @@ let of_postings ?(config = default_config) postings =
         })
   in
   {
-    published = Atomic.make { generation = 1; store = postings };
+    published = Atomic.make { generation = 1; store = postings; resolver };
     shard_states;
     sample_every = config.latency_sample_every;
     queue_capacity =
       (match config.admission with Some a -> a.queue_capacity | None -> max_int);
   }
 
-let create ?config index = of_postings ?config (Postings.of_index index)
+let create ?config ?resolver index = of_postings ?config ?resolver (Postings.of_index index)
 let postings t = (Atomic.get t.published).store
 let generation t = (Atomic.get t.published).generation
+let resolver t = (Atomic.get t.published).resolver
 let shards t = Array.length t.shard_states
 
-let republish t store =
+let republish ?resolver t store =
   (* CAS loop: concurrent republishers each get a distinct generation.
-     Shards pick the new index up lazily, on their next request. *)
+     Shards pick the new index up lazily, on their next request.  The
+     resolver swaps in the same CAS as the postings — omitted, the
+     currently installed one is carried over, so (postings, resolver)
+     stays a consistent pair either way. *)
   let rec install () =
     let old = Atomic.get t.published in
-    let next = { generation = old.generation + 1; store } in
+    let resolver = match resolver with Some _ -> resolver | None -> old.resolver in
+    let next = { generation = old.generation + 1; store; resolver } in
     if Atomic.compare_and_set t.published old next then next.generation else install ()
   in
   install ()
 
-let republish_index t index = republish t (Postings.of_index index)
+let republish_index ?resolver t index = republish ?resolver t (Postings.of_index index)
 
 let shard_of t owner =
   let n = Array.length t.shard_states in
@@ -118,20 +128,24 @@ let lookup pub sh ~owner =
         Lru.put sh.cache owner providers;
         Providers providers
 
-let serve_one t sh ~clock ~now ~owner =
-  Metrics.incr_queries sh.metrics;
-  (* One atomic load per request pins the (generation, postings) pair this
-     reply is computed from; a republish between two requests is picked up
-     here, never mid-reply.  On a generation change the shard's caches hold
-     answers from the previous index — drop them before serving. *)
-  let pub = Atomic.get t.published in
+(* On a generation change the shard's caches hold answers from the
+   previous index — drop them before serving. *)
+let sync_generation (sh : shard) (pub : published) =
   if pub.generation <> sh.generation then begin
     Lru.clear sh.cache;
     Lru.clear sh.negative;
     sh.generation <- pub.generation;
     Metrics.incr_swaps sh.metrics;
     Metrics.set_generation sh.metrics pub.generation
-  end;
+  end
+
+let serve_one t sh ~clock ~now ~owner =
+  Metrics.incr_queries sh.metrics;
+  (* One atomic load per request pins the (generation, postings) pair this
+     reply is computed from; a republish between two requests is picked up
+     here, never mid-reply. *)
+  let pub = Atomic.get t.published in
+  sync_generation sh pub;
   let admitted =
     match sh.bucket with None -> true | Some b -> Admission.try_admit b ~now
   in
@@ -162,6 +176,87 @@ let query_tagged ?now t ~owner =
   (* serve_one synced the shard to the generation it served from, and this
      caller is the shard's only writer, so the field still names it. *)
   (sh.generation, reply)
+
+type candidate = {
+  owner : int;
+  score : float;
+  providers : int list;
+}
+
+type fuzzy_reply =
+  | Candidates of candidate list
+  | No_resolver
+  | Probe_mismatch
+  | Fuzzy_shed
+
+(* Fuzzy requests have no owner yet, so route on the probe content: the
+   same probe always lands on the same shard (its metrics, its token
+   bucket), and load spreads across shards.  [routing_hash] is
+   non-negative by construction. *)
+let fuzzy_shard t probe = Probe.routing_hash probe mod Array.length t.shard_states
+
+let query_fuzzy ?now ?(k = 10) t probe =
+  if k <= 0 then invalid_arg "Serve.query_fuzzy: k must be positive";
+  let now = match now with Some n -> n | None -> Clock.seconds () in
+  let sh = t.shard_states.(fuzzy_shard t probe) in
+  Metrics.incr_fuzzy sh.metrics;
+  let pub = Atomic.get t.published in
+  sync_generation sh pub;
+  let admitted =
+    match sh.bucket with None -> true | Some b -> Admission.try_admit b ~now
+  in
+  if not admitted then begin
+    Metrics.incr_fuzzy_shed sh.metrics;
+    (pub.generation, Fuzzy_shed)
+  end
+  else
+    match pub.resolver with
+    | None ->
+        Metrics.incr_fuzzy_rejected sh.metrics;
+        (pub.generation, No_resolver)
+    | Some r when not (Resolver.compatible r probe) ->
+        Metrics.incr_fuzzy_rejected sh.metrics;
+        (pub.generation, Probe_mismatch)
+    | Some r ->
+        let resolve () = Resolver.resolve r probe ~k in
+        let outcome =
+          if not (Trace.enabled ()) then resolve ()
+          else begin
+            Trace.begin_span "fuzzy.resolve";
+            let o = resolve () in
+            Trace.end_span "fuzzy.resolve"
+              ~args:
+                [
+                  ("buckets", o.buckets_hit);
+                  ("scanned", o.scanned);
+                  ("candidates", List.length o.candidates);
+                ];
+            o
+          end
+        in
+        Metrics.add_fuzzy_scanned sh.metrics outcome.scanned;
+        (* Candidate row lookups read the pinned postings directly, not
+           through the shard's LRU: the resolved owners rarely belong to
+           this shard, and the immutable postings are safe to read from
+           any domain. *)
+        let owners = Postings.owners pub.store in
+        let candidates =
+          List.filter_map
+            (fun (rv : Resolver.resolved) ->
+              if rv.owner < 0 || rv.owner >= owners then None
+              else
+                Some
+                  {
+                    owner = rv.owner;
+                    score = rv.score;
+                    providers = Postings.query pub.store ~owner:rv.owner;
+                  })
+            outcome.candidates
+        in
+        (match candidates with
+        | [] -> Metrics.incr_fuzzy_empty sh.metrics
+        | _ :: _ -> Metrics.incr_fuzzy_resolved sh.metrics);
+        (pub.generation, Candidates candidates)
 
 let audit t ~provider =
   let store = (Atomic.get t.published).store in

@@ -38,6 +38,13 @@ let uniform ?(unknown_fraction = 0.0) rng ~n ~count =
   Array.init count (fun _ ->
       with_unknowns rng ~n ~unknown_fraction (fun () -> Rng.int rng n))
 
+let fuzzy ?noise ?(exponent = 1.1) rng ~roster ~count =
+  if Array.length roster = 0 then invalid_arg "Workload.fuzzy: empty roster";
+  let owners = zipf ~exponent rng ~n:(Array.length roster) ~count in
+  Array.map
+    (fun j -> (j, Eppi_linkage.Demographic.corrupt ?noise rng roster.(j)))
+    owners
+
 (* ---- trace-driven workloads: request-log readers ---- *)
 
 let fail_line lineno what = failwith (Printf.sprintf "Workload: line %d: %s" lineno what)

@@ -20,6 +20,21 @@ val zipf :
 val uniform : ?unknown_fraction:float -> Rng.t -> n:int -> count:int -> int array
 (** The unskewed control workload (worst case for caching). *)
 
+val fuzzy :
+  ?noise:Eppi_linkage.Demographic.noise ->
+  ?exponent:float ->
+  Rng.t ->
+  roster:Eppi_linkage.Demographic.t array ->
+  count:int ->
+  (int * Eppi_linkage.Demographic.t) array
+(** Typo/variant workload for the approximate-identity path: [count]
+    pairs [(truth, observed)] where [truth] is a Zipf-drawn owner id in
+    the roster and [observed] is that owner's demographics corrupted at
+    [noise] rates ({!Eppi_linkage.Demographic.corrupt}, default
+    {!Eppi_linkage.Demographic.default_noise}) — what a client who half
+    remembers a name would type.  @raise Invalid_argument on an empty
+    roster or invalid [count]/[exponent]. *)
+
 (** {2 Trace-driven workloads}
 
     Next to the synthetic generators, a request log captured from a real

@@ -155,6 +155,92 @@ EOF
 fi
 rm -f BENCH_net.json
 
+# A ~5 s smoke of the fuzzy lookup path (docs/FUZZY.md): generate a roster
+# alongside the dataset, start the daemon with a resolver under an explicit
+# linkage seed, resolve a planted owner through a clean probe and a typo'd
+# one, assert a wrong seed resolves nothing, that --fuzzy without
+# --linkage-seed is refused, and that the fuzzy metrics conserve; then shut
+# down cleanly.
+echo "== fuzzy smoke =="
+FUZ_DIR=$(mktemp -d /tmp/eppi_fuzzy_smoke.XXXXXX)
+FUZ_SOCK="$FUZ_DIR/eppi.sock"
+trap 'rm -rf "$FUZ_DIR"' EXIT
+"$EPPI" generate --owners 80 --providers 24 --seed 5 -o "$FUZ_DIR/net.csv" \
+  --roster "$FUZ_DIR/roster.csv" >/dev/null
+"$EPPI" construct -d "$FUZ_DIR/net.csv" -o "$FUZ_DIR/index.csv" 2>/dev/null
+"$EPPI" serve -i "$FUZ_DIR/index.csv" --listen "$FUZ_SOCK" --shards 2 --domains 2 \
+  --roster "$FUZ_DIR/roster.csv" --linkage-seed 4242 \
+  >"$FUZ_DIR/server.json" 2>"$FUZ_DIR/server.log" &
+FUZ_PID=$!
+# Owner 0's roster row (line 1 is the header): query it back verbatim,
+# then with a corrupted first name — both must resolve to owner 0.
+ROW=$(sed -n '2p' "$FUZ_DIR/roster.csv")
+FIRST=$(printf '%s' "$ROW" | cut -d, -f2)
+LAST=$(printf '%s' "$ROW" | cut -d, -f3)
+DOB=$(printf '%s' "$ROW" | cut -d, -f4)
+ZIP=$(printf '%s' "$ROW" | cut -d, -f5)
+"$EPPI" query --connect "$FUZ_SOCK" --fuzzy --linkage-seed 4242 \
+  --first "$FIRST" --last "$LAST" --dob "$DOB" --zip "$ZIP" >"$FUZ_DIR/exact.txt"
+head -n1 "$FUZ_DIR/exact.txt" | grep -q "^0 1.0000"
+"$EPPI" query --connect "$FUZ_SOCK" --fuzzy --linkage-seed 4242 \
+  --first "${FIRST%?}x" --last "$LAST" --dob "$DOB" >"$FUZ_DIR/typo.txt"
+head -n1 "$FUZ_DIR/typo.txt" | grep -q "^0 "
+if "$EPPI" query --connect "$FUZ_SOCK" --fuzzy --linkage-seed 9999 \
+  --first "$FIRST" --last "$LAST" --dob "$DOB" >/dev/null 2>&1; then
+  echo "fuzzy smoke: a probe under the wrong linkage seed must not resolve" >&2
+  exit 1
+fi
+if "$EPPI" query --connect "$FUZ_SOCK" --fuzzy --first "$FIRST" >/dev/null 2>&1; then
+  echo "fuzzy smoke: --fuzzy without --linkage-seed must be refused" >&2
+  exit 1
+fi
+"$EPPI" stats --connect "$FUZ_SOCK" >"$FUZ_DIR/stats.json"
+if command -v python3 >/dev/null 2>&1; then
+  FUZ_STATS="$FUZ_DIR/stats.json" python3 - <<'EOF'
+import json, os
+with open(os.environ["FUZ_STATS"]) as f:
+    m = json.load(f)
+total = (m["fuzzy_resolved"] + m["fuzzy_empty"] + m["fuzzy_rejected"] + m["fuzzy_shed"])
+if m["fuzzy_queries"] != total:
+    raise SystemExit(f"fuzzy: request conservation violated: {m}")
+if m["fuzzy_resolved"] < 2 or m["fuzzy_empty"] < 1:
+    raise SystemExit(f"fuzzy: expected 2+ resolved and 1+ empty, got {m}")
+print(f"fuzzy stats ok: {m['fuzzy_queries']} queries conserved, "
+      f"{m['fuzzy_resolved']} resolved, {m['fuzzy_scanned']} signatures scanned")
+EOF
+fi
+"$EPPI" shutdown --connect "$FUZ_SOCK" 2>/dev/null
+wait "$FUZ_PID"
+test ! -e "$FUZ_SOCK"
+rm -rf "$FUZ_DIR"
+trap - EXIT
+
+# A ~5 s smoke of the fuzzy bench: small roster, short query stream.  The
+# bench itself exits non-zero unless recall@10 >= 0.9 at default noise, no
+# generated frame contains a plaintext demographic byte, and the
+# disabled-tracing overhead stays under the bound; here we additionally
+# check the emitted JSON carries the headline fields.
+echo "== fuzzy bench smoke =="
+FUZZY_N=300 FUZZY_M=64 FUZZY_QUERIES=600 dune exec bench/main.exe -- fuzzy
+test -s BENCH_fuzzy.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_fuzzy.json") as f:
+    data = json.load(f)
+for key in ("resolver_build_seconds", "no_plaintext_in_frames", "noise_runs",
+            "recall_at_k_default_noise", "exact_latency_s", "trace", "metrics"):
+    if key not in data:
+        raise SystemExit(f"BENCH_fuzzy.json missing {key!r}")
+if data["recall_at_k_default_noise"] < 0.9:
+    raise SystemExit(f"BENCH_fuzzy.json: recall gate failed: {data['recall_at_k_default_noise']}")
+if len(data["noise_runs"]) < 3:
+    raise SystemExit("BENCH_fuzzy.json: noise sweep not populated")
+print("BENCH_fuzzy.json well-formed")
+EOF
+fi
+rm -f BENCH_fuzzy.json
+
 # A ~5 s smoke of the fault-tolerant construction (docs/ROBUSTNESS.md):
 # the chaos bench sweeps drop rates and crashes a provider mid-SecSumShare
 # and a coordinator mid-MPC.  The bench itself exits non-zero unless every

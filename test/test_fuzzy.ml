@@ -1,0 +1,334 @@
+(* Tests for the approximate-identity resolver (lib/fuzzy): probe
+   construction and blocking keys, roster CSV round-trips, resolution
+   against a planted roster (exact self-match, corrupted variants,
+   threshold, padding floor, determinism), and the serving engine's fuzzy
+   path — reply shapes, metrics conservation, resolver hot-swap. *)
+
+open Eppi_prelude
+open Eppi_linkage
+module Probe = Eppi_fuzzy.Probe
+module Resolver = Eppi_fuzzy.Resolver
+module Roster = Eppi_fuzzy.Roster
+module Serve = Eppi_serve.Serve
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  if m = 0 then true else go 0
+
+let seed = 0xBEEF
+let config = Resolver.default_config ~seed
+
+let roster n = Roster.generate (Rng.create 101) ~n
+
+(* ---- probe ---- *)
+
+let test_probe_shape () =
+  let r = (roster 4).(0) in
+  let p = Probe.of_demographic config.params r in
+  check_int "bits" config.params.bits p.bits;
+  check_int "hashes" config.params.hashes p.hashes;
+  (* Full record: a birth-year key and a soundex key. *)
+  check_int "blocking keys" 2 (Array.length p.keys);
+  check_bool "first filter non-empty" true (Bitvec.count p.first > 0);
+  check_bool "last filter non-empty" true (Bitvec.count p.last > 0);
+  check_bool "dob filter non-empty" true (Bitvec.count p.dob > 0);
+  check_bool "zip filter non-empty" true (Bitvec.count p.zip > 0);
+  (* Partial record: missing fields encode empty, keys drop out. *)
+  let partial = { r with first = ""; dob = (0, 0, 0) } in
+  let pp = Probe.of_demographic config.params partial in
+  check_int "partial keys (soundex only)" 1 (Array.length pp.keys);
+  check_int "empty first filter" 0 (Bitvec.count pp.first);
+  check_int "empty dob filter" 0 (Bitvec.count pp.dob);
+  (* Same record, same probe — deterministic. *)
+  let p2 = Probe.of_demographic config.params r in
+  check_bool "deterministic" true (p = p2);
+  (* Different seed, different filters. *)
+  let other = Probe.of_demographic (Bloom.keyed ~seed:(seed + 1) ()) r in
+  check_bool "seed changes filters" false (Bitvec.equal p.last other.last);
+  check_bool "routing hash non-negative" true (Probe.routing_hash p >= 0);
+  Alcotest.check_raises "bad params"
+    (Invalid_argument "Probe.of_demographic: bad parameters") (fun () ->
+      ignore (Probe.of_demographic { config.params with bits = 0 } r))
+
+(* ---- roster csv ---- *)
+
+let test_roster_roundtrip () =
+  let people = roster 20 in
+  let csv = Roster.to_csv people in
+  let back = Roster.of_csv csv in
+  check_int "length" (Array.length people) (Array.length back);
+  Array.iteri
+    (fun i (p : Demographic.t) -> check_bool (Printf.sprintf "person %d" i) true (p = back.(i)))
+    people;
+  (* Blank lines and the header tolerate re-parsing. *)
+  let with_blanks = "\n" ^ csv ^ "\n\n" in
+  check_int "blank lines skipped" 20 (Array.length (Roster.of_csv with_blanks))
+
+let test_roster_malformed () =
+  let expect_failure name text =
+    match Roster.of_csv text with
+    | _ -> Alcotest.failf "%s: expected Failure" name
+    | exception Failure msg -> check_bool (name ^ ": names the line") true (contains msg "line")
+  in
+  expect_failure "missing fields" "owner,first,last,dob,zip,gender\n0,james,smith\n";
+  expect_failure "bad owner order" "0,a,b,1950-01-01,12345,f\n2,c,d,1951-02-02,54321,m\n";
+  expect_failure "bad dob" "0,a,b,1950-13-41,12345,f\n";
+  expect_failure "bad gender" "0,a,b,1950-01-01,12345,x\n"
+
+(* ---- resolver ---- *)
+
+let test_resolve_exact_self () =
+  let people = roster 50 in
+  let r = Resolver.build config people in
+  check_int "entries" 50 (Resolver.entries r);
+  Array.iteri
+    (fun owner person ->
+      let probe = Probe.of_demographic config.params person in
+      let outcome = Resolver.resolve r probe ~k:3 in
+      match outcome.candidates with
+      | top :: _ ->
+          check_int (Printf.sprintf "owner %d self-match" owner) owner top.owner;
+          check_bool "perfect score" true (top.score = 1.0)
+      | [] -> Alcotest.failf "owner %d resolved nothing" owner)
+    people
+
+let test_resolve_corrupted () =
+  let people = roster 200 in
+  let r = Resolver.build config people in
+  let rng = Rng.create 7 in
+  let hits = ref 0 in
+  let trials = 200 in
+  for _ = 1 to trials do
+    let truth = Rng.int rng 200 in
+    let observed = Demographic.corrupt rng people.(truth) in
+    let probe = Probe.of_demographic config.params observed in
+    let outcome = Resolver.resolve r probe ~k:10 in
+    if List.exists (fun (c : Resolver.resolved) -> c.owner = truth) outcome.candidates then
+      incr hits
+  done;
+  check_bool
+    (Printf.sprintf "recall %d/%d >= 0.9 under default noise" !hits trials)
+    true
+    (float_of_int !hits /. float_of_int trials >= 0.9)
+
+let test_resolve_padding_floor () =
+  let people = roster 300 in
+  let r = Resolver.build config people in
+  (* Any probe scans at least min_scan signatures — even one matching a
+     rare (or absent) identity — so scan size does not leak rarity. *)
+  let absent : Demographic.t =
+    { first = "zzyzx"; last = "qwertyuiop"; dob = (1900, 1, 1); zip = "00000"; gender = Other }
+  in
+  let probe = Probe.of_demographic config.params absent in
+  let outcome = Resolver.resolve r probe ~k:10 in
+  check_bool "padding floor" true (outcome.scanned >= config.min_scan);
+  let common = Probe.of_demographic config.params people.(0) in
+  let outcome2 = Resolver.resolve r common ~k:10 in
+  check_bool "padding floor (present identity)" true (outcome2.scanned >= config.min_scan);
+  (* Small roster: the floor clamps to n. *)
+  let small = Resolver.build config (roster 5) in
+  let o = Resolver.resolve small probe ~k:10 in
+  check_int "clamped to roster size" 5 o.scanned
+
+let test_resolve_threshold_and_k () =
+  let people = roster 100 in
+  let strict = Resolver.build { config with match_threshold = 1.0 } people in
+  let probe = Probe.of_demographic config.params people.(3) in
+  let outcome = Resolver.resolve strict probe ~k:10 in
+  (* Threshold 1.0: only the exact self-match survives. *)
+  check_int "only self at threshold 1.0" 1 (List.length outcome.candidates);
+  check_int "self" 3 (List.hd outcome.candidates).owner;
+  let loose = Resolver.build { config with match_threshold = 0.0 } people in
+  let o2 = Resolver.resolve loose probe ~k:4 in
+  check_bool "k caps candidates" true (List.length o2.candidates <= 4);
+  (* Sorted by score descending. *)
+  let rec sorted = function
+    | (a : Resolver.resolved) :: (b : Resolver.resolved) :: tl ->
+        a.score >= b.score && sorted (b :: tl)
+    | _ -> true
+  in
+  check_bool "sorted" true (sorted o2.candidates)
+
+let test_resolve_deterministic_and_validation () =
+  let people = roster 80 in
+  let r = Resolver.build config people in
+  let probe = Probe.of_demographic config.params people.(7) in
+  let a = Resolver.resolve r probe ~k:10 and b = Resolver.resolve r probe ~k:10 in
+  check_bool "deterministic outcome" true (a = b);
+  check_bool "compatible" true (Resolver.compatible r probe);
+  let alien = Probe.of_demographic (Bloom.keyed ~seed ~bits:128 ()) people.(7) in
+  check_bool "incompatible geometry" false (Resolver.compatible r alien);
+  Alcotest.check_raises "resolve rejects geometry"
+    (Invalid_argument "Resolver.resolve: incompatible probe geometry") (fun () ->
+      ignore (Resolver.resolve r alien ~k:10));
+  Alcotest.check_raises "k must be positive"
+    (Invalid_argument "Resolver.resolve: k must be positive") (fun () ->
+      ignore (Resolver.resolve r probe ~k:0));
+  Alcotest.check_raises "threshold validated"
+    (Invalid_argument "Resolver.build: threshold out of [0, 1]") (fun () ->
+      ignore (Resolver.build { config with match_threshold = 1.5 } people));
+  (* Empty roster resolves nothing, scans nothing. *)
+  let empty = Resolver.build config [||] in
+  let o = Resolver.resolve empty probe ~k:10 in
+  check_int "empty roster candidates" 0 (List.length o.candidates);
+  check_int "empty roster scanned" 0 o.scanned
+
+let test_partial_probe_renormalizes () =
+  let people = roster 60 in
+  let r = Resolver.build config people in
+  (* A probe stating only the last name + dob still self-matches with
+     score 1.0: weights renormalize over stated fields. *)
+  let target = people.(11) in
+  let partial = { target with first = ""; zip = "" } in
+  let probe = Probe.of_demographic config.params partial in
+  let outcome = Resolver.resolve r probe ~k:5 in
+  match outcome.candidates with
+  | top :: _ ->
+      check_int "partial self-match" 11 top.owner;
+      check_bool "renormalized score is 1.0" true (top.score = 1.0)
+  | [] -> Alcotest.fail "partial probe resolved nothing"
+
+(* ---- the engine's fuzzy path ---- *)
+
+let test_index n m =
+  let matrix = Bitmatrix.create ~rows:n ~cols:m in
+  for j = 0 to n - 1 do
+    for k = 0 to j mod 5 do
+      Bitmatrix.set matrix ~row:j ~col:((j + (k * 7)) mod m) true
+    done
+  done;
+  Eppi.Index.of_matrix matrix
+
+let test_engine_fuzzy_reply () =
+  let n = 40 in
+  let people = roster n in
+  let resolver = Resolver.build config people in
+  let index = test_index n 16 in
+  let engine = Serve.create ~resolver index in
+  let probe = Probe.of_demographic config.params people.(5) in
+  let generation, reply = Serve.query_fuzzy ~k:3 engine probe in
+  check_int "generation" 1 generation;
+  (match reply with
+  | Serve.Candidates ((top : Serve.candidate) :: _) ->
+      check_int "top owner" 5 top.owner;
+      check_bool "row matches Index.query" true
+        (top.providers = Eppi.Index.query index ~owner:5)
+  | _ -> Alcotest.fail "expected candidates");
+  (* No resolver: explicit reply, counted as rejected. *)
+  let bare = Serve.create index in
+  let _, r2 = Serve.query_fuzzy bare probe in
+  check_bool "no resolver" true (r2 = Serve.No_resolver);
+  (* Geometry mismatch. *)
+  let alien = Probe.of_demographic (Bloom.keyed ~seed ~bits:128 ()) people.(5) in
+  let _, r3 = Serve.query_fuzzy engine alien in
+  check_bool "probe mismatch" true (r3 = Serve.Probe_mismatch);
+  let snap = Serve.metrics engine in
+  check_int "fuzzy conservation" snap.fuzzy_queries
+    (snap.fuzzy_resolved + snap.fuzzy_empty + snap.fuzzy_rejected + snap.fuzzy_shed);
+  Alcotest.check_raises "k validated" (Invalid_argument "Serve.query_fuzzy: k must be positive")
+    (fun () -> ignore (Serve.query_fuzzy ~k:0 engine probe))
+
+let test_engine_fuzzy_republish () =
+  let n = 30 in
+  let people = roster n in
+  let resolver = Resolver.build config people in
+  let index = test_index n 16 in
+  let index2 = test_index n 24 in
+  let engine = Serve.create ~resolver index in
+  let probe = Probe.of_demographic config.params people.(2) in
+  (* Republish without a resolver: the old one is carried over and keeps
+     answering, now against the new postings. *)
+  let gen2 = Serve.republish_index engine index2 in
+  check_int "generation bumped" 2 gen2;
+  check_bool "resolver carried over" true (Serve.resolver engine <> None);
+  let generation, reply = Serve.query_fuzzy engine probe in
+  check_int "answers from new generation" 2 generation;
+  (match reply with
+  | Serve.Candidates ((top : Serve.candidate) :: _) ->
+      check_bool "row from new index" true (top.providers = Eppi.Index.query index2 ~owner:2)
+  | _ -> Alcotest.fail "expected candidates after republish");
+  (* Republish with a fresh resolver over a different roster: the pair
+     swaps together. *)
+  let people3 = Roster.generate (Rng.create 999) ~n in
+  let resolver3 = Resolver.build config people3 in
+  let gen3 = Serve.republish_index ~resolver:resolver3 engine (test_index n 16) in
+  check_int "generation 3" 3 gen3;
+  let probe3 = Probe.of_demographic config.params people3.(9) in
+  let g, r = Serve.query_fuzzy engine probe3 in
+  check_int "tagged with swap generation" 3 g;
+  match r with
+  | Serve.Candidates ((top : Serve.candidate) :: _) -> check_int "new roster resolves" 9 top.owner
+  | _ -> Alcotest.fail "new resolver did not answer"
+
+let test_engine_fuzzy_admission () =
+  let n = 20 in
+  let people = roster n in
+  let resolver = Resolver.build config people in
+  let admission = Some { Eppi_serve.Admission.rate = 1.0; burst = 2; queue_capacity = 10 } in
+  let c = { Serve.default_config with admission } in
+  let engine = Serve.create ~config:c ~resolver (test_index n 8) in
+  let probe = Probe.of_demographic config.params people.(0) in
+  (* Burst 2 at a frozen clock: two admitted, the third shed. *)
+  let _, r1 = Serve.query_fuzzy ~now:0.0 engine probe in
+  let _, r2 = Serve.query_fuzzy ~now:0.0 engine probe in
+  let _, r3 = Serve.query_fuzzy ~now:0.0 engine probe in
+  check_bool "first admitted" true (r1 <> Serve.Fuzzy_shed);
+  check_bool "second admitted" true (r2 <> Serve.Fuzzy_shed);
+  check_bool "third shed" true (r3 = Serve.Fuzzy_shed);
+  let snap = Serve.metrics engine in
+  check_int "shed counted" 1 snap.fuzzy_shed;
+  check_int "conservation" snap.fuzzy_queries
+    (snap.fuzzy_resolved + snap.fuzzy_empty + snap.fuzzy_rejected + snap.fuzzy_shed)
+
+let test_workload_fuzzy () =
+  let people = roster 50 in
+  let w = Eppi_serve.Workload.fuzzy (Rng.create 3) ~roster:people ~count:200 in
+  check_int "count" 200 (Array.length w);
+  Array.iter
+    (fun (truth, observed) ->
+      check_bool "truth in range" true (truth >= 0 && truth < 50);
+      (* corrupt never blanks a field, so the observed record stays a
+         plausible registration of the truth. *)
+      check_bool "observed non-empty" true
+        (String.length observed.Demographic.first > 0 && String.length observed.last > 0))
+    w;
+  (* Zipf skew: owner 0 is hottest. *)
+  let count0 = Array.fold_left (fun acc (t, _) -> if t = 0 then acc + 1 else acc) 0 w in
+  check_bool "zipf head" true (count0 > 200 / 50);
+  Alcotest.check_raises "empty roster" (Invalid_argument "Workload.fuzzy: empty roster")
+    (fun () -> ignore (Eppi_serve.Workload.fuzzy (Rng.create 3) ~roster:[||] ~count:10))
+
+let () =
+  Alcotest.run "fuzzy"
+    [
+      ( "probe",
+        [
+          Alcotest.test_case "shape, determinism, keys" `Quick test_probe_shape;
+        ] );
+      ( "roster",
+        [
+          Alcotest.test_case "csv round-trip" `Quick test_roster_roundtrip;
+          Alcotest.test_case "malformed csv" `Quick test_roster_malformed;
+        ] );
+      ( "resolver",
+        [
+          Alcotest.test_case "exact self-resolution" `Quick test_resolve_exact_self;
+          Alcotest.test_case "corrupted variants recall" `Quick test_resolve_corrupted;
+          Alcotest.test_case "candidate-set padding floor" `Quick test_resolve_padding_floor;
+          Alcotest.test_case "threshold and k" `Quick test_resolve_threshold_and_k;
+          Alcotest.test_case "determinism and validation" `Quick
+            test_resolve_deterministic_and_validation;
+          Alcotest.test_case "partial probe renormalizes" `Quick test_partial_probe_renormalizes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fuzzy reply shapes" `Quick test_engine_fuzzy_reply;
+          Alcotest.test_case "resolver hot-swap" `Quick test_engine_fuzzy_republish;
+          Alcotest.test_case "admission sheds" `Quick test_engine_fuzzy_admission;
+          Alcotest.test_case "typo workload" `Quick test_workload_fuzzy;
+        ] );
+    ]

@@ -214,7 +214,36 @@ let qcheck_tests =
         let p = Bloom.default_params in
         let f = Bloom.encode p a in
         Bloom.dice f f = 1.0);
+    (* The PRL guarantee the fuzzy resolver rides on: on generous filter
+       parameters (few collisions) the Bloom-filter Dice approximates the
+       plaintext bigram Dice within a bounded error.  0.15 is loose for
+       2048 bits but stable across the whole name pool. *)
+    Test.make ~name:"bloom dice approximates plaintext dice" ~count:200
+      (pair (make name_gen) (make name_gen))
+      (fun (a, b) ->
+        let p = Bloom.keyed ~seed:17 ~bits:2048 ~hashes:2 () in
+        let approx = Bloom.dice (Bloom.encode p a) (Bloom.encode p b) in
+        Float.abs (approx -. Text.dice a b) <= 0.15);
   ]
+
+(* Incompatible parameters must raise, and the empty-string edge is
+   defined: "" has no bigrams, its filter is empty, and two empty filters
+   score 1.0 (vacuous agreement) while empty-vs-nonempty scores 0.0. *)
+let test_bloom_incompatible_and_empty () =
+  let p = Bloom.keyed ~seed:3 () in
+  let f = Bloom.encode p "smith" in
+  let wrong_bits = Bloom.encode (Bloom.keyed ~seed:3 ~bits:128 ()) "smith" in
+  let wrong_seed = Bloom.encode (Bloom.keyed ~seed:4 ()) "smith" in
+  Alcotest.check_raises "bits mismatch raises"
+    (Invalid_argument "Bloom.dice: incompatible parameters") (fun () ->
+      ignore (Bloom.dice f wrong_bits));
+  Alcotest.check_raises "seed mismatch raises"
+    (Invalid_argument "Bloom.dice: incompatible parameters") (fun () ->
+      ignore (Bloom.dice f wrong_seed));
+  let empty = Bloom.encode p "" in
+  check_int "empty filter sets no bits" 0 (Bloom.bit_count empty);
+  check_bool "empty vs empty" true (Bloom.dice empty (Bloom.encode p "") = 1.0);
+  check_bool "empty vs non-empty" true (Bloom.dice empty f = 0.0)
 
 let () =
   Alcotest.run "linkage"
@@ -233,6 +262,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_bloom_deterministic;
           Alcotest.test_case "seed matters" `Quick test_bloom_seed_matters;
           Alcotest.test_case "approximates dice" `Quick test_bloom_approximates_dice;
+          Alcotest.test_case "incompatible params and empty fields" `Quick
+            test_bloom_incompatible_and_empty;
         ] );
       ( "generator",
         [

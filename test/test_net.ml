@@ -8,6 +8,11 @@ open Eppi_prelude
 open Eppi_net
 module Serve = Eppi_serve.Serve
 module Workload = Eppi_serve.Workload
+module Probe = Eppi_fuzzy.Probe
+module Resolver = Eppi_fuzzy.Resolver
+module Roster = Eppi_fuzzy.Roster
+module Bloom = Eppi_linkage.Bloom
+module Demographic = Eppi_linkage.Demographic
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -41,6 +46,19 @@ let test_index_v2 ~n ~m =
 
 (* ---------- Wire codec ---------- *)
 
+(* Fuzzy-probe samples built with the real encoder, so the frames carry
+   realistic sparse filters; the partial probe has empty fields and no
+   blocking keys. *)
+let sample_params = (Resolver.default_config ~seed:0x5EED).Resolver.params
+
+let sample_probe =
+  Probe.of_demographic sample_params
+    { Demographic.first = "maria"; last = "garcia"; dob = (1961, 4, 18); zip = "60614"; gender = Female }
+
+let partial_probe =
+  Probe.of_demographic sample_params
+    { Demographic.first = "jo"; last = ""; dob = (0, 0, 0); zip = ""; gender = Other }
+
 let sample_frames =
   let open Wire in
   List.map
@@ -59,6 +77,8 @@ let sample_frames =
       Republish { index_csv = "" };
       Republish_binary { data = "" };
       Republish_binary { data = "\x01\x02\x03\xFF\x00binary payload" };
+      Query_fuzzy { probe = sample_probe; k = 1 };
+      Query_fuzzy { probe = partial_probe; k = 10_000 };
       Ping;
       Shutdown;
     ]
@@ -83,6 +103,23 @@ let sample_frames =
         Stats_json "{\"queries\": 0}";
         Stats_json "";
         Republished { generation = 2 };
+        (* Candidate scores are quantized to 1e-4 by the resolver, so the
+           basis-point wire encoding must round-trip them bit-exactly. *)
+        Fuzzy_reply
+          {
+            generation = 9;
+            result =
+              Serve.Candidates
+                [
+                  { Serve.owner = 0; score = 1.0; providers = [ 0; 3; 9 ] };
+                  { Serve.owner = 31; score = 9148. /. 10000.; providers = [] };
+                  { Serve.owner = 7; score = 0.0; providers = [ 2 ] };
+                ];
+          };
+        Fuzzy_reply { generation = 4; result = Serve.Candidates [] };
+        Fuzzy_reply { generation = 1; result = Serve.No_resolver };
+        Fuzzy_reply { generation = 2; result = Serve.Probe_mismatch };
+        Fuzzy_reply { generation = 3; result = Serve.Fuzzy_shed };
         Pong;
         Shutting_down;
         Server_error "republish: bad csv";
@@ -185,7 +222,51 @@ let test_codec_errors () =
     (function Wire.Corrupt msg -> contains msg "count" | _ -> false);
   expect_error "unknown reply kind"
     (header ~tag:0x11 ~len:2 ^ "\x02\x09")
-    (function Wire.Corrupt msg -> contains msg "reply kind" | _ -> false)
+    (function Wire.Corrupt msg -> contains msg "reply kind" | _ -> false);
+  (* The fuzzy tags sit at the top of each range; the next tag up must
+     still be unknown. *)
+  expect_error "request-range hole is unknown" "\xE5\x01\x0A" (function
+    | Wire.Unknown_tag 0x0A -> true
+    | _ -> false);
+  (* Fuzzy request (0x09) payloads are zigzag varints: k, blocking-key
+     count + keys, bits, hashes, then four filters as ascending set-bit
+     index lists. *)
+  expect_error "fuzzy k zero"
+    (header ~tag:0x09 ~len:1 ^ "\x00")
+    (function Wire.Corrupt msg -> contains msg "fuzzy k" | _ -> false);
+  expect_error "truncated probe"
+    (header ~tag:0x09 ~len:1 ^ "\x02")
+    (function Wire.Corrupt msg -> contains msg "truncated" | _ -> false);
+  expect_error "probe key count over limit"
+    (header ~tag:0x09 ~len:3 ^ "\x02\x82\x01")
+    (function Wire.Corrupt msg -> contains msg "blocking key" | _ -> false);
+  expect_error "probe bits zero"
+    (header ~tag:0x09 ~len:3 ^ "\x02\x00\x00")
+    (function Wire.Corrupt msg -> contains msg "filter bits" | _ -> false);
+  expect_error "probe hashes zero"
+    (header ~tag:0x09 ~len:4 ^ "\x02\x00\x02\x00")
+    (function Wire.Corrupt msg -> contains msg "filter hashes" | _ -> false);
+  (* bits = 8, filter declares indexes 3 then 1: descending order. *)
+  expect_error "filter index out of order"
+    (header ~tag:0x09 ~len:7 ^ "\x02\x00\x10\x02\x04\x06\x02")
+    (function Wire.Corrupt msg -> contains msg "out of order" | _ -> false);
+  (* bits = 8, filter declares index 8: one past the geometry. *)
+  expect_error "filter index out of range"
+    (header ~tag:0x09 ~len:6 ^ "\x02\x00\x10\x02\x02\x10")
+    (function Wire.Corrupt msg -> contains msg "out of order or range" | _ -> false);
+  expect_error "truncated fuzzy reply"
+    (header ~tag:0x19 ~len:1 ^ "\x02")
+    (function Wire.Corrupt msg -> contains msg "truncated fuzzy reply" | _ -> false);
+  expect_error "unknown fuzzy reply kind"
+    (header ~tag:0x19 ~len:2 ^ "\x02\x09")
+    (function Wire.Corrupt msg -> contains msg "fuzzy reply kind" | _ -> false);
+  expect_error "candidate count exceeding payload"
+    (header ~tag:0x19 ~len:3 ^ "\x02\x00\x7E")
+    (function Wire.Corrupt msg -> contains msg "candidate count" | _ -> false);
+  (* A candidate claiming 10001 basis points: scores live in [0, 1]. *)
+  expect_error "candidate score over one"
+    (header ~tag:0x19 ~len:7 ^ "\x02\x00\x02\x00\xA2\x9C\x01")
+    (function Wire.Corrupt msg -> contains msg "score" | _ -> false)
 
 let test_codec_poisoned_decoder () =
   let d = Wire.Decoder.create () in
@@ -364,10 +445,10 @@ let sock_path () =
 (* Start a daemon over [index] in its own domain, run [f addr engine]
    against it, then shut it down (if [f] has not already) and join. *)
 let with_server ?(shards = 1) ?(workers = 1)
-    ?(max_inflight = Server.default_config.max_inflight) index f =
+    ?(max_inflight = Server.default_config.max_inflight) ?resolver index f =
   let path = sock_path () in
   let addr = Addr.Unix_socket path in
-  let engine = Serve.create ~config:{ Serve.default_config with shards } index in
+  let engine = Serve.create ~config:{ Serve.default_config with shards } ?resolver index in
   let server =
     Server.create ~config:{ Server.default_config with workers; max_inflight } engine
   in
@@ -679,6 +760,150 @@ let daemon_hot_swap_under_load ~workers ~binary () =
       check_int "conservation" metrics.queries
         (metrics.served + metrics.unknown + metrics.shed_rate + metrics.shed_queue))
 
+(* Fuzzy lookups over the wire: a daemon started with a resolver answers
+   Bloom-probe queries end-to-end — candidates resolve to the planted
+   owner and fan out to that owner's postings row — and a probe under the
+   wrong filter geometry comes back as a typed mismatch. *)
+let daemon_fuzzy ~shards ~workers () =
+  let n = 30 and m = 9 in
+  let index = test_index ~n ~m in
+  let config = Resolver.default_config ~seed:0x5EED in
+  let roster = Roster.generate (Rng.create 5) ~n in
+  let resolver = Resolver.build config roster in
+  with_server ~shards ~workers ~resolver index (fun addr engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Exact probes resolve their own owner at score 1.0, providers
+             straight from the postings row. *)
+          for owner = 0 to n - 1 do
+            let probe = Probe.of_demographic config.Resolver.params roster.(owner) in
+            let generation, result = Client.query_fuzzy ~k:3 c probe in
+            check_int "fuzzy generation" 1 generation;
+            match result with
+            | Serve.Candidates (top :: _) ->
+                check_int (Printf.sprintf "owner %d resolves itself" owner) owner top.Serve.owner;
+                check_bool "exact probe scores 1.0" true (top.Serve.score = 1.0);
+                check_bool
+                  (Printf.sprintf "owner %d providers are the postings row" owner)
+                  true
+                  (top.Serve.providers = Eppi.Index.query index ~owner)
+            | _ -> Alcotest.fail (Printf.sprintf "owner %d did not resolve" owner)
+          done;
+          (* Typo-corrupted probes still mostly land on the planted owner
+             — the bench pins exact recall; here we only need the wire
+             path to carry realistic noisy probes. *)
+          let trials = Workload.fuzzy (Rng.create 23) ~roster ~count:40 in
+          let hits = ref 0 in
+          Array.iter
+            (fun (truth, record) ->
+              let probe = Probe.of_demographic config.Resolver.params record in
+              match Client.query_fuzzy ~k:5 c probe with
+              | _, Serve.Candidates (top :: _) when top.Serve.owner = truth -> incr hits
+              | _ -> ())
+            trials;
+          check_bool (Printf.sprintf "noisy probes mostly resolve (%d/40)" !hits) true (!hits >= 30);
+          let alien = Bloom.keyed ~seed:0x5EED ~bits:128 () in
+          let _, mismatch = Client.query_fuzzy c (Probe.of_demographic alien roster.(0)) in
+          check_bool "wrong geometry is a typed mismatch" true (mismatch = Serve.Probe_mismatch);
+          let json = Client.stats_json c in
+          check_bool "stats counts fuzzy queries" true (contains json "\"fuzzy_queries\"");
+          let metrics = Serve.metrics engine in
+          check_int "fuzzy conservation" metrics.fuzzy_queries
+            (metrics.fuzzy_resolved + metrics.fuzzy_empty + metrics.fuzzy_rejected
+           + metrics.fuzzy_shed)))
+
+let test_daemon_fuzzy_no_resolver () =
+  let index = test_index ~n:8 ~m:5 in
+  with_server index (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let generation, result = Client.query_fuzzy c sample_probe in
+          check_int "generation still tagged" 1 generation;
+          check_bool "typed no-resolver answer" true (result = Serve.No_resolver)))
+
+(* The fuzzy half of the hot-swap acceptance test: probes keep resolving
+   while the postings republish underneath them, and every reply must be
+   internally consistent — the providers fanned out for the resolved
+   owner are exactly the row of the index generation the reply is tagged
+   with, never a mix of one generation's resolver and the other's
+   postings. *)
+let test_daemon_fuzzy_hot_swap () =
+  let n = 40 and m = 11 in
+  let index1 = test_index ~n ~m in
+  let index2 = test_index_v2 ~n ~m in
+  let truth1 = Array.init n (fun owner -> Eppi.Index.query index1 ~owner) in
+  let truth2 = Array.init n (fun owner -> Eppi.Index.query index2 ~owner) in
+  let config = Resolver.default_config ~seed:0xF0DA in
+  let roster = Roster.generate (Rng.create 41) ~n in
+  let resolver = Resolver.build config roster in
+  let probes = Array.map (Probe.of_demographic config.Resolver.params) roster in
+  with_server ~shards:4 ~workers:4 ~resolver index1 (fun addr engine ->
+      let worker =
+        Domain.spawn (fun () ->
+            let c = Client.connect ~retries:20 addr in
+            let rng = Rng.create 7 in
+            let results = ref [] in
+            let rounds = ref 0 and rounds_after_swap = ref 0 in
+            while !rounds_after_swap < 5 && !rounds < 4000 do
+              incr rounds;
+              let owners = Array.init 10 (fun _ -> Rng.int rng n) in
+              let requests =
+                Array.to_list
+                  (Array.map
+                     (fun owner -> Wire.Query_fuzzy { probe = probes.(owner); k = 3 })
+                     owners)
+              in
+              let seen_swap = ref (!rounds_after_swap > 0) in
+              List.iteri
+                (fun i response ->
+                  match response with
+                  | Wire.Fuzzy_reply { generation; result } ->
+                      if generation >= 2 then seen_swap := true;
+                      results := (owners.(i), generation, result) :: !results
+                  | other -> Client.unexpected "hot-swap fuzzy query" other)
+                (Client.pipeline c requests);
+              if !seen_swap then incr rounds_after_swap
+            done;
+            Client.close c;
+            (!rounds, !results))
+      in
+      let admin = Client.connect addr in
+      Unix.sleepf 0.02;
+      (match Client.republish_index admin index2 with
+      | Ok generation -> check_int "swap generation" 2 generation
+      | Error e -> Alcotest.fail e);
+      Client.close admin;
+      let rounds, results = Domain.join worker in
+      check_bool "worker observed the swap" true (rounds < 4000);
+      check_int "no dropped replies" (rounds * 10) (List.length results);
+      List.iter
+        (fun (owner, generation, result) ->
+          let truth =
+            match generation with
+            | 1 -> truth1
+            | 2 -> truth2
+            | g -> Alcotest.fail (Printf.sprintf "impossible generation %d" g)
+          in
+          match result with
+          | Serve.Candidates (top :: _) ->
+              check_int
+                (Printf.sprintf "owner %d resolved at generation %d" owner generation)
+                owner top.Serve.owner;
+              check_bool
+                (Printf.sprintf "owner %d providers consistent with generation %d" owner generation)
+                true
+                (top.Serve.providers = truth.(owner))
+          | _ -> Alcotest.fail (Printf.sprintf "owner %d dropped to a non-candidate reply" owner))
+        results;
+      let metrics = Serve.metrics engine in
+      check_int "metrics generation" 2 metrics.generation;
+      check_int "fuzzy conservation" metrics.fuzzy_queries
+        (metrics.fuzzy_resolved + metrics.fuzzy_empty + metrics.fuzzy_rejected + metrics.fuzzy_shed))
+
 let test_daemon_replay () =
   let n = 30 and m = 9 in
   let index = test_index ~n ~m in
@@ -869,6 +1094,31 @@ let qcheck_tests =
         Gen.return Serve.Shed_queue_full;
       ]
   in
+  (* Fuzzy probes are generated through the real encoder over random
+     demographics and filter geometries, so every generated probe is
+     wire-legal by construction (ascending sparse indexes within bits). *)
+  let gen_demographic =
+    let open Gen in
+    let name = string_size ~gen:printable (int_range 0 8) in
+    let dob =
+      oneof
+        [
+          return (0, 0, 0);
+          map
+            (fun (y, m, d) -> (1900 + y, 1 + m, 1 + d))
+            (triple (int_range 0 120) (int_range 0 11) (int_range 0 27));
+        ]
+    in
+    map
+      (fun (first, last, dob, zip) -> { Demographic.first; last; dob; zip; gender = Other })
+      (quad name name dob name)
+  in
+  let gen_probe =
+    Gen.map
+      (fun (seed, bits, hashes, person) ->
+        Probe.of_demographic (Bloom.keyed ~seed ~bits ~hashes ()) person)
+      Gen.(quad nat (int_range 8 512) (int_range 1 8) gen_demographic)
+  in
   let gen_request =
     Gen.oneof
       [
@@ -878,8 +1128,26 @@ let qcheck_tests =
         Gen.return Wire.Stats;
         Gen.map (fun s -> Wire.Republish { index_csv = s }) Gen.(small_string ~gen:printable);
         Gen.map (fun s -> Wire.Republish_binary { data = s }) Gen.(small_string ~gen:char);
+        Gen.map2 (fun probe k -> Wire.Query_fuzzy { probe; k }) gen_probe (Gen.int_range 1 2000);
         Gen.return Wire.Ping;
         Gen.return Wire.Shutdown;
+      ]
+  in
+  (* Scores on the wire are basis points; quantized floats round-trip
+     bit-exactly. *)
+  let gen_candidate =
+    Gen.map
+      (fun (owner, bp, providers) ->
+        { Serve.owner; score = float_of_int bp /. 10000.0; providers })
+      Gen.(triple nat (int_range 0 10_000) (small_list nat))
+  in
+  let gen_fuzzy_result =
+    Gen.oneof
+      [
+        Gen.map (fun cs -> Serve.Candidates cs) (Gen.small_list gen_candidate);
+        Gen.return Serve.No_resolver;
+        Gen.return Serve.Probe_mismatch;
+        Gen.return Serve.Fuzzy_shed;
       ]
   in
   let gen_response =
@@ -895,6 +1163,9 @@ let qcheck_tests =
           (Gen.option (Gen.small_list Gen.nat));
         Gen.map (fun s -> Wire.Stats_json s) Gen.(small_string ~gen:printable);
         Gen.map (fun generation -> Wire.Republished { generation }) Gen.nat;
+        Gen.map2
+          (fun generation result -> Wire.Fuzzy_reply { generation; result })
+          Gen.nat gen_fuzzy_result;
         Gen.return Wire.Pong;
         Gen.return Wire.Shutting_down;
         Gen.map (fun s -> Wire.Server_error s) Gen.(small_string ~gen:printable);
@@ -965,6 +1236,8 @@ let () =
             (daemon_pipeline ~shards:1 ~workers:1);
           Alcotest.test_case "hot swap under concurrent load" `Quick
             (daemon_hot_swap_under_load ~workers:1 ~binary:false);
+          Alcotest.test_case "fuzzy lookups end-to-end" `Quick (daemon_fuzzy ~shards:1 ~workers:1);
+          Alcotest.test_case "fuzzy without a resolver" `Quick test_daemon_fuzzy_no_resolver;
           Alcotest.test_case "trace-driven replay" `Quick test_daemon_replay;
           Alcotest.test_case "replay loads jsonl" `Quick test_replay_load_jsonl;
           Alcotest.test_case "clean shutdown" `Quick test_daemon_shutdown;
@@ -985,6 +1258,10 @@ let () =
             test_multicore_republish_ordering;
           Alcotest.test_case "hot swap under concurrent load (4 domains, binary)" `Quick
             (daemon_hot_swap_under_load ~workers:4 ~binary:true);
+          Alcotest.test_case "fuzzy lookups end-to-end (4 domains)" `Quick
+            (daemon_fuzzy ~shards:4 ~workers:4);
+          Alcotest.test_case "fuzzy hot swap stays generation-consistent" `Quick
+            test_daemon_fuzzy_hot_swap;
         ] );
       ( "client robustness",
         [
