@@ -14,7 +14,9 @@
 
    Environment knobs: SERVE_N (owners, default 2000), SERVE_M (providers,
    default 4096), SERVE_QUERIES (default 200000), SERVE_DOMAINS (comma
-   list, default 1,2,4). *)
+   list, default 1,2,4), SERVE_TELEMETRY_QUERIES (per-round requests of
+   the telemetry-overhead gate, default 20000), SERVE_TELEMETRY_DOMAINS
+   (its worker-domain count, default 4). *)
 
 open Eppi_prelude
 open Eppi_serve
@@ -222,6 +224,76 @@ let run () =
     (match enabled_seconds with
     | Some s -> Printf.sprintf "%.3f s" s
     | None -> "outer --trace active, skipped");
+  (* Always-on stage telemetry must be invisible at the client: run a
+     real multicore daemon twice — telemetry off, then on (the config
+     knob exists for exactly this measurement) — and compare the
+     client-observed per-request p50 over a Unix socket.  Best-of-3
+     medians; the gate allows 2% plus a 10 µs floor (a socket RTT's p50
+     sits in the tens of µs, where scheduler noise dwarfs percentages). *)
+  let telemetry_queries = getenv_int "SERVE_TELEMETRY_QUERIES" 20_000 in
+  let telemetry_domains = getenv_int "SERVE_TELEMETRY_DOMAINS" 4 in
+  let daemon_p50 ~telemetry =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "eppi-serve-bench-%d-%b.sock" (Unix.getpid ()) telemetry)
+    in
+    let addr = Eppi_net.Addr.Unix_socket path in
+    let engine =
+      Serve.create ~config:(engine_config ~shards:telemetry_domains ~cache:4096 ~admission:None)
+        index
+    in
+    let server =
+      Eppi_net.Server.create
+        ~config:
+          { Eppi_net.Server.default_config with workers = telemetry_domains; telemetry }
+        engine
+    in
+    let listener = Eppi_net.Server.listen addr in
+    let daemon = Domain.spawn (fun () -> Eppi_net.Server.run server listener) in
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let c = Eppi_net.Client.connect addr in
+           (try Eppi_net.Client.shutdown c with _ -> ());
+           Eppi_net.Client.close c
+         with _ -> ());
+        Domain.join daemon;
+        try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let c = Eppi_net.Client.connect ~trace_context:false addr in
+        Fun.protect
+          ~finally:(fun () -> Eppi_net.Client.close c)
+          (fun () ->
+            for i = 0 to 999 do
+              ignore (Eppi_net.Client.query c ~owner:workload.(i mod Array.length workload))
+            done;
+            let samples = Array.make telemetry_queries 0.0 in
+            let best = ref infinity in
+            for _round = 1 to 3 do
+              Gc.compact ();
+              for i = 0 to telemetry_queries - 1 do
+                let owner = workload.(i mod Array.length workload) in
+                let t0 = Clock.monotonic_ns () in
+                ignore (Eppi_net.Client.query c ~owner);
+                samples.(i) <- float_of_int (Clock.monotonic_ns () - t0) /. 1e9
+              done;
+              let p50 = Stats.quantile samples 0.5 in
+              if p50 < !best then best := p50
+            done;
+            !best))
+  in
+  let telemetry_off_p50 = daemon_p50 ~telemetry:false in
+  let telemetry_on_p50 = daemon_p50 ~telemetry:true in
+  if telemetry_on_p50 > (1.02 *. telemetry_off_p50) +. 0.000_010 then
+    failwith
+      (Printf.sprintf
+         "serve: stage telemetry costs too much: p50 %.9f s on vs %.9f s off at %d domains \
+          (limit 2%% + 10 us)"
+         telemetry_on_p50 telemetry_off_p50 telemetry_domains);
+  Bench_util.note "telemetry overhead: p50 %.1f us off, %.1f us on (%+.2f%%) at %d domains"
+    (telemetry_off_p50 *. 1e6) (telemetry_on_p50 *. 1e6)
+    (100.0 *. ((telemetry_on_p50 /. telemetry_off_p50) -. 1.0))
+    telemetry_domains;
   (* JSON out. *)
   let seconds_at d =
     List.find_map (fun (d', s, _) -> if d' = d then Some s else None) domain_runs
@@ -269,6 +341,11 @@ let run () =
         \"enabled_seconds\": %s, \"disabled_overhead_ok\": true },\n"
        no_trace_baseline disabled_seconds
        (match enabled_seconds with Some s -> Printf.sprintf "%.6f" s | None -> "null"));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"telemetry\": { \"domains\": %d, \"queries\": %d, \"off_p50_s\": %.9f, \
+        \"on_p50_s\": %.9f, \"overhead_ok\": true },\n"
+       telemetry_domains telemetry_queries telemetry_off_p50 telemetry_on_p50);
   Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (Metrics.to_json snap));
   Buffer.add_string b "}\n";
   let out = open_out "BENCH_serve.json" in

@@ -6,7 +6,8 @@
      query      look up owners in a local index file or a running daemon
      serve      replay a workload in-process, or run the persistent daemon
      republish  hot-swap a running daemon's index
-     stats      metrics snapshot of a running daemon (JSON)
+     stats      metrics snapshot of a running daemon (JSON, --watch for deltas)
+     top        live request-stage telemetry of a running daemon
      shutdown   gracefully stop a running daemon
      evaluate   success ratio and attack confidences of an index
      inspect    dataset statistics
@@ -843,11 +844,212 @@ let republish_cmd =
           compact binary codec unless $(b,--csv) asks for the legacy payload")
     term
 
+(* Seconds → a human-sized unit.  Telemetry spans ns..s; a fixed unit
+   would drown either end in zeros. *)
+let fmt_duration s =
+  if s <= 0.0 then "-"
+  else if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+(* One `stats --watch` line: per-interval counter deltas with rates, plus
+   the point-in-time fields that don't diff (generation, percentiles). *)
+let stats_delta_line ~dt ?prev cur =
+  let get v k = Option.value ~default:0 (Json.find_int v [ k ]) in
+  let getf v k = Option.value ~default:0.0 (Json.find_num v [ k ]) in
+  let d k = get cur k - match prev with Some p -> get p k | None -> 0 in
+  let rate k = float_of_int (d k) /. dt in
+  Printf.sprintf
+    "queries %6d (%8.1f/s)  served %6d  hits %6d  shed %4d  fuzzy %5d  audits %4d  gen %d  \
+     swaps %d  p50 %s  p99 %s"
+    (d "queries") (rate "queries") (d "served") (d "cache_hits")
+    (d "shed_rate" + d "shed_queue")
+    (d "fuzzy_queries") (d "audits") (get cur "generation") (get cur "swaps")
+    (fmt_duration (getf cur "p50"))
+    (fmt_duration (getf cur "p99"))
+
 let stats_cmd =
-  let run addr = with_client addr (fun client -> print_endline (Eppi_net.Client.stats_json client)) in
-  let term = Term.(const run $ connect_required_arg) in
+  let watch_arg =
+    let doc =
+      "Refresh every $(docv) seconds, printing one line of per-interval counter deltas (with \
+       rates) per refresh instead of a one-shot snapshot.  The first line is the delta from \
+       zero, i.e. the daemon's lifetime totals.  Interrupt with Ctrl-C."
+    in
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"SECS" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Print the raw JSON snapshot on every refresh instead of the delta line — for scripting.  \
+       Without $(b,--watch) this is already the default output."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let iterations_arg =
+    let doc = "With $(b,--watch): stop after $(docv) refreshes (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let run addr watch json iterations =
+    with_client addr (fun client ->
+        match watch with
+        | None -> print_endline (Eppi_net.Client.stats_json client)
+        | Some interval ->
+            let interval = if interval <= 0.0 then 1.0 else interval in
+            let prev = ref None in
+            let tick = ref 0 in
+            let continue () = iterations <= 0 || !tick < iterations in
+            while continue () do
+              incr tick;
+              let raw = Eppi_net.Client.stats_json client in
+              (if json then print_endline raw
+               else
+                 match Json.parse raw with
+                 | Error e -> Printf.eprintf "stats: unparseable reply: %s\n" e
+                 | Ok cur ->
+                     print_endline (stats_delta_line ~dt:interval ?prev:!prev cur);
+                     prev := Some cur);
+              flush stdout;
+              if continue () then Unix.sleepf interval
+            done)
+  in
+  let term = Term.(const run $ connect_required_arg $ watch_arg $ json_arg $ iterations_arg) in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Print a running daemon's metrics snapshot (JSON, one line)")
+    (Cmd.info "stats"
+       ~doc:
+         "Print a running daemon's metrics snapshot (JSON, one line), or watch it live: \
+          $(b,--watch SECS) prints per-interval counter deltas, $(b,--json) keeps the raw \
+          snapshot for scripting")
+    term
+
+(* ---- top: live request-stage telemetry ---- *)
+
+(* Render one Telemetry reply ({!Eppi_net.Telemetry.to_json}) as the
+   `eppi top` screen: window rates per request class, the six-stage
+   latency decomposition with its conservation check, worker counters,
+   and the slow-request ring. *)
+let render_top v =
+  let b = Buffer.create 1024 in
+  let geti path = Option.value ~default:0 (Json.find_int v path) in
+  let getf path = Option.value ~default:0.0 (Json.find_num v path) in
+  let getb path = match Json.find v path with Some (Json.Bool x) -> x | _ -> false in
+  Printf.bprintf b
+    "eppi top — %d requests  gen %d  swaps %d  telemetry %s  trace %s (dropped %d)\n"
+    (geti [ "requests" ]) (geti [ "generation" ]) (geti [ "swaps" ])
+    (if getb [ "telemetry_enabled" ] then "on" else "off")
+    (if getb [ "trace"; "enabled" ] then "on" else "off")
+    (geti [ "trace"; "dropped" ]);
+  Printf.bprintf b "\nwindow (last %.0fs)   count      rate      p50      p99\n"
+    (getf [ "window"; "span_s" ]);
+  List.iter
+    (fun cls ->
+      let path k = [ "window"; cls; k ] in
+      let count = geti (path "count") in
+      if count > 0 || cls = "query" then
+        Printf.bprintf b "  %-11s %9d %7.1f/s %8s %8s\n" cls count
+          (getf (path "rate"))
+          (fmt_duration (getf (path "p50_s")))
+          (fmt_duration (getf (path "p99_s"))))
+    [ "query"; "batch"; "fuzzy"; "audit"; "republish"; "admin" ];
+  Printf.bprintf b "\nstage           count       sum      mean      p50      p99\n";
+  List.iter
+    (fun st ->
+      let path k = [ "stages"; st; k ] in
+      Printf.bprintf b "  %-11s %7d %9s %9s %8s %8s\n" st (geti (path "count"))
+        (fmt_duration (float_of_int (geti (path "sum_ns")) /. 1e9))
+        (fmt_duration (getf (path "mean_s")))
+        (fmt_duration (getf (path "p50_s")))
+        (fmt_duration (getf (path "p99_s"))))
+    [ "decode"; "dispatch"; "queue"; "execute"; "reorder"; "flush" ];
+  let stage_sum = geti [ "conservation"; "stage_sum_ns" ] in
+  let total = geti [ "conservation"; "total_ns" ] in
+  Printf.bprintf b "  %-11s %7d %9s%s\n" "= total"
+    (geti [ "stages"; "total"; "count" ])
+    (fmt_duration (float_of_int total /. 1e9))
+    (if getb [ "conservation"; "exact" ] then "  (conservation: exact)"
+     else Printf.sprintf "  (conservation: off by %dns)" (total - stage_sum));
+  (match Json.find v [ "workers" ] with
+  | Some (Json.List (_ :: _ as ws)) ->
+      Buffer.add_string b "\nworker   queue      busy    served\n";
+      List.iter
+        (fun w ->
+          let g k = Option.value ~default:0 (Json.find_int w [ k ]) in
+          Printf.bprintf b "  %-6d %5d %9s %9d\n" (g "id") (g "queue_depth")
+            (fmt_duration (float_of_int (g "busy_us") /. 1e6))
+            (g "served"))
+        ws
+  | _ -> ());
+  (match Json.find v [ "slow" ] with
+  | Some (Json.List (_ :: _ as ss)) ->
+      Buffer.add_string b
+        "\nslowest       total   decode dispatch    queue  execute  reorder    flush\n";
+      List.iteri
+        (fun i w ->
+          if i < 8 then begin
+            let g k = Option.value ~default:0 (Json.find_int w [ k ]) in
+            let f k = fmt_duration (float_of_int (g k) /. 1e9) in
+            Printf.bprintf b "  %-9s %7s %8s %8s %8s %8s %8s %8s\n"
+              (Option.value ~default:"?" (Json.find_str w [ "kind" ]))
+              (f "total_ns") (f "decode_ns") (f "dispatch_ns") (f "queue_ns") (f "execute_ns")
+              (f "reorder_ns") (f "flush_ns")
+          end)
+        ss
+  | _ -> ());
+  Buffer.contents b
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let once_arg =
+    let doc = "Render one snapshot and exit instead of refreshing." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Print the raw telemetry JSON once and exit — for scripting (implies $(b,--once))." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after $(docv) refreshes (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let run addr interval once json iterations =
+    with_client addr (fun client ->
+        let interval = if interval <= 0.0 then 1.0 else interval in
+        let one () =
+          let raw = Eppi_net.Client.telemetry_json client in
+          if json then print_endline raw
+          else
+            match Json.parse raw with
+            | Error e ->
+                Printf.eprintf "top: unparseable reply: %s\n" e;
+                exit 1
+            | Ok v -> print_string (render_top v)
+        in
+        if once || json then one ()
+        else begin
+          let tick = ref 0 in
+          let continue () = iterations <= 0 || !tick < iterations in
+          while continue () do
+            incr tick;
+            (* Clear + home: a live top-style refresh without a TUI dep. *)
+            print_string "\027[2J\027[H";
+            one ();
+            flush stdout;
+            if continue () then Unix.sleepf interval
+          done
+        end)
+  in
+  let term =
+    Term.(const run $ connect_required_arg $ interval_arg $ once_arg $ json_arg $ iterations_arg)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a running daemon's live telemetry: rolling-window p50/p99/throughput per \
+          request class, the decode/dispatch/queue/execute/reorder/flush stage decomposition \
+          with its conservation check, per-worker queue depth and busy time, and the \
+          slowest-request ring.  $(b,--json) dumps the raw snapshot for scripting")
     term
 
 let shutdown_cmd =
@@ -881,6 +1083,7 @@ let () =
             serve_cmd;
             republish_cmd;
             stats_cmd;
+            top_cmd;
             shutdown_cmd;
             evaluate_cmd;
             attack_cmd;

@@ -1,3 +1,5 @@
+module Trace = Eppi_obs.Trace
+
 type t = {
   mutable fd : Unix.file_descr;
   mutable decoder : Wire.Decoder.t;
@@ -9,7 +11,15 @@ type t = {
   reconnect : bool;
   max_reconnects : int;
   retry_delay : float;
+  trace_context : bool;
 }
+
+(* Trace ids need only be unique within a trace session; folding the pid
+   in keeps ids from two processes tracing against one daemon distinct. *)
+let trace_ids = Atomic.make 0
+
+let next_trace_id () =
+  ((Unix.getpid () land 0xFFFF) lsl 24) lor (Atomic.fetch_and_add trace_ids 1 land 0xFFFFFF)
 
 type error = Timed_out | Connection_lost of string
 
@@ -46,7 +56,7 @@ let connect_fd ~retries ~retry_delay address =
   attempt retries
 
 let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload ?request_timeout
-    ?(reconnect = false) ?(max_reconnects = 5) address =
+    ?(reconnect = false) ?(max_reconnects = 5) ?(trace_context = true) address =
   ignore_sigpipe ();
   let fd = connect_fd ~retries ~retry_delay address in
   {
@@ -60,6 +70,7 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload ?request_timeout
     reconnect;
     max_reconnects;
     retry_delay;
+    trace_context;
   }
 
 let close t =
@@ -141,6 +152,18 @@ let send_request t request =
   write_all t.fd bytes 0 (Bytes.length bytes)
 
 let call_result t request =
+  (* Trace-context propagation: with tracing on (and the peer known to
+     speak the [Traced] tag — [trace_context]), wrap the request with a
+     fresh trace id and mirror it on a client-side span, so the client's
+     and the daemon's tracks join in one exported trace. *)
+  let request, trace_id =
+    match request with
+    | Wire.Traced { trace_id; _ } -> (request, trace_id)
+    | _ when t.trace_context && Trace.enabled () ->
+        let id = next_trace_id () in
+        (Wire.Traced { trace_id = id; request }, id)
+    | _ -> (request, -1)
+  in
   let rec attempt reconnects_left =
     match
       send_request t request;
@@ -154,7 +177,10 @@ let call_result t request =
     | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
         Error (Connection_lost "connection refused")
   in
-  attempt t.max_reconnects
+  if trace_id >= 0 then
+    Trace.span "client.request" ~args:[ ("trace_id", trace_id) ] (fun () ->
+        attempt t.max_reconnects)
+  else attempt t.max_reconnects
 
 let call t request =
   match call_result t request with
@@ -266,6 +292,7 @@ let unexpected what (response : Wire.response) =
     | Shutting_down -> "shutting down"
     | Server_error msg -> Printf.sprintf "server error: %s" msg
     | Fuzzy_reply _ -> "fuzzy reply"
+    | Telemetry_json _ -> "telemetry"
   in
   raise (Protocol_error (Printf.sprintf "%s answered with %s" what kind))
 
@@ -296,6 +323,11 @@ let stats_json t =
   match call t Wire.Stats with
   | Stats_json json -> json
   | other -> unexpected "stats" other
+
+let telemetry_json t =
+  match call t Wire.Telemetry with
+  | Telemetry_json json -> json
+  | other -> unexpected "telemetry" other
 
 let republish t ~index_csv =
   match call t (Wire.Republish { index_csv }) with

@@ -36,6 +36,7 @@ val connect :
   ?request_timeout:float ->
   ?reconnect:bool ->
   ?max_reconnects:int ->
+  ?trace_context:bool ->
   Addr.t ->
   t
 (** Connect, retrying a refused/absent endpoint [retries] times (default 0)
@@ -54,8 +55,17 @@ val connect :
     doubling, capped at 2 s) and at most [max_reconnects] (default 5)
     attempts, then re-send the unanswered request(s) on the fresh socket —
     at-least-once semantics: a request whose response was lost in flight is
-    executed again.  @raise Unix.Unix_error once connect retries are
-    exhausted. *)
+    executed again.
+
+    [trace_context] (default true): while {!Eppi_obs.Trace} tracing is
+    enabled, {!call_result}/{!call} wrap each request in a [Wire.Traced]
+    envelope carrying a fresh trace id and mirror that id on a
+    [client.request] span, so the client's and the daemon's tracks join in
+    one exported trace.  Set it to false when talking to a daemon that
+    predates the envelope tag (it would reject the frame as an unknown
+    tag); with tracing disabled the wire is byte-identical either way.
+    {!pipeline} never wraps.  @raise Unix.Unix_error once connect retries
+    are exhausted. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -94,7 +104,15 @@ val batch : t -> int array -> int * Eppi_serve.Serve.reply array
 val audit : t -> provider:int -> int * int list option
 
 val stats_json : t -> string
-(** The engine's merged {!Eppi_serve.Metrics} snapshot as JSON. *)
+(** The engine's merged {!Eppi_serve.Metrics} snapshot as JSON, with the
+    server's per-worker counters ([workers]) and trace-drop count
+    ([trace_dropped]) spliced in. *)
+
+val telemetry_json : t -> string
+(** The daemon's live telemetry snapshot as JSON ({!Telemetry.to_json}):
+    rolling-window p50/p99/throughput per request class, per-stage
+    histograms with their conservation check, the slow-request ring,
+    per-worker counters and generation/trace info. *)
 
 val republish : t -> index_csv:string -> (int, string) result
 (** Install a new index on the server ({!Eppi.Index.to_csv} payload);

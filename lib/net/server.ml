@@ -9,6 +9,7 @@ type config = {
   max_pending_bytes : int;
   workers : int;
   max_inflight : int;
+  telemetry : bool;
 }
 
 let default_config =
@@ -19,11 +20,17 @@ let default_config =
     max_pending_bytes = 8 * 1024 * 1024;
     workers = 1;
     max_inflight = 1024;
+    telemetry = true;
   }
 
 type t = {
   engine : Serve.t;
   config : config;
+  telemetry : Telemetry.t;
+  (* (id, queue_depth, busy_ns, served) per worker domain; installed by
+     [start_workers] so the stats/telemetry paths (which run before the
+     workers type is even defined) can read the pool without a cycle. *)
+  mutable worker_info : unit -> (int * int * int * int) list;
 }
 
 let create ?(config = default_config) engine =
@@ -31,13 +38,13 @@ let create ?(config = default_config) engine =
   if config.max_pending_bytes < 1 then invalid_arg "Server: max_pending_bytes must be >= 1";
   if config.workers < 1 then invalid_arg "Server: workers must be >= 1";
   if config.max_inflight < 1 then invalid_arg "Server: max_inflight must be >= 1";
-  { engine; config }
+  { engine; config; telemetry = Telemetry.create (); worker_info = (fun () -> []) }
 
 let engine t = t.engine
 
 (* ---- request handling (transport-independent) ---- *)
 
-let request_code = function
+let rec request_code = function
   | Wire.Query _ -> 1
   | Wire.Batch _ -> 2
   | Wire.Audit _ -> 3
@@ -47,8 +54,48 @@ let request_code = function
   | Wire.Shutdown -> 7
   | Wire.Republish_binary _ -> 8
   | Wire.Query_fuzzy _ -> 9
+  | Wire.Telemetry -> 10
+  | Wire.Traced { request; _ } -> request_code request
 
-let handle_request t (request : Wire.request) : Wire.response =
+(* Splice extra top-level fields into a flat JSON object string. *)
+let splice_json json extra =
+  match String.rindex_opt json '}' with
+  | Some i -> String.sub json 0 i ^ ", " ^ extra ^ String.sub json i (String.length json - i)
+  | None -> json
+
+let workers_json t =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (id, depth, busy_ns, served) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "{\"id\": %d, \"queue_depth\": %d, \"busy_us\": %d, \"served\": %d}" id depth
+        (busy_ns / 1000) served)
+    (t.worker_info ());
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+(* The Stats reply: the engine's merged metrics plus the per-worker
+   counters and the trace session's drop count, so backpressure is
+   visible without a trace session. *)
+let stats_json t =
+  splice_json
+    (Eppi_serve.Metrics.to_json (Serve.metrics t.engine))
+    (Printf.sprintf "\"workers\": %s, \"trace_dropped\": %d" (workers_json t)
+       (Trace.dropped_events ()))
+
+let telemetry_json t =
+  let m = Serve.metrics t.engine in
+  let extra =
+    Printf.sprintf
+      "\"workers\": %s, \"generation\": %d, \"swaps\": %d, \"trace\": {\"enabled\": %b, \
+       \"dropped\": %d}, \"telemetry_enabled\": %b"
+      (workers_json t) m.Eppi_serve.Metrics.generation m.Eppi_serve.Metrics.swaps
+      (Trace.enabled ()) (Trace.dropped_events ()) t.config.telemetry
+  in
+  Telemetry.to_json ~extra t.telemetry ~now_ns:(Clock.monotonic_ns ())
+
+let rec handle_request t (request : Wire.request) : Wire.response =
   match request with
   | Query { owner } ->
       let generation, reply = Serve.query_tagged t.engine ~owner in
@@ -69,7 +116,9 @@ let handle_request t (request : Wire.request) : Wire.response =
   | Audit { provider } ->
       Audit_reply
         { generation = Serve.generation t.engine; owners = Serve.audit t.engine ~provider }
-  | Stats -> Stats_json (Eppi_serve.Metrics.to_json (Serve.metrics t.engine))
+  | Stats -> Stats_json (stats_json t)
+  | Telemetry -> Telemetry_json (telemetry_json t)
+  | Traced { request; _ } -> handle_request t request
   | Republish { index_csv } -> (
       match Eppi.Index.of_csv index_csv with
       | index -> Republished { generation = Serve.republish_index t.engine index }
@@ -84,9 +133,19 @@ let handle_request t (request : Wire.request) : Wire.response =
   | Ping -> Pong
   | Shutdown -> Shutting_down
 
-let handle t request =
-  if not (Trace.enabled ()) then handle_request t request
-  else Trace.span "net.request" ~args:[ ("tag", request_code request) ] (fun () -> handle_request t request)
+(* [trace_id] is the propagated client trace context (from a [Traced]
+   envelope), attached to the server-side span so the client's and the
+   daemon's tracks join in one exported trace. *)
+let rec handle ?(trace_id = -1) t request =
+  match request with
+  | Wire.Traced { trace_id; request } -> handle ~trace_id t request
+  | _ ->
+      if not (Trace.enabled ()) then handle_request t request
+      else begin
+        let args = [ ("tag", request_code request) ] in
+        let args = if trace_id >= 0 then ("trace_id", trace_id) :: args else args in
+        Trace.span "net.request" ~args (fun () -> handle_request t request)
+      end
 
 (* ---- listening ---- *)
 
@@ -137,10 +196,19 @@ type batch_acc = {
   b_generation : int Atomic.t;  (* max generation over all parts *)
   b_remaining : int Atomic.t;  (* parts still running *)
   b_error : string option Atomic.t;  (* first part failure, if any *)
+  b_trace : int;  (* propagated trace id, -1 = none *)
+  b_record : Telemetry.record option;
+  b_started : int Atomic.t;  (* first part's dequeue stamp (CAS from 0) *)
 }
 
 type job =
-  | Job of { conn_id : int; seq : int; request : Wire.request }
+  | Job of {
+      conn_id : int;
+      seq : int;
+      request : Wire.request;
+      trace_id : int;
+      j_record : Telemetry.record option;
+    }
   | Part of { acc : batch_acc; positions : int array; owners : int array }
       (* [owners.(k)] is the batch entry at index [positions.(k)]. *)
   | Stop
@@ -149,6 +217,7 @@ type completion = {
   c_conn : int;
   c_seq : int;
   frame : string;  (* the whole response frame, encoded on the worker *)
+  c_record : Telemetry.record option;
 }
 
 type worker = {
@@ -158,8 +227,8 @@ type worker = {
   w_ready : Condition.t;
   w_depth : int Atomic.t;  (* inbox length, sampled for counters *)
   w_track : string;  (* counter track name, e.g. "net.worker-0" *)
-  mutable w_served : int;  (* only the worker domain writes these two *)
-  mutable w_busy_ns : int;
+  w_served : int Atomic.t;  (* atomics: the mux reads these for stats *)
+  w_busy_ns : int Atomic.t;
 }
 
 type workers = {
@@ -210,8 +279,8 @@ let worker_counters w =
     Trace.counter w.w_track
       [
         ("queue_depth", Atomic.get w.w_depth);
-        ("busy_us", w.w_busy_ns / 1000);
-        ("served", w.w_served);
+        ("busy_us", Atomic.get w.w_busy_ns / 1000);
+        ("served", Atomic.get w.w_served);
       ]
 
 (* Exception barrier: nothing a job raises may escape the worker loop.
@@ -237,17 +306,25 @@ let worker_loop t ws w =
     Atomic.decr w.w_depth;
     (match job with
     | Stop -> running := false
-    | Job { conn_id; seq; request } ->
+    | Job { conn_id; seq; request; trace_id; j_record } ->
         let t0 = Clock.monotonic_ns () in
+        (match j_record with Some r -> r.Telemetry.t_started <- t0 | None -> ());
         let frame =
-          try encode_frame (handle t request)
+          try encode_frame (handle ~trace_id t request)
           with e -> encode_frame (Wire.Server_error (worker_failed w e))
         in
-        push_completion ws { c_conn = conn_id; c_seq = seq; frame };
-        w.w_served <- w.w_served + 1;
-        w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0
+        let t1 = Clock.monotonic_ns () in
+        (match j_record with Some r -> r.Telemetry.t_done <- t1 | None -> ());
+        push_completion ws { c_conn = conn_id; c_seq = seq; frame; c_record = j_record };
+        Atomic.incr w.w_served;
+        ignore (Atomic.fetch_and_add w.w_busy_ns (t1 - t0))
     | Part { acc; positions; owners } ->
         let t0 = Clock.monotonic_ns () in
+        (* The record's queue-wait stage ends at the FIRST part's dequeue;
+           only the winning CAS stamps it. *)
+        (match acc.b_record with
+        | Some _ -> ignore (Atomic.compare_and_set acc.b_started 0 t0)
+        | None -> ());
         let work () =
           let generation = ref 0 in
           Array.iteri
@@ -259,16 +336,22 @@ let worker_loop t ws w =
           store_max_generation acc.b_generation !generation
         in
         (try
-           if Trace.enabled () then
-             Trace.span "net.batch_part"
-               ~args:[ ("requests", Array.length owners) ]
-               work
+           if Trace.enabled () then begin
+             let args = [ ("requests", Array.length owners) ] in
+             let args = if acc.b_trace >= 0 then ("trace_id", acc.b_trace) :: args else args in
+             Trace.span "net.batch_part" ~args work
+           end
            else work ()
          with e -> Atomic.set acc.b_error (Some (worker_failed w e)));
         (* The finisher observes every other part's plain writes to
            [b_replies]: each part's stores happen before its decrement,
            and all decrements precede the final fetch-and-add. *)
-        if Atomic.fetch_and_add acc.b_remaining (-1) = 1 then
+        if Atomic.fetch_and_add acc.b_remaining (-1) = 1 then begin
+          (match acc.b_record with
+          | Some r ->
+              r.Telemetry.t_started <- Atomic.get acc.b_started;
+              r.Telemetry.t_done <- Clock.monotonic_ns ()
+          | None -> ());
           push_completion ws
             {
               c_conn = acc.b_conn;
@@ -280,9 +363,11 @@ let worker_loop t ws w =
                   | None ->
                       Wire.Batch_reply
                         { generation = Atomic.get acc.b_generation; replies = acc.b_replies });
-            };
-        w.w_served <- w.w_served + 1;
-        w.w_busy_ns <- w.w_busy_ns + Clock.monotonic_ns () - t0);
+              c_record = acc.b_record;
+            }
+        end;
+        Atomic.incr w.w_served;
+        ignore (Atomic.fetch_and_add w.w_busy_ns (Clock.monotonic_ns () - t0)));
     worker_counters w
   done
 
@@ -299,12 +384,19 @@ let start_workers t n =
           w_ready = Condition.create ();
           w_depth = Atomic.make 0;
           w_track = Printf.sprintf "net.worker-%d" i;
-          w_served = 0;
-          w_busy_ns = 0;
+          w_served = Atomic.make 0;
+          w_busy_ns = Atomic.make 0;
         })
   in
   let ws = { pool; completions = Atomic.make []; wake_r; wake_w; domains = [||]; rr = 0 } in
   ws.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t ws w)) pool;
+  t.worker_info <-
+    (fun () ->
+      Array.to_list
+        (Array.map
+           (fun w ->
+             (w.w_id, Atomic.get w.w_depth, Atomic.get w.w_busy_ns, Atomic.get w.w_served))
+           pool));
   ws
 
 let stop_workers ws =
@@ -338,8 +430,15 @@ type conn = {
   id : int;
   mutable next_seq : int;  (* sequence assigned to the next request *)
   mutable next_flush : int;  (* next sequence to append to [out] *)
-  replies : (int, string) Hashtbl.t;  (* completed frames awaiting flush *)
+  replies : (int, string * Telemetry.record option) Hashtbl.t;
+      (* completed frames awaiting flush, with their stage records *)
   mutable stall_seq : int;  (* seq of an in-flight republish, or -1 *)
+  mutable appended : int;  (* bytes ever appended to [out] (monotone) *)
+  mutable written : int;  (* bytes ever written to the socket (monotone) *)
+  watch : (int * Telemetry.record) Queue.t;
+      (* (appended watermark, record): the record's flush stage ends when
+         [written] passes the watermark.  FIFO because [appended] only
+         grows. *)
 }
 
 let pending c = Buffer.length c.out - c.out_off
@@ -364,53 +463,97 @@ let run t listener =
     conns := List.filter (fun c' -> c'.id <> c.id) !conns
   in
   (* Append every frame whose turn has come.  Frames complete out of
-     order across workers; the wire stays in request order. *)
+     order across workers; the wire stays in request order.  Appending
+     closes a record's reorder-dwell stage and opens its flush stage. *)
   let flush_replies c =
     let continue = ref true in
+    let now = ref 0 in
     while !continue do
       match Hashtbl.find_opt c.replies c.next_flush with
       | None -> continue := false
-      | Some frame ->
+      | Some (frame, record) ->
           Hashtbl.remove c.replies c.next_flush;
           c.next_flush <- c.next_flush + 1;
-          Buffer.add_string c.out frame
+          Buffer.add_string c.out frame;
+          c.appended <- c.appended + String.length frame;
+          (match record with
+          | Some r ->
+              if !now = 0 then now := Clock.monotonic_ns ();
+              r.Telemetry.t_flushed <- !now;
+              Queue.push (c.appended, r) c.watch
+          | None -> ())
     done
   in
-  let complete c seq frame =
-    Hashtbl.replace c.replies seq frame;
+  let complete c seq frame record =
+    Hashtbl.replace c.replies seq (frame, record);
     flush_replies c
   in
   (* Route one decoded request.  Inline (workers = 1): call the engine
      here, exactly the pre-multicore daemon.  Otherwise dispatch to the
-     worker that owns the request's shard. *)
-  let route c request =
+     worker that owns the request's shard.  [t_read]/[t_decoded] bound the
+     decode stage (0 when telemetry is off); a [Traced] envelope is peeled
+     here so routing sees the inner request and the record keeps the id. *)
+  let route c request ~t_read ~t_decoded =
     let seq = c.next_seq in
     c.next_seq <- seq + 1;
+    let trace_id, request =
+      match request with
+      | Wire.Traced { trace_id; request } -> (trace_id, request)
+      | request -> (-1, request)
+    in
+    let record =
+      if t.config.telemetry then
+        Some (Telemetry.make ~kind:(request_code request) ~trace_id ~t_read ~t_decoded)
+      else None
+    in
+    (* A request the mux answers itself: dispatch and queue-wait collapse
+       to zero, execute covers the handler plus the frame encode. *)
+    let inline response =
+      (match record with
+      | Some r ->
+          let now = Clock.monotonic_ns () in
+          r.Telemetry.t_dispatched <- now;
+          r.Telemetry.t_started <- now
+      | None -> ());
+      if response = Wire.Shutting_down then shutting := true;
+      let frame = encode_frame response in
+      (match record with Some r -> r.Telemetry.t_done <- Clock.monotonic_ns () | None -> ());
+      complete c seq frame record
+    in
+    let dispatched () =
+      match record with
+      | Some r -> r.Telemetry.t_dispatched <- Clock.monotonic_ns ()
+      | None -> ()
+    in
     match ws with
-    | None ->
-        let response = handle t request in
-        if response = Wire.Shutting_down then shutting := true;
-        complete c seq (encode_frame response)
+    | None -> inline (handle ~trace_id t request)
     | Some ws -> (
         match request with
         | Wire.Query { owner } ->
-            enqueue (worker_for_owner t.engine ws owner) (Job { conn_id = c.id; seq; request })
+            dispatched ();
+            enqueue (worker_for_owner t.engine ws owner)
+              (Job { conn_id = c.id; seq; request; trace_id; j_record = record })
         | Wire.Query_fuzzy { probe; _ } ->
             (* Fuzzy metrics/admission land on Serve.fuzzy_shard's shard;
                route to that shard's worker so the single-writer contract
                holds for fuzzy exactly as for exact queries. *)
             let shard = Serve.fuzzy_shard t.engine probe in
-            enqueue ws.pool.(shard mod Array.length ws.pool) (Job { conn_id = c.id; seq; request })
+            dispatched ();
+            enqueue ws.pool.(shard mod Array.length ws.pool)
+              (Job { conn_id = c.id; seq; request; trace_id; j_record = record })
         | Wire.Audit _ ->
             (* Audit walks every shard's postings but records its metrics
                on shard 0, so it must run on shard 0's worker. *)
-            enqueue ws.pool.(0) (Job { conn_id = c.id; seq; request })
+            dispatched ();
+            enqueue ws.pool.(0) (Job { conn_id = c.id; seq; request; trace_id; j_record = record })
         | Wire.Republish _ | Wire.Republish_binary _ ->
             (* Decode + install off the mux.  Stall this connection until
                the swap lands so a pipelined query behind it cannot answer
                from the old generation after the republish reply. *)
             c.stall_seq <- seq;
-            enqueue (next_round_robin ws) (Job { conn_id = c.id; seq; request })
+            dispatched ();
+            enqueue (next_round_robin ws)
+              (Job { conn_id = c.id; seq; request; trace_id; j_record = record })
         | Wire.Batch owners when Array.length owners > 0 ->
             let nworkers = Array.length ws.pool in
             let counts = Array.make nworkers 0 in
@@ -428,6 +571,9 @@ let run t listener =
                 b_generation = Atomic.make 0;
                 b_remaining = Atomic.make parts;
                 b_error = Atomic.make None;
+                b_trace = trace_id;
+                b_record = record;
+                b_started = Atomic.make 0;
               }
             in
             let positions = Array.map (fun n -> Array.make (max n 1) 0) counts in
@@ -440,6 +586,7 @@ let run t listener =
                 part_owners.(w).(fill.(w)) <- owner;
                 fill.(w) <- fill.(w) + 1)
               owners;
+            dispatched ();
             Array.iteri
               (fun w n ->
                 if n > 0 then
@@ -447,22 +594,22 @@ let run t listener =
                     (Part { acc; positions = positions.(w); owners = part_owners.(w) }))
               counts
         | Wire.Batch _ ->
-            complete c seq
-              (encode_frame
-                 (Wire.Batch_reply { generation = Serve.generation t.engine; replies = [||] }))
+            inline (Wire.Batch_reply { generation = Serve.generation t.engine; replies = [||] })
         | Wire.Stats ->
-            (* Reads only merged metrics — safe from the mux domain. *)
-            complete c seq
-              (encode_frame (Wire.Stats_json (Eppi_serve.Metrics.to_json (Serve.metrics t.engine))))
-        | Wire.Ping -> complete c seq (encode_frame Wire.Pong)
-        | Wire.Shutdown ->
-            shutting := true;
-            complete c seq (encode_frame Wire.Shutting_down))
+            (* Reads only merged metrics and atomics — safe from the mux. *)
+            inline (Wire.Stats_json (stats_json t))
+        | Wire.Telemetry ->
+            (* The store's single writer is this domain, so the read is
+               consistent by construction. *)
+            inline (Wire.Telemetry_json (telemetry_json t))
+        | Wire.Ping -> inline Wire.Pong
+        | Wire.Shutdown -> inline Wire.Shutting_down
+        | Wire.Traced _ -> assert false (* peeled above; envelopes never nest *))
   in
   let respond_error c msg =
     let seq = c.next_seq in
     c.next_seq <- seq + 1;
-    complete c seq (encode_frame (Wire.Server_error msg));
+    complete c seq (encode_frame (Wire.Server_error msg)) None;
     c.closing <- true
   in
   (* Drain every complete frame the connection has buffered.  A decode
@@ -476,9 +623,12 @@ let run t listener =
     while
       !continue && (not c.closing) && c.stall_seq < 0 && inflight c < t.config.max_inflight
     do
+      let t_read = if t.config.telemetry then Clock.monotonic_ns () else 0 in
       match Wire.Decoder.next c.decoder with
       | Ok None -> continue := false
-      | Ok (Some (Wire.Request request)) -> route c request
+      | Ok (Some (Wire.Request request)) ->
+          let t_decoded = if t.config.telemetry then Clock.monotonic_ns () else 0 in
+          route c request ~t_read ~t_decoded
       | Ok (Some (Wire.Response _)) -> respond_error c "protocol: response frame sent to server"
       | Error e -> respond_error c (Wire.error_to_string e)
     done
@@ -498,7 +648,22 @@ let run t listener =
     match Unix.write c.fd bytes c.out_off (Bytes.length bytes - c.out_off) with
     | n ->
         c.out_off <- c.out_off + n;
+        c.written <- c.written + n;
         c.last_activity <- Clock.seconds ();
+        (* Every record whose frame is now fully on the socket is done:
+           close its flush stage and fold it into the aggregates. *)
+        if not (Queue.is_empty c.watch) then begin
+          let t_written = Clock.monotonic_ns () in
+          let continue = ref true in
+          while !continue && not (Queue.is_empty c.watch) do
+            let watermark, record = Queue.peek c.watch in
+            if watermark <= c.written then begin
+              ignore (Queue.pop c.watch);
+              Telemetry.finish t.telemetry record ~t_written
+            end
+            else continue := false
+          done
+        end;
         if c.out_off = Bytes.length bytes then begin
           Buffer.clear c.out;
           c.out_off <- 0;
@@ -512,11 +677,11 @@ let run t listener =
     | [] -> ()
     | batch ->
         List.iter
-          (fun { c_conn; c_seq; frame } ->
+          (fun { c_conn; c_seq; frame; c_record } ->
             match Hashtbl.find_opt conn_tbl c_conn with
             | None -> () (* connection died while the job was in flight *)
             | Some c ->
-                complete c c_seq frame;
+                complete c c_seq frame c_record;
                 if c.stall_seq = c_seq then c.stall_seq <- -1;
                 (* Resume decoding: this completion may have cleared a
                    republish stall or dropped [inflight] back below the
@@ -557,6 +722,9 @@ let run t listener =
             next_flush = 0;
             replies = Hashtbl.create 8;
             stall_seq = -1;
+            appended = 0;
+            written = 0;
+            watch = Queue.create ();
           }
         in
         conns := c :: !conns;
@@ -648,6 +816,10 @@ let run_stdio t =
   let readbuf = Bytes.create 65536 in
   let out = Buffer.create 1024 in
   let running = ref true in
+  (* Stage records for the frames encoded this iteration; with one
+     blocking transport the dispatch/queue/reorder stages are zero and
+     the flush stage closes when [write_all] returns. *)
+  let batch_records = ref [] in
   while !running do
     (match Unix.read Unix.stdin readbuf 0 (Bytes.length readbuf) with
     | 0 -> running := false
@@ -655,11 +827,36 @@ let run_stdio t =
     | exception Unix.Unix_error (EINTR, _, _) -> ());
     let continue = ref !running in
     while !continue do
+      let t_read = if t.config.telemetry then Clock.monotonic_ns () else 0 in
       match Wire.Decoder.next decoder with
       | Ok None -> continue := false
       | Ok (Some (Wire.Request request)) ->
+          let record =
+            if t.config.telemetry then begin
+              let t_decoded = Clock.monotonic_ns () in
+              let trace_id, inner =
+                match request with
+                | Wire.Traced { trace_id; request } -> (trace_id, request)
+                | request -> (-1, request)
+              in
+              let r =
+                Telemetry.make ~kind:(request_code inner) ~trace_id ~t_read ~t_decoded
+              in
+              r.Telemetry.t_dispatched <- t_decoded;
+              r.Telemetry.t_started <- t_decoded;
+              Some r
+            end
+            else None
+          in
           let response = handle t request in
           Wire.encode_response out response;
+          (match record with
+          | Some r ->
+              let now = Clock.monotonic_ns () in
+              r.Telemetry.t_done <- now;
+              r.Telemetry.t_flushed <- now;
+              batch_records := r :: !batch_records
+          | None -> ());
           if response = Wire.Shutting_down then begin
             running := false;
             continue := false
@@ -675,6 +872,12 @@ let run_stdio t =
     done;
     if Buffer.length out > 0 then begin
       write_all Unix.stdout (Buffer.to_bytes out);
-      Buffer.clear out
+      Buffer.clear out;
+      match !batch_records with
+      | [] -> ()
+      | records ->
+          let t_written = Clock.monotonic_ns () in
+          List.iter (fun r -> Telemetry.finish t.telemetry r ~t_written) (List.rev records);
+          batch_records := []
     end
   done

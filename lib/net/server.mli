@@ -39,7 +39,19 @@
     [net.request] span tagged with its frame kind, accepted/closed
     connections are instant events, each worker domain samples a
     [net.worker-<i>] counter track (queue depth, busy µs, requests
-    served), and the mux samples [net.mux] stalled-connection counts. *)
+    served), and the mux samples [net.mux] stalled-connection counts.
+    A request that arrived in a [Traced] envelope carries the client's
+    trace id on its server-side spans, so both processes' tracks join in
+    one exported trace.
+
+    Telemetry ({!Telemetry}) is on by default and independent of tracing:
+    every request is stamped through decode → dispatch → queue-wait →
+    execute → reorder-dwell → write-flush, aggregated into per-stage
+    histograms whose sums satisfy an exact conservation law, a rolling
+    ~10 s window per request class, and a worst-N slow-request ring — all
+    served by the [Telemetry] wire command.  The [Stats] reply carries the
+    per-worker counters and the trace session's drop count on top of the
+    engine metrics. *)
 
 type config = {
   max_connections : int;  (** Accepted clients beyond this are refused. *)
@@ -54,11 +66,18 @@ type config = {
   max_inflight : int;
       (** Per-connection bound on routed-but-unanswered requests before
           the mux stops reading that connection. *)
+  telemetry : bool;
+      (** Per-request stage timing ({!Telemetry}).  On by default; the
+          cost is a handful of monotonic-clock reads per request.  The
+          [Telemetry] wire command still answers when off (with empty
+          aggregates) — the switch exists mainly so the bench can measure
+          the instrumentation's own overhead. *)
 }
 
 val default_config : config
 (** 64 connections, 300 s idle timeout, {!Wire.default_max_payload},
-    8 MiB pending bound, 1 worker (inline), 1024 in-flight requests. *)
+    8 MiB pending bound, 1 worker (inline), 1024 in-flight requests,
+    telemetry on. *)
 
 type t
 

@@ -1,0 +1,231 @@
+(* Always-on request-stage telemetry for the daemon.
+
+   Every request the mux decodes gets one {!record}; timestamps are
+   stamped at each pipeline hand-off and the record is finished when the
+   last byte of its response hits the socket.  The six stages telescope —
+   each stage is the difference of adjacent stamps — so per request
+
+     decode + dispatch + queue + execute + reorder + flush = total
+
+   holds {e exactly} in integer nanoseconds, and therefore the aggregated
+   sums satisfy the same conservation law.  That law is the telemetry's
+   self-check: a stage the accounting misses would show up as a gap.
+
+   Ownership: the store has a single writer, the mux domain — records are
+   created, flushed and finished there.  Workers stamp [t_started]/[t_done]
+   on the record itself; those plain writes are ordered before the mux's
+   reads by the completion stack's CAS (release) / exchange (acquire) pair,
+   the same discipline the reply frames already rely on. *)
+
+module Stats = Eppi_prelude.Stats
+
+type record = {
+  mutable kind : int;  (* Server.request_code of the unwrapped request *)
+  mutable trace_id : int;  (* propagated trace context, -1 = none *)
+  mutable t_read : int;  (* decode began (bytes were buffered) *)
+  mutable t_decoded : int;  (* frame parsed *)
+  mutable t_dispatched : int;  (* enqueued to a worker / inline start *)
+  mutable t_started : int;  (* worker dequeued it (worker writes this) *)
+  mutable t_done : int;  (* response encoded (worker writes this) *)
+  mutable t_flushed : int;  (* appended to the connection's write buffer *)
+}
+
+let make ~kind ~trace_id ~t_read ~t_decoded =
+  {
+    kind;
+    trace_id;
+    t_read;
+    t_decoded;
+    t_dispatched = t_decoded;
+    t_started = t_decoded;
+    t_done = t_decoded;
+    t_flushed = t_decoded;
+  }
+
+let stages = 6
+let stage_names = [| "decode"; "dispatch"; "queue"; "execute"; "reorder"; "flush" |]
+let classes = [| "query"; "batch"; "fuzzy"; "audit"; "republish"; "admin" |]
+
+(* Request-code → window class.  Codes mirror [Server.request_code]. *)
+let class_of_kind = function
+  | 1 -> 0 (* query *)
+  | 2 -> 1 (* batch *)
+  | 9 -> 2 (* fuzzy *)
+  | 3 -> 3 (* audit *)
+  | 5 | 8 -> 4 (* republish, csv or binary *)
+  | _ -> 5 (* stats, ping, shutdown, telemetry *)
+
+let kind_name = function
+  | 1 -> "query"
+  | 2 -> "batch"
+  | 3 -> "audit"
+  | 4 -> "stats"
+  | 5 -> "republish"
+  | 6 -> "ping"
+  | 7 -> "shutdown"
+  | 8 -> "republish_binary"
+  | 9 -> "fuzzy"
+  | 10 -> "telemetry"
+  | _ -> "other"
+
+type slow = {
+  s_kind : int;
+  s_trace_id : int;
+  s_total_ns : int;
+  s_stages : int array;  (* length [stages] *)
+}
+
+type t = {
+  stage_hist : Stats.Log2_histogram.t array;  (* seconds, one per stage *)
+  stage_sum_ns : int array;  (* exact integer sums for the conservation law *)
+  total_hist : Stats.Log2_histogram.t;
+  mutable total_sum_ns : int;
+  mutable finished : int;
+  windows : Stats.Windowed.t array;  (* rolling window, one per class *)
+  slow : slow option array;  (* worst-N ring, unordered *)
+  mutable slow_filled : int;
+  mutable slow_min_ns : int;  (* smallest total among filled slots *)
+}
+
+let create ?(slow_slots = 16) ?(window_slots = 10) ?(window_slot_ns = 1_000_000_000) () =
+  if slow_slots < 1 then invalid_arg "Telemetry.create: slow_slots must be >= 1";
+  {
+    stage_hist = Array.init stages (fun _ -> Stats.Log2_histogram.create ());
+    stage_sum_ns = Array.make stages 0;
+    total_hist = Stats.Log2_histogram.create ();
+    total_sum_ns = 0;
+    finished = 0;
+    windows =
+      Array.init (Array.length classes) (fun _ ->
+          Stats.Windowed.create ~slots:window_slots ~slot_ns:window_slot_ns ());
+    slow = Array.make slow_slots None;
+    slow_filled = 0;
+    slow_min_ns = max_int;
+  }
+
+let ns_to_s ns = float_of_int ns /. 1e9
+
+let note_slow t r ~total_ns ~stage_ns =
+  let n = Array.length t.slow in
+  if t.slow_filled >= n && total_ns <= t.slow_min_ns then ()
+  else begin
+    let entry =
+      Some { s_kind = r.kind; s_trace_id = r.trace_id; s_total_ns = total_ns; s_stages = stage_ns }
+    in
+    if t.slow_filled < n then begin
+      t.slow.(t.slow_filled) <- entry;
+      t.slow_filled <- t.slow_filled + 1;
+      if total_ns < t.slow_min_ns then t.slow_min_ns <- total_ns
+    end
+    else begin
+      (* Evict the smallest; rescan for the new minimum (N is small). *)
+      let min_i = ref 0 and min_v = ref max_int in
+      Array.iteri
+        (fun i e ->
+          match e with
+          | Some s when s.s_total_ns < !min_v ->
+              min_i := i;
+              min_v := s.s_total_ns
+          | _ -> ())
+        t.slow;
+      t.slow.(!min_i) <- entry;
+      let new_min = ref max_int in
+      Array.iter
+        (fun e -> match e with Some s when s.s_total_ns < !new_min -> new_min := s.s_total_ns | _ -> ())
+        t.slow;
+      t.slow_min_ns <- !new_min
+    end
+  end
+
+let finish t r ~t_written =
+  let stage_ns =
+    [|
+      r.t_decoded - r.t_read;
+      r.t_dispatched - r.t_decoded;
+      r.t_started - r.t_dispatched;
+      r.t_done - r.t_started;
+      r.t_flushed - r.t_done;
+      t_written - r.t_flushed;
+    |]
+  in
+  let total_ns = t_written - r.t_read in
+  for i = 0 to stages - 1 do
+    Stats.Log2_histogram.add t.stage_hist.(i) (ns_to_s stage_ns.(i));
+    t.stage_sum_ns.(i) <- t.stage_sum_ns.(i) + stage_ns.(i)
+  done;
+  Stats.Log2_histogram.add t.total_hist (ns_to_s total_ns);
+  t.total_sum_ns <- t.total_sum_ns + total_ns;
+  t.finished <- t.finished + 1;
+  Stats.Windowed.add t.windows.(class_of_kind r.kind) ~now_ns:t_written (ns_to_s total_ns);
+  note_slow t r ~total_ns ~stage_ns
+
+let stage_sum_ns t = Array.fold_left ( + ) 0 t.stage_sum_ns
+let total_sum_ns t = t.total_sum_ns
+let finished t = t.finished
+
+(* ---- JSON rendering ---- *)
+
+let add_hist b name h =
+  Printf.bprintf b "\"%s\": {\"count\": %d, \"mean_s\": %.9f, \"p50_s\": %.9f, \"p99_s\": %.9f}"
+    name
+    (Stats.Log2_histogram.total h)
+    (Stats.Log2_histogram.mean h)
+    (Stats.Log2_histogram.quantile h 0.5)
+    (Stats.Log2_histogram.quantile h 0.99)
+
+let to_json ?(extra = "") t ~now_ns =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"requests\": %d" t.finished;
+  (* Rolling window, one summary per request class. *)
+  Printf.bprintf b ", \"window\": {\"span_s\": %.1f" (Stats.Windowed.span_s t.windows.(0));
+  Array.iteri
+    (fun i name ->
+      let s = Stats.Windowed.snapshot t.windows.(i) ~now_ns in
+      Printf.bprintf b
+        ", \"%s\": {\"count\": %d, \"rate\": %.3f, \"mean_s\": %.9f, \"p50_s\": %.9f, \"p99_s\": %.9f}"
+        name s.Stats.Windowed.count s.rate s.mean s.p50 s.p99)
+    classes;
+  Buffer.add_string b "}";
+  (* Cumulative per-stage histograms with exact integer sums. *)
+  Buffer.add_string b ", \"stages\": {";
+  Array.iteri
+    (fun i name ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b
+        "\"%s\": {\"count\": %d, \"sum_ns\": %d, \"mean_s\": %.9f, \"p50_s\": %.9f, \"p99_s\": %.9f}"
+        name
+        (Stats.Log2_histogram.total t.stage_hist.(i))
+        t.stage_sum_ns.(i)
+        (Stats.Log2_histogram.mean t.stage_hist.(i))
+        (Stats.Log2_histogram.quantile t.stage_hist.(i) 0.5)
+        (Stats.Log2_histogram.quantile t.stage_hist.(i) 0.99))
+    stage_names;
+  Buffer.add_string b ", ";
+  add_hist b "total" t.total_hist;
+  Printf.bprintf b ", \"sum_ns\": %d}" t.total_sum_ns;
+  let s = stage_sum_ns t in
+  Printf.bprintf b
+    ", \"conservation\": {\"stage_sum_ns\": %d, \"total_ns\": %d, \"exact\": %b}"
+    s t.total_sum_ns (s = t.total_sum_ns);
+  (* Worst-N ring, slowest first. *)
+  let slow =
+    Array.to_list t.slow
+    |> List.filter_map Fun.id
+    |> List.sort (fun a b -> compare b.s_total_ns a.s_total_ns)
+  in
+  Buffer.add_string b ", \"slow\": [";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "{\"kind\": \"%s\", \"trace_id\": %d, \"total_ns\": %d" (kind_name s.s_kind)
+        s.s_trace_id s.s_total_ns;
+      Array.iteri (fun j name -> Printf.bprintf b ", \"%s_ns\": %d" name s.s_stages.(j)) stage_names;
+      Buffer.add_string b "}")
+    slow;
+  Buffer.add_string b "]";
+  if extra <> "" then begin
+    Buffer.add_string b ", ";
+    Buffer.add_string b extra
+  end;
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -24,6 +24,16 @@ type request =
          Bloom-encoded filters — never plaintext demographics.  The
          linkage seed itself stays off the wire: a probe keyed with the
          wrong seed scores as noise and resolves nothing. *)
+  | Traced of {
+      trace_id : int;
+      request : request;
+    }
+      (* Trace-context envelope: any other request wrapped with the
+         client's trace id, so client and daemon spans join in one
+         exported trace.  Additive within version 1 — a peer that
+         predates it rejects the tag as [Unknown_tag], so clients only
+         wrap when the operator has turned tracing on.  Never nests. *)
+  | Telemetry
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -38,6 +48,7 @@ type response =
       generation : int;
       result : Eppi_serve.Serve.fuzzy_reply;
     }
+  | Telemetry_json of string
 
 type frame =
   | Request of request
@@ -57,6 +68,8 @@ let tag_ping = 0x06
 let tag_shutdown = 0x07
 let tag_republish_binary = 0x08
 let tag_query_fuzzy = 0x09
+let tag_traced = 0x0A
+let tag_telemetry = 0x0B
 let tag_reply = 0x11
 let tag_batch_reply = 0x12
 let tag_audit_reply = 0x13
@@ -66,6 +79,7 @@ let tag_pong = 0x16
 let tag_shutting_down = 0x17
 let tag_server_error = 0x18
 let tag_fuzzy_reply = 0x19
+let tag_telemetry_json = 0x1A
 
 (* Probe limits: sane ceilings well above anything the CLI or bench
    generates, well below anything that could balloon a decode. *)
@@ -172,7 +186,7 @@ let put_reply b (reply : Eppi_serve.Serve.reply) =
   | Shed_rate_limit -> Buffer.add_char b '\x02'
   | Shed_queue_full -> Buffer.add_char b '\x03'
 
-let payload_of_request b = function
+let rec payload_of_request b = function
   | Query { owner } ->
       put_varint b owner;
       tag_query
@@ -196,6 +210,18 @@ let payload_of_request b = function
       put_varint b k;
       put_probe b probe;
       tag_query_fuzzy
+  | Traced { trace_id; request } ->
+      (match request with
+      | Traced _ -> invalid_arg "Wire: Traced frames do not nest"
+      | _ -> ());
+      if trace_id < 0 then invalid_arg "Wire: trace id must be non-negative";
+      put_varint b trace_id;
+      let inner = Buffer.create 32 in
+      let inner_tag = payload_of_request inner request in
+      Buffer.add_char b (Char.chr inner_tag);
+      Buffer.add_buffer b inner;
+      tag_traced
+  | Telemetry -> tag_telemetry
 
 let payload_of_response b = function
   | Reply { generation; reply } ->
@@ -244,6 +270,9 @@ let payload_of_response b = function
       | Probe_mismatch -> Buffer.add_char b '\x02'
       | Fuzzy_shed -> Buffer.add_char b '\x03');
       tag_fuzzy_reply
+  | Telemetry_json json ->
+      Buffer.add_string b json;
+      tag_telemetry_json
 
 let add_frame b payload_of value =
   let body = Buffer.create 64 in
@@ -325,7 +354,7 @@ let rest c =
   c.pos <- String.length c.payload;
   s
 
-let parse_payload tag payload =
+let rec parse_payload tag payload =
   let c = { payload; pos = 0 } in
   let frame =
     if tag = tag_query then Request (Query { owner = get_varint c })
@@ -345,6 +374,21 @@ let parse_payload tag payload =
         raise (Corrupt_payload (Printf.sprintf "fuzzy k %d" k));
       Request (Query_fuzzy { probe = get_probe c; k })
     end
+    else if tag = tag_traced then begin
+      let trace_id = get_varint c in
+      if trace_id < 0 then raise (Corrupt_payload (Printf.sprintf "trace id %d" trace_id));
+      if c.pos >= String.length payload then raise (Corrupt_payload "truncated traced frame");
+      let inner_tag = Char.code payload.[c.pos] in
+      c.pos <- c.pos + 1;
+      if inner_tag = tag_traced then raise (Corrupt_payload "nested traced frame");
+      if not (inner_tag >= tag_query && inner_tag <= tag_telemetry) then
+        raise (Corrupt_payload (Printf.sprintf "traced frame wraps tag 0x%02X" inner_tag));
+      match parse_payload inner_tag (rest c) with
+      | Request request -> Request (Traced { trace_id; request })
+      | Response _ -> assert false (* the inner tag range admits requests only *)
+    end
+    else if tag = tag_telemetry then Request Telemetry
+    else if tag = tag_telemetry_json then Response (Telemetry_json (rest c))
     else if tag = tag_reply then begin
       let generation = get_varint c in
       Response (Reply { generation; reply = get_reply c })
@@ -405,7 +449,7 @@ let parse_payload tag payload =
   frame
 
 let known_tag tag =
-  (tag >= tag_query && tag <= tag_query_fuzzy) || (tag >= tag_reply && tag <= tag_fuzzy_reply)
+  (tag >= tag_query && tag <= tag_telemetry) || (tag >= tag_reply && tag <= tag_telemetry_json)
 
 (* ---- the incremental decoder ---- *)
 

@@ -42,6 +42,20 @@ type request =
           indexes, ascending) — plaintext demographics never cross the
           wire, and neither does the linkage seed: a probe keyed with the
           wrong seed scores as noise. *)
+  | Traced of { trace_id : int; request : request }
+      (** Trace-context envelope: any other request wrapped with the
+          client's trace id (non-negative varint), so the daemon can tag
+          its server-side spans with the same id and the two processes'
+          tracks join in one exported Chrome/Perfetto trace.  Additive
+          within protocol version 1: a daemon that predates the tag
+          rejects it as {!Unknown_tag}, so clients only wrap when tracing
+          is enabled (see {!Client.connect}'s [trace_context]).  Envelopes
+          never nest, and the inner frame must be a request. *)
+  | Telemetry
+      (** The daemon's live telemetry snapshot as JSON: rolling-window
+          p50/p99/throughput per request class, per-stage pipeline
+          histograms with their conservation check, slow-request ring,
+          per-worker counters, generation/swap and trace-drop info. *)
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -58,6 +72,7 @@ type response =
   | Fuzzy_reply of { generation : int; result : Eppi_serve.Serve.fuzzy_reply }
       (** Candidate scores travel as basis-point varints (the resolver
           quantizes scores to 1e-4, so the encoding is lossless). *)
+  | Telemetry_json of string  (** Reply to {!request.Telemetry}. *)
 
 type frame =
   | Request of request

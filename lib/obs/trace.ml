@@ -165,6 +165,15 @@ let counter name args =
     record b { kind = Counter; name; ts = Clock.monotonic_ns (); args }
   end
 
+let dropped_events () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  (* [dropped] is a plain field owned by the recording domain; a live read
+     here is a monitoring-grade approximation, same as the serve shard
+     counters. *)
+  List.fold_left (fun acc b -> acc + b.dropped) 0 buffers
+
 let tracks () =
   Mutex.lock registry_lock;
   let buffers = !registry in

@@ -76,6 +76,12 @@ val counter : string -> (string * int) list -> unit
 (** Sample a named counter track: each key becomes a series in that track
     (Chrome renders one stacked counter chart per distinct name). *)
 
+val dropped_events : unit -> int
+(** Total events lost to full buffers across every domain in the current
+    session.  Safe to call while recording continues — the count is a
+    monitoring-grade approximation, not a linearizable read.  0 when no
+    session has recorded. *)
+
 val tracks : unit -> track list
 (** Snapshot of the current session, one track per recording domain,
     sorted by domain id.  Call with recording quiesced (after {!disable}

@@ -1,0 +1,39 @@
+(** Minimal JSON reader for the daemon's own replies.
+
+    The wire protocol carries Stats/Telemetry payloads as JSON strings
+    assembled by hand on the server; the CLI pulls them apart again to
+    render `eppi top` and to diff counters for `eppi stats --watch`.
+    Full grammar, zero dependencies, no performance ambitions — replies
+    are a few KB. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Whole-string parse; trailing non-whitespace bytes are an error. *)
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val find : t -> string list -> t option
+(** Nested lookup: [find v ["a"; "b"]] is [v.a.b]. *)
+
+val num : t -> float option
+val str : t -> string option
+val list : t -> t list option
+val obj : t -> (string * t) list option
+val find_num : t -> string list -> float option
+val find_str : t -> string list -> string option
+
+val find_int : t -> string list -> int option
+(** [find_num] rounded to the nearest integer. *)

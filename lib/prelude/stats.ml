@@ -85,7 +85,13 @@ module Log2_histogram = struct
 
   let total t = t.total
   let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+  let sum t = t.sum
   let counts t = Array.copy t.counts
+
+  let clear t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.total <- 0;
+    t.sum <- 0.0
 
   let merge a b =
     if a.lo <> b.lo || Array.length a.counts <> Array.length b.counts then
@@ -116,6 +122,92 @@ module Log2_histogram = struct
        with Exit -> ());
       t.lo *. Float.pow 2.0 (float_of_int !bucket +. 0.5)
     end
+end
+
+module Windowed = struct
+  (* A rolling window of [slots] sub-histograms, each covering [slot_ns] of
+     wall time.  [add]/[snapshot] take the caller's clock so rotation is
+     deterministic under test.  Slot [e mod slots] holds epoch [e]; advancing
+     past a slot clears it before reuse, so stale data never leaks into a
+     snapshot.  A backwards clock step (epoch < current) discards the window
+     rather than mixing samples from two timelines. *)
+  type t = {
+    slot_ns : int;
+    slots : Log2_histogram.t array;
+    mutable epoch : int;  (* now_ns / slot_ns of the most recent touch *)
+    mutable touched : bool;  (* false until the first add after create/clear *)
+  }
+
+  type summary = {
+    count : int;
+    rate : float;  (* samples per second over the whole window span *)
+    mean : float;
+    p50 : float;
+    p99 : float;
+    span_s : float;
+  }
+
+  let create ?(lo = 1e-9) ?(hist_buckets = 64) ?(slots = 10) ?(slot_ns = 1_000_000_000) () =
+    if slots <= 0 then invalid_arg "Windowed.create: slots must be positive";
+    if slot_ns <= 0 then invalid_arg "Windowed.create: slot_ns must be positive";
+    {
+      slot_ns;
+      slots = Array.init slots (fun _ -> Log2_histogram.create ~lo ~buckets:hist_buckets ());
+      epoch = 0;
+      touched = false;
+    }
+
+  let clear_all t =
+    Array.iter Log2_histogram.clear t.slots;
+    t.touched <- false
+
+  let rotate t ~now_ns =
+    let e = now_ns / t.slot_ns in
+    if not t.touched then t.epoch <- e
+    else if e < t.epoch then begin
+      (* Clock stepped backwards: the window's timeline is gone. *)
+      clear_all t;
+      t.epoch <- e
+    end
+    else if e > t.epoch then begin
+      let n = Array.length t.slots in
+      let stale = e - t.epoch in
+      if stale >= n then clear_all t
+      else
+        for k = t.epoch + 1 to e do
+          Log2_histogram.clear t.slots.(k mod n)
+        done;
+      t.epoch <- e
+    end
+
+  let add t ~now_ns x =
+    rotate t ~now_ns;
+    t.touched <- true;
+    Log2_histogram.add t.slots.(t.epoch mod Array.length t.slots) x
+
+  let span_s t = float_of_int (Array.length t.slots * t.slot_ns) /. 1e9
+
+  let snapshot t ~now_ns =
+    rotate t ~now_ns;
+    let merged =
+      Array.fold_left
+        (fun acc h -> Log2_histogram.merge acc h)
+        (Log2_histogram.create
+           ~lo:t.slots.(0).Log2_histogram.lo
+           ~buckets:(Array.length t.slots.(0).Log2_histogram.counts)
+           ())
+        t.slots
+    in
+    let count = Log2_histogram.total merged in
+    let span = span_s t in
+    {
+      count;
+      rate = (if count = 0 then 0.0 else float_of_int count /. span);
+      mean = Log2_histogram.mean merged;
+      p50 = Log2_histogram.quantile merged 0.5;
+      p99 = Log2_histogram.quantile merged 0.99;
+      span_s = span;
+    }
 end
 
 module Histogram = struct

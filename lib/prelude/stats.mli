@@ -49,7 +49,13 @@ module Log2_histogram : sig
   val mean : t -> float
   (** Exact mean of the recorded samples (0 when empty). *)
 
+  val sum : t -> float
+  (** Exact sum of the recorded samples. *)
+
   val counts : t -> int array
+
+  val clear : t -> unit
+  (** Forget every sample, keeping the shape (lo, bucket count). *)
 
   val merge : t -> t -> t
   (** Pointwise sum, for aggregating per-shard histograms into one snapshot.
@@ -59,6 +65,43 @@ module Log2_histogram : sig
   (** [quantile t q] is the geometric midpoint of the bucket holding the
       q-th sample — exact rank, bucket-resolution value.  0 when empty.
       @raise Invalid_argument for [q] outside [0, 1]. *)
+end
+
+(** Rolling-window histogram: a ring of {!Log2_histogram} slots, each
+    covering a fixed span of wall time, so a live daemon can report
+    "p99 over the last ~10 s" instead of since-boot aggregates.
+
+    The caller supplies the clock ([now_ns]) on every operation, which keeps
+    rotation deterministic under test.  Slots past the window are cleared
+    lazily as the clock advances; a backwards clock step discards the whole
+    window (two timelines must not mix); a forward jump larger than the
+    window empties it. *)
+module Windowed : sig
+  type t
+
+  type summary = {
+    count : int;
+    rate : float;  (** samples per second over the full window span *)
+    mean : float;
+    p50 : float;
+    p99 : float;
+    span_s : float;
+  }
+
+  val create :
+    ?lo:float -> ?hist_buckets:int -> ?slots:int -> ?slot_ns:int -> unit -> t
+  (** Defaults: 10 slots of 1 s each (a ~10 s rolling window), sample
+      histograms shaped like {!Log2_histogram.create}'s defaults.
+      @raise Invalid_argument on non-positive [slots] or [slot_ns]. *)
+
+  val add : t -> now_ns:int -> float -> unit
+  (** Record a sample at time [now_ns], rotating stale slots out first. *)
+
+  val snapshot : t -> now_ns:int -> summary
+  (** Aggregate over every live slot as of [now_ns]. *)
+
+  val span_s : t -> float
+  (** The window's full span in seconds (slots x slot width). *)
 end
 
 (** Fixed-bin histogram over a closed interval. *)

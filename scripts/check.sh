@@ -23,7 +23,9 @@ rm -f BENCH_construct.json
 # the bench's reply-equality + shed-conservation assertions, then checks
 # the emitted JSON is well-formed and carries the headline fields.
 echo "== serve smoke =="
-SERVE_N=120 SERVE_M=64 SERVE_QUERIES=4000 SERVE_DOMAINS=1,2 dune exec bench/main.exe -- serve
+SERVE_N=120 SERVE_M=64 SERVE_QUERIES=4000 SERVE_DOMAINS=1,2 \
+  SERVE_TELEMETRY_QUERIES=2000 SERVE_TELEMETRY_DOMAINS=2 \
+  dune exec bench/main.exe -- serve
 test -s BENCH_serve.json
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
@@ -31,9 +33,11 @@ import json
 with open("BENCH_serve.json") as f:
     data = json.load(f)
 for key in ("speedup_postings_vs_naive", "cache_hit_rate", "latency_s",
-            "domain_runs", "admission", "metrics"):
+            "domain_runs", "admission", "telemetry", "metrics"):
     if key not in data:
         raise SystemExit(f"BENCH_serve.json missing {key!r}")
+if not data["telemetry"]["overhead_ok"]:
+    raise SystemExit(f"BENCH_serve.json: telemetry overhead gate failed: {data['telemetry']}")
 print("BENCH_serve.json well-formed")
 EOF
 fi
@@ -103,8 +107,16 @@ seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$NET_SOCK" >"$NE
 test "$(wc -l < "$NET_DIR/replies1.txt")" -eq 50
 test "$(wc -l < "$NET_DIR/replies2.txt")" -eq 50
 "$EPPI" stats --connect "$NET_SOCK" >"$NET_DIR/stats.json"
+# Live telemetry (docs/OBSERVABILITY.md): the stage decomposition's
+# conservation law must hold as an exact integer identity, the Stats
+# reply must carry the per-worker counters, and both watch modes must
+# produce bounded output.
+"$EPPI" top --connect "$NET_SOCK" --json >"$NET_DIR/telemetry.json"
+"$EPPI" stats --connect "$NET_SOCK" --watch 0.2 --iterations 2 >"$NET_DIR/watch.txt"
+test "$(wc -l < "$NET_DIR/watch.txt")" -eq 2
+grep -q "queries" "$NET_DIR/watch.txt"
 if command -v python3 >/dev/null 2>&1; then
-  NET_STATS="$NET_DIR/stats.json" python3 - <<'EOF'
+  NET_STATS="$NET_DIR/stats.json" NET_TELEMETRY="$NET_DIR/telemetry.json" python3 - <<'EOF'
 import json, os
 with open(os.environ["NET_STATS"]) as f:
     m = json.load(f)
@@ -116,8 +128,27 @@ if m["generation"] != 3:
     raise SystemExit(f"net: expected generation 3 after republishes, got {m['generation']}")
 if m["swaps"] < 1:
     raise SystemExit(f"net: republish recorded no swap: {m}")
+if len(m.get("workers", [])) != 4:
+    raise SystemExit(f"net: stats should list 4 worker domains: {m.get('workers')}")
+if "trace_dropped" not in m:
+    raise SystemExit("net: stats reply lacks trace_dropped")
+with open(os.environ["NET_TELEMETRY"]) as f:
+    t = json.load(f)
+c = t["conservation"]
+if not c["exact"] or c["stage_sum_ns"] != c["total_ns"]:
+    raise SystemExit(f"net: telemetry stage conservation violated: {c}")
+if t["requests"] < 100:
+    raise SystemExit(f"net: telemetry saw {t['requests']} requests, expected >= 100")
+if len(t["workers"]) != 4:
+    raise SystemExit(f"net: telemetry should list 4 worker domains: {t['workers']}")
+if t["stages"]["decode"]["count"] != t["stages"]["flush"]["count"]:
+    raise SystemExit(f"net: stage counts disagree: {t['stages']}")
+if not t["slow"]:
+    raise SystemExit("net: slow-request ring is empty after load")
 print(f"net stats ok: {m['queries']} queries conserved, generation {m['generation']}, "
       f"{m['swaps']} swap observation(s)")
+print(f"net telemetry ok: {t['requests']} requests, stage sum {c['stage_sum_ns']} ns "
+      f"== total {c['total_ns']} ns (exact)")
 EOF
 fi
 "$EPPI" shutdown --connect "$NET_SOCK" 2>/dev/null

@@ -81,6 +81,13 @@ let sample_frames =
       Query_fuzzy { probe = partial_probe; k = 10_000 };
       Ping;
       Shutdown;
+      Telemetry;
+      (* Trace envelopes: ids at both ends of the varint range, wrapping
+         payload-free and payload-heavy inner requests alike. *)
+      Traced { trace_id = 0; request = Query { owner = 42 } };
+      Traced { trace_id = 0x7FFF_FFFF; request = Batch [| 1; 2; 300 |] };
+      Traced { trace_id = 1; request = Query_fuzzy { probe = sample_probe; k = 3 } };
+      Traced { trace_id = 9; request = Telemetry };
     ]
   @ List.map
       (fun r -> Response r)
@@ -120,6 +127,8 @@ let sample_frames =
         Fuzzy_reply { generation = 1; result = Serve.No_resolver };
         Fuzzy_reply { generation = 2; result = Serve.Probe_mismatch };
         Fuzzy_reply { generation = 3; result = Serve.Fuzzy_shed };
+        Telemetry_json "{\"requests\": 12, \"conservation\": {\"exact\": true}}";
+        Telemetry_json "";
         Pong;
         Shutting_down;
         Server_error "republish: bad csv";
@@ -223,11 +232,40 @@ let test_codec_errors () =
   expect_error "unknown reply kind"
     (header ~tag:0x11 ~len:2 ^ "\x02\x09")
     (function Wire.Corrupt msg -> contains msg "reply kind" | _ -> false);
-  (* The fuzzy tags sit at the top of each range; the next tag up must
-     still be unknown. *)
-  expect_error "request-range hole is unknown" "\xE5\x01\x0A" (function
-    | Wire.Unknown_tag 0x0A -> true
+  (* The telemetry tags sit at the top of each range; the next tag up
+     must still be unknown. *)
+  expect_error "request-range hole is unknown" "\xE5\x01\x0C" (function
+    | Wire.Unknown_tag 0x0C -> true
     | _ -> false);
+  (* Traced (0x0A) envelopes: zigzag varint trace id, one inner tag byte,
+     then the inner request's payload — each constraint has a hostile
+     probe. *)
+  expect_error "traced frame truncated before inner tag"
+    (header ~tag:0x0A ~len:1 ^ "\x02")
+    (function Wire.Corrupt msg -> contains msg "truncated traced" | _ -> false);
+  expect_error "negative trace id"
+    (header ~tag:0x0A ~len:2 ^ "\x01\x01")
+    (function Wire.Corrupt msg -> contains msg "trace id" | _ -> false);
+  expect_error "nested traced frame"
+    (header ~tag:0x0A ~len:2 ^ "\x02\x0A")
+    (function Wire.Corrupt msg -> contains msg "nested" | _ -> false);
+  expect_error "traced frame wrapping a response tag"
+    (header ~tag:0x0A ~len:2 ^ "\x02\x11")
+    (function Wire.Corrupt msg -> contains msg "wraps tag" | _ -> false);
+  expect_error "traced frame wrapping tag zero"
+    (header ~tag:0x0A ~len:2 ^ "\x02\x00")
+    (function Wire.Corrupt msg -> contains msg "wraps tag" | _ -> false);
+  expect_error "traced frame with truncated inner payload"
+    (header ~tag:0x0A ~len:2 ^ "\x02\x01")
+    (function Wire.Corrupt _ -> true | _ -> false);
+  (* The inner frame runs the full strict parse: a Ping that carries a
+     payload byte is rejected inside the envelope too. *)
+  expect_error "traced frame with trailing inner bytes"
+    (header ~tag:0x0A ~len:3 ^ "\x02\x06\x00")
+    (function Wire.Corrupt msg -> contains msg "trailing" | _ -> false);
+  expect_error "telemetry request with a payload"
+    (header ~tag:0x0B ~len:1 ^ "\x00")
+    (function Wire.Corrupt msg -> contains msg "trailing" | _ -> false);
   (* Fuzzy request (0x09) payloads are zigzag varints: k, blocking-key
      count + keys, bits, hashes, then four filters as ascending set-bit
      index lists. *)
@@ -1080,6 +1118,165 @@ let test_client_connection_lost_when_gone_for_good () =
 
 (* ---------- Properties ---------- *)
 
+(* ---- live telemetry ---- *)
+
+(* Drive a mixed load through the daemon, then take it apart via the
+   Telemetry wire command: the stage decomposition must conserve exactly
+   (stages are telescoping differences of one clock, so the integer sums
+   are equal, not merely close), the rolling window must have seen the
+   load, and both ops replies must carry the per-worker counters. *)
+let daemon_telemetry ~shards ~workers () =
+  let n = 20 and m = 9 in
+  let index = test_index ~n ~m in
+  with_server ~shards ~workers index (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          for owner = 0 to n - 1 do
+            ignore (Client.query c ~owner)
+          done;
+          ignore (Client.batch c [| 0; 1; 2; 3; 4; 5; 6; 7 |]);
+          ignore (Client.audit c ~provider:2);
+          Client.ping c;
+          let raw = Client.telemetry_json c in
+          let v =
+            match Json.parse raw with
+            | Ok v -> v
+            | Error e -> Alcotest.fail ("telemetry reply is not JSON: " ^ e)
+          in
+          let geti path =
+            match Json.find_int v path with
+            | Some x -> x
+            | None -> Alcotest.fail ("telemetry reply lacks " ^ String.concat "." path)
+          in
+          check_bool "requests recorded" true (geti [ "requests" ] >= n + 3);
+          check_int "conservation is exact"
+            (geti [ "conservation"; "total_ns" ])
+            (geti [ "conservation"; "stage_sum_ns" ]);
+          check_bool "conservation flagged exact" true
+            (Json.find v [ "conservation"; "exact" ] = Some (Json.Bool true));
+          check_bool "window saw the queries" true (geti [ "window"; "query"; "count" ] >= n);
+          check_bool "window saw the batch" true (geti [ "window"; "batch"; "count" ] >= 1);
+          check_bool "window query rate positive" true
+            (match Json.find_num v [ "window"; "query"; "rate" ] with
+            | Some r -> r > 0.0
+            | None -> false);
+          let finished = geti [ "stages"; "total"; "count" ] in
+          check_bool "stage totals populated" true (finished >= n + 3);
+          (* Every finished request passes through every stage exactly
+             once — the per-stage counts all agree. *)
+          List.iter
+            (fun st ->
+              check_int (st ^ " counts every request") finished (geti [ "stages"; st; "count" ]))
+            [ "decode"; "dispatch"; "queue"; "execute"; "reorder"; "flush" ];
+          (match Json.find v [ "workers" ] with
+          | Some (Json.List ws) ->
+              check_int "one entry per worker domain" (if workers > 1 then workers else 0)
+                (List.length ws)
+          | _ -> Alcotest.fail "telemetry reply lacks workers");
+          (match Json.find v [ "slow" ] with
+          | Some (Json.List (s :: _)) ->
+              check_bool "slow entry conserves too" true
+                (match Json.find_int s [ "total_ns" ] with
+                | Some total ->
+                    total
+                    = List.fold_left
+                        (fun acc k ->
+                          acc + Option.value ~default:0 (Json.find_int s [ k ^ "_ns" ]))
+                        0
+                        [ "decode"; "dispatch"; "queue"; "execute"; "reorder"; "flush" ]
+                | None -> false)
+          | _ -> Alcotest.fail "slow ring is empty after load");
+          (* The Stats reply carries the worker counters and the trace
+             session's drop count on top of the engine metrics. *)
+          let stats =
+            match Json.parse (Client.stats_json c) with
+            | Ok v -> v
+            | Error e -> Alcotest.fail ("stats reply is not JSON: " ^ e)
+          in
+          check_bool "stats still counts queries" true
+            (Json.find_int stats [ "queries" ] <> None);
+          check_bool "stats carries trace_dropped" true
+            (Json.find_int stats [ "trace_dropped" ] = Some 0);
+          match Json.find stats [ "workers" ] with
+          | Some (Json.List ws) ->
+              check_int "stats workers match pool" (if workers > 1 then workers else 0)
+                (List.length ws);
+              if workers > 1 then
+                check_bool "workers served the load" true
+                  (List.fold_left
+                     (fun acc w -> acc + Option.value ~default:0 (Json.find_int w [ "served" ]))
+                     0 ws
+                  > 0)
+          | _ -> Alcotest.fail "stats reply lacks workers"))
+
+(* A trace id minted by the client must label spans on BOTH sides of the
+   socket: the client's [client.request] span and the daemon's
+   [net.request] span (recorded on a different domain, hence a different
+   track) carry the same id, and the Chrome export contains both. *)
+let test_trace_propagation () =
+  let index = test_index ~n:10 ~m:5 in
+  Eppi_obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () -> Eppi_obs.Trace.reset ())
+    (fun () ->
+      with_server ~shards:2 ~workers:2 index (fun addr _engine ->
+          let c = Client.connect addr in
+          Fun.protect
+            ~finally:(fun () -> Client.close c)
+            (fun () -> ignore (Client.query c ~owner:3)));
+      Eppi_obs.Trace.disable ();
+      let tracks = Eppi_obs.Trace.tracks () in
+      let ends_named name =
+        List.concat_map
+          (fun tr ->
+            List.filter_map
+              (fun (e : Eppi_obs.Trace.event) ->
+                if e.kind = Eppi_obs.Trace.Span_end && e.name = name then
+                  match List.assoc_opt "trace_id" e.args with
+                  | Some id -> Some (tr.Eppi_obs.Trace.track_label, id)
+                  | None -> None
+                else None)
+              tr.Eppi_obs.Trace.track_events)
+          tracks
+      in
+      let client_spans = ends_named "client.request" in
+      let server_spans = ends_named "net.request" in
+      check_bool "client recorded a traced span" true (client_spans <> []);
+      check_bool "server recorded a traced span" true (server_spans <> []);
+      let _, id = List.hd client_spans in
+      check_bool "trace id is non-negative" true (id >= 0);
+      check_bool "same id on a server span" true (List.exists (fun (_, i) -> i = id) server_spans);
+      check_bool "client and server spans sit on different tracks" true
+        (List.exists
+           (fun (server_track, i) ->
+             i = id && List.for_all (fun (client_track, _) -> client_track <> server_track) client_spans)
+           server_spans);
+      (* And the joined trace survives the Chrome export. *)
+      let tmp = Filename.temp_file "eppi-trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Eppi_obs.Chrome.write tmp;
+          let ic = open_in_bin tmp in
+          let body =
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          check_bool "export has the client span" true (contains body "client.request");
+          check_bool "export has the server span" true (contains body "net.request");
+          check_bool "export carries the id twice" true
+            (let needle = Printf.sprintf "\"trace_id\":%d" id in
+             let rec count i acc =
+               if i + String.length needle > String.length body then acc
+               else if String.sub body i (String.length needle) = needle then
+                 count (i + 1) (acc + 1)
+               else count (i + 1) acc
+             in
+             count 0 0 >= 2)))
+
 let qcheck_tests =
   let open QCheck in
   let gen_owner =
@@ -1119,7 +1316,7 @@ let qcheck_tests =
         Probe.of_demographic (Bloom.keyed ~seed ~bits ~hashes ()) person)
       Gen.(quad nat (int_range 8 512) (int_range 1 8) gen_demographic)
   in
-  let gen_request =
+  let gen_plain_request =
     Gen.oneof
       [
         Gen.map (fun owner -> Wire.Query { owner }) gen_owner;
@@ -1131,6 +1328,17 @@ let qcheck_tests =
         Gen.map2 (fun probe k -> Wire.Query_fuzzy { probe; k }) gen_probe (Gen.int_range 1 2000);
         Gen.return Wire.Ping;
         Gen.return Wire.Shutdown;
+        Gen.return Wire.Telemetry;
+      ]
+  in
+  (* Any plain request may arrive inside a trace envelope; the envelope
+     never nests, which the generator respects by construction. *)
+  let gen_request =
+    Gen.oneof
+      [
+        gen_plain_request;
+        Gen.map2 (fun trace_id request -> Wire.Traced { trace_id; request }) Gen.nat
+          gen_plain_request;
       ]
   in
   (* Scores on the wire are basis points; quantized floats round-trip
@@ -1262,6 +1470,15 @@ let () =
             (daemon_fuzzy ~shards:4 ~workers:4);
           Alcotest.test_case "fuzzy hot swap stays generation-consistent" `Quick
             test_daemon_fuzzy_hot_swap;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stage conservation, inline daemon" `Quick
+            (daemon_telemetry ~shards:1 ~workers:1);
+          Alcotest.test_case "stage conservation (4 domains)" `Quick
+            (daemon_telemetry ~shards:4 ~workers:4);
+          Alcotest.test_case "trace id joins client and server tracks" `Quick
+            test_trace_propagation;
         ] );
       ( "client robustness",
         [

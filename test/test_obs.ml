@@ -200,6 +200,22 @@ let test_ring_buffer_bounds () =
       Trace.enable ~capacity_per_domain:0 ());
   Trace.reset ()
 
+(* The drop counter the daemon's ops replies expose: zero without a
+   session, zero while the buffer still has room, and exactly the
+   overflow once it fills — readable mid-recording. *)
+let test_dropped_events_counter () =
+  check_int "no session, no drops" 0 (Trace.dropped_events ());
+  with_session ~capacity_per_domain:16 (fun () ->
+      for _ = 1 to 10 do
+        Trace.instant "tick"
+      done;
+      check_int "under capacity, no drops" 0 (Trace.dropped_events ());
+      for _ = 1 to 90 do
+        Trace.instant "tick"
+      done;
+      check_int "overflow counted live" 84 (Trace.dropped_events ()));
+  check_int "reset clears the count" 0 (Trace.dropped_events ())
+
 (* ---------- Chrome export ---------- *)
 
 let test_chrome_export () =
@@ -271,6 +287,7 @@ let () =
           Alcotest.test_case "unbalanced end dropped" `Quick test_unbalanced_end_dropped;
           Alcotest.test_case "one track per domain" `Quick test_domains_get_own_tracks;
           Alcotest.test_case "ring buffer bounds" `Quick test_ring_buffer_bounds;
+          Alcotest.test_case "dropped-events counter" `Quick test_dropped_events_counter;
         ] );
       ( "export",
         [

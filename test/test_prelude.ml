@@ -249,6 +249,107 @@ let test_histogram () =
   check_int "low bin" 2 counts.(0);
   check_int "high bin" 2 counts.(4)
 
+let test_log2_histogram_sum_and_clear () =
+  let h = Stats.Log2_histogram.create () in
+  List.iter (Stats.Log2_histogram.add h) [ 0.5; 1.5; 2.0 ];
+  check_int "total" 3 (Stats.Log2_histogram.total h);
+  check_float "sum is exact" 4.0 (Stats.Log2_histogram.sum h);
+  Stats.Log2_histogram.clear h;
+  check_int "cleared total" 0 (Stats.Log2_histogram.total h);
+  check_float "cleared sum" 0.0 (Stats.Log2_histogram.sum h);
+  check_float "cleared quantile" 0.0 (Stats.Log2_histogram.quantile h 0.5);
+  (* Reusable after clear: the buckets themselves were reset. *)
+  Stats.Log2_histogram.add h 8.0;
+  check_int "refilled total" 1 (Stats.Log2_histogram.total h);
+  check_float "refilled sum" 8.0 (Stats.Log2_histogram.sum h)
+
+(* ---------- Stats.Windowed ---------- *)
+
+let s_ns = 1_000_000_000
+
+(* A fresh window reports zeros, not NaNs. *)
+let test_windowed_empty () =
+  let w = Stats.Windowed.create () in
+  let s = Stats.Windowed.snapshot w ~now_ns:(5 * s_ns) in
+  check_int "empty count" 0 s.Stats.Windowed.count;
+  check_float "empty rate" 0.0 s.rate;
+  check_float "empty mean" 0.0 s.mean;
+  check_float "empty p50" 0.0 s.p50;
+  check_float "span" 10.0 s.span_s
+
+let test_windowed_rotation () =
+  let w = Stats.Windowed.create ~slots:4 ~slot_ns:s_ns () in
+  check_float "span from config" 4.0 (Stats.Windowed.span_s w);
+  (* Four samples in slot 0; they age out one slot-width at a time. *)
+  Stats.Windowed.add w ~now_ns:100 1.0;
+  Stats.Windowed.add w ~now_ns:200 1.0;
+  let s = Stats.Windowed.snapshot w ~now_ns:300 in
+  check_int "fresh samples counted" 2 s.Stats.Windowed.count;
+  check_float "rate over full span" 0.5 s.rate;
+  (* 3 slots later they are still (barely) inside the window... *)
+  Stats.Windowed.add w ~now_ns:(3 * s_ns) 2.0;
+  let s = Stats.Windowed.snapshot w ~now_ns:(3 * s_ns) in
+  check_int "old slot still live" 3 s.Stats.Windowed.count;
+  (* ...one more slot evicts the slot-0 samples but keeps the slot-3 one. *)
+  let s = Stats.Windowed.snapshot w ~now_ns:(4 * s_ns) in
+  check_int "slot 0 rotated out" 1 s.Stats.Windowed.count;
+  check_float "survivor's mean" 2.0 s.mean
+
+let test_windowed_clock_jumps () =
+  let w = Stats.Windowed.create ~slots:4 ~slot_ns:s_ns () in
+  Stats.Windowed.add w ~now_ns:(10 * s_ns) 1.0;
+  (* A forward jump of at least the window span clears everything. *)
+  let s = Stats.Windowed.snapshot w ~now_ns:(100 * s_ns) in
+  check_int "stale window empty after forward jump" 0 s.Stats.Windowed.count;
+  Stats.Windowed.add w ~now_ns:(100 * s_ns) 1.0;
+  (* A backward step (clock went wrong) drops the data rather than
+     reporting samples from the future. *)
+  let s = Stats.Windowed.snapshot w ~now_ns:(50 * s_ns) in
+  check_int "backward step clears" 0 s.Stats.Windowed.count;
+  (* And the window keeps working at the stepped-back epoch. *)
+  Stats.Windowed.add w ~now_ns:(50 * s_ns) 3.0;
+  let s = Stats.Windowed.snapshot w ~now_ns:(50 * s_ns) in
+  check_int "usable after step" 1 s.Stats.Windowed.count
+
+let test_windowed_wrap () =
+  let w = Stats.Windowed.create ~slots:3 ~slot_ns:s_ns () in
+  (* Keep one sample per slot while sliding over many multiples of the
+     slot count: the ring indices wrap, the counts must not. *)
+  for i = 0 to 29 do
+    Stats.Windowed.add w ~now_ns:(i * s_ns) (float_of_int i)
+  done;
+  let s = Stats.Windowed.snapshot w ~now_ns:(29 * s_ns) in
+  check_int "exactly one live sample per slot" 3 s.Stats.Windowed.count;
+  check_float "window mean of last three" 28.0 s.mean
+
+(* ---------- Json ---------- *)
+
+let test_json_values () =
+  let ok s v = check_bool ("parse " ^ s) true (Json.parse s = Ok v) in
+  ok "null" Json.Null;
+  ok "true" (Json.Bool true);
+  ok " -12.5e2 " (Json.Num (-1250.0));
+  ok "\"a\\n\\\"b\\\"\"" (Json.Str "a\n\"b\"");
+  ok "[1, []]" (Json.List [ Json.Num 1.0; Json.List [] ]);
+  ok "{\"a\": {\"b\": [true]}}" (Json.Obj [ ("a", Json.Obj [ ("b", Json.List [ Json.Bool true ]) ]) ]);
+  (* \u escapes decode to UTF-8. *)
+  ok "\"\\u00e9\"" (Json.Str "\xc3\xa9")
+
+let test_json_errors () =
+  let bad s = check_bool ("reject " ^ s) true (Result.is_error (Json.parse s)) in
+  List.iter bad
+    [ ""; "tru"; "{"; "[1,"; "[1 2]"; "{\"a\" 1}"; "\"unterminated"; "01x"; "nan"; "{} trailing" ]
+
+let test_json_lookup () =
+  let v = Json.parse_exn "{\"a\": {\"b\": 3, \"s\": \"x\"}, \"l\": [1, 2]}" in
+  check_bool "find num" true (Json.find_num v [ "a"; "b" ] = Some 3.0);
+  check_bool "find int" true (Json.find_int v [ "a"; "b" ] = Some 3);
+  check_bool "find str" true (Json.find_str v [ "a"; "s" ] = Some "x");
+  check_bool "missing is None" true (Json.find v [ "a"; "zz" ] = None);
+  check_bool "non-object path is None" true (Json.find v [ "l"; "x" ] = None);
+  check_bool "list access" true
+    (match Json.find v [ "l" ] with Some (Json.List [ _; _ ]) -> true | _ -> false)
+
 (* ---------- Bitvec ---------- *)
 
 let test_bitvec_basics () =
@@ -462,6 +563,12 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "log2 histogram sum and clear" `Quick
+            test_log2_histogram_sum_and_clear;
+          Alcotest.test_case "windowed empty" `Quick test_windowed_empty;
+          Alcotest.test_case "windowed rotation" `Quick test_windowed_rotation;
+          Alcotest.test_case "windowed clock jumps" `Quick test_windowed_clock_jumps;
+          Alcotest.test_case "windowed ring wrap" `Quick test_windowed_wrap;
         ] );
       ( "bitvec",
         [
@@ -489,6 +596,12 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "values" `Quick test_json_values;
+          Alcotest.test_case "malformed rejected" `Quick test_json_errors;
+          Alcotest.test_case "path lookup" `Quick test_json_lookup;
         ] );
       ("properties", qsuite);
     ]
