@@ -18,10 +18,24 @@
    machines with enough cores (a single-core box cannot exhibit parallel
    speedup, only the absence of a regression).
 
+   A replication scenario follows the single-daemon sweeps: NET_REPLICAS
+   daemons serve the same index as a replica set, a cluster republish
+   fans the second index out to all of them (asserted converged within
+   the round), then Zipf traffic at a fixed offered load runs against
+   the cluster while one replica is killed mid-run.  Asserted: at least
+   one failover happened, the error rate after the failover settles is
+   zero, and after a post-kill cluster republish every surviving replica
+   reports the same generation within one fan-out round.  Recorded:
+   baseline vs kill-window p99, failover latency, generation-convergence
+   lag.
+
    Environment knobs: NET_N (owners, default 2000), NET_M (providers,
    default 1024), NET_QUERIES (replay size, default 50000), NET_DEPTHS
    (comma list, default 1,4,16,64), NET_DOMAINS (comma list, default
-   1,2,4,8), NET_SWAPS (republish count under load, default 30). *)
+   1,2,4,8), NET_SWAPS (republish count under load, default 30),
+   NET_REPLICAS (replica count, default 3, min 2), NET_REPL_QUERIES
+   (replication-scenario traffic, default min(NET_QUERIES, 6000)),
+   NET_REPL_QPS (offered load, default 2000). *)
 
 open Eppi_prelude
 open Eppi_net
@@ -238,6 +252,190 @@ let run () =
   let (p50, p99, worst), (csv_p50, csv_p99, csv_worst), final_generation, load_replies, stats =
     swap_stats
   in
+  (* ---- replication: availability under replica kill ----
+     NET_REPLICAS daemons over [index1] form a static replica set.  A
+     cluster republish fans [index2] out (generation 1 -> 2 everywhere,
+     converged within the round), then a failover-aware cluster client
+     drives Zipf windows at a fixed offered load; replica 0 is killed
+     mid-run.  The client is expected to fail over without surfacing
+     errors once the failover settles; a second cluster republish with
+     the dead replica still listed must succeed on the survivors and
+     leave them generation-converged within that one round. *)
+  let replicas = max 2 (getenv_int "NET_REPLICAS" 3) in
+  let repl_queries = max 1 (getenv_int "NET_REPL_QUERIES" (min queries 6000)) in
+  let repl_qps =
+    match Sys.getenv_opt "NET_REPL_QPS" with
+    | Some s -> ( try Float.max 1.0 (float_of_string (String.trim s)) with _ -> 2000.0)
+    | None -> 2000.0
+  in
+  let repl_depth = 32 in
+  let repl_paths =
+    List.init replicas (fun i ->
+        Printf.sprintf "/tmp/eppi-net-repl-%d-%d.sock" (Unix.getpid ()) i)
+  in
+  let repl_addrs = List.map (fun p -> Addr.Unix_socket p) repl_paths in
+  let repl_set = Eppi_cluster.Replica_set.of_addrs repl_addrs in
+  let peer_strings = List.map Addr.to_string repl_addrs in
+  let repl_daemons =
+    List.map
+      (fun addr ->
+        let engine = Serve.create ~config:{ Serve.default_config with shards = 4 } index1 in
+        let server =
+          Server.create
+            ~config:{ Server.default_config with workers = 1; peers = peer_strings }
+            engine
+        in
+        let listener = Server.listen addr in
+        Domain.spawn (fun () -> Server.run server listener))
+      repl_addrs
+  in
+  let shutdown_replica addr =
+    (* No connect retries: the listeners were bound before the domains
+       spawned, so a live replica accepts immediately and a dead one
+       (the killed socket is gone) fails fast instead of stalling. *)
+    try
+      let c = Client.connect addr in
+      (try Client.shutdown c with _ -> ());
+      Client.close c
+    with _ -> ()
+  in
+  let replication =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter shutdown_replica repl_addrs;
+        List.iter Domain.join repl_daemons;
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) repl_paths)
+      (fun () ->
+        (* Initial fan-out: everyone applies index2, generation 1 -> 2. *)
+        let initial = Eppi_cluster.Fanout.republish repl_set index2 in
+        if initial.succeeded <> replicas then
+          failwith
+            (Printf.sprintf "net: initial fan-out reached %d/%d replicas" initial.succeeded
+               replicas);
+        if initial.generation <> Some 2 then
+          failwith "net: initial fan-out generations diverge";
+        let initial_converged =
+          Eppi_cluster.Fanout.converged (Eppi_cluster.Fanout.status repl_set) = Some 2
+        in
+        if not initial_converged then
+          failwith "net: replicas not generation-converged within the initial fan-out round";
+        Bench_util.note "replication: %d replicas converged at generation 2 in %.3f s" replicas
+          initial.wall_seconds;
+        (* Offered-load traffic with a mid-run kill.  Least-inflight with
+           sequential windows concentrates traffic on replica 0 — which
+           guarantees the kill hits the replica actually serving. *)
+        let cluster =
+          Eppi_cluster.Client.create ~policy:Eppi_cluster.Client.Least_inflight ~cooldown:0.5
+            ~seed:31 repl_set
+        in
+        let windows = max 1 (repl_queries / repl_depth) in
+        let kill_at = windows / 2 in
+        let window_gap = float_of_int repl_depth /. repl_qps in
+        let results = Array.make windows (0.0, 0.0, false) in
+        let errors_total = ref 0 in
+        let t_kill = ref 0.0 in
+        let t0 = Clock.seconds () in
+        for k = 0 to windows - 1 do
+          if k = kill_at then begin
+            shutdown_replica (List.hd repl_addrs);
+            t_kill := Clock.seconds () -. t0
+          end;
+          let target = t0 +. (float_of_int k *. window_gap) in
+          let now = Clock.seconds () in
+          if target > now then Unix.sleepf (target -. now);
+          let base = k * repl_depth in
+          let batch =
+            List.init repl_depth (fun j ->
+                Wire.Query { owner = workload.((base + j) mod queries) })
+          in
+          let t_start = Clock.seconds () in
+          let ok =
+            match Eppi_cluster.Client.pipeline cluster batch with
+            | responses ->
+                List.iter
+                  (function
+                    | Wire.Reply _ -> ()
+                    | other -> Client.unexpected "replication query" other)
+                  responses;
+                true
+            | exception _ ->
+                incr errors_total;
+                false
+          in
+          results.(k) <- (Clock.seconds () -. t0, Clock.seconds () -. t_start, ok)
+        done;
+        let cstats = Eppi_cluster.Client.stats cluster in
+        Eppi_cluster.Client.close cluster;
+        if cstats.failovers < 1 then failwith "net: replica kill produced no failover";
+        let settle = !t_kill +. 1.0 in
+        let errors_after_settle =
+          Array.fold_left
+            (fun acc (t_end, _, ok) -> if (not ok) && t_end > settle then acc + 1 else acc)
+            0 results
+        in
+        if errors_after_settle > 0 then
+          failwith
+            (Printf.sprintf "net: %d windows still erroring after failover settled"
+               errors_after_settle);
+        let lat_of f =
+          match
+            Array.to_list results
+            |> List.filter_map (fun (t_end, lat, ok) -> if ok && f t_end then Some lat else None)
+          with
+          | [] -> None
+          | lats ->
+              let sorted = Array.of_list lats in
+              Array.sort compare sorted;
+              Some (percentile sorted 0.99)
+        in
+        let p99_baseline = Option.value ~default:0.0 (lat_of (fun t -> t < !t_kill)) in
+        let p99_kill_window =
+          match lat_of (fun t -> t >= !t_kill && t <= settle) with
+          | Some p -> p
+          | None ->
+              (* Sparse run: fall back to the first completed window after
+                 the kill — the one that paid the failover. *)
+              Option.value ~default:0.0 (lat_of (fun t -> t >= !t_kill))
+        in
+        let failover_latency =
+          List.fold_left Float.max 0.0 cstats.failover_seconds
+        in
+        Bench_util.note
+          "replication kill: %d windows, %d errors (%d after settle), %d failovers, failover \
+           latency %.4f s, p99 baseline %.2g s vs kill window %.2g s"
+          windows !errors_total errors_after_settle cstats.failovers failover_latency
+          p99_baseline p99_kill_window;
+        (* Cluster republish with the dead replica still listed: the
+           survivors must install generation 3 and agree within this one
+           fan-out round. *)
+        let second = Eppi_cluster.Fanout.republish ~retries:1 repl_set index1 in
+        if second.succeeded <> replicas - 1 || second.failed <> 1 then
+          failwith
+            (Printf.sprintf "net: post-kill fan-out reached %d/%d replicas (want %d)"
+               second.succeeded replicas (replicas - 1));
+        if second.generation <> Some 3 then failwith "net: survivor generations diverge";
+        let survivors = Eppi_cluster.Replica_set.of_addrs (List.tl repl_addrs) in
+        let converged_within_round =
+          Eppi_cluster.Fanout.converged (Eppi_cluster.Fanout.status survivors) = Some 3
+        in
+        if not converged_within_round then
+          failwith "net: survivors not generation-converged within one fan-out round";
+        Bench_util.note
+          "replication republish around dead replica: %d/%d survivors at generation 3, \
+           convergence lag %.3f s"
+          second.succeeded replicas second.wall_seconds;
+        ( (initial.succeeded, initial.failed, initial.wall_seconds, initial_converged),
+          (!t_kill, !errors_total, errors_after_settle, p99_baseline, p99_kill_window,
+           cstats.failovers, failover_latency),
+          (second.succeeded, second.failed, second.wall_seconds, converged_within_round),
+          windows ))
+  in
+  let ( (init_ok, init_fail, init_wall, init_conv),
+        (kill_at_s, errs, errs_settled, p99_base, p99_kill, failovers, failover_s),
+        (cr_ok, cr_fail, cr_wall, cr_conv),
+        repl_windows ) =
+    replication
+  in
   (* JSON out. *)
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n";
@@ -277,6 +475,22 @@ let run () =
     (Printf.sprintf
        "  \"swap_csv\": { \"count\": %d, \"p50_s\": %.9f, \"p99_s\": %.9f, \"worst_s\": %.9f },\n"
        csv_swaps csv_p50 csv_p99 csv_worst);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"replication\": {\n\
+       \    \"replicas\": %d, \"queries\": %d, \"windows\": %d, \"depth\": %d, \
+        \"offered_qps\": %.0f,\n\
+       \    \"initial_republish\": { \"succeeded\": %d, \"failed\": %d, \"wall_s\": %.6f, \
+        \"converged_within_round\": %b },\n\
+       \    \"kill\": { \"at_s\": %.6f, \"errors_total\": %d, \"errors_after_settle\": %d, \
+        \"p99_baseline_s\": %.9f, \"p99_kill_window_s\": %.9f, \"failovers\": %d, \
+        \"failover_latency_s\": %.9f },\n\
+       \    \"cluster_republish\": { \"succeeded\": %d, \"failed\": %d, \"wall_s\": %.6f, \
+        \"converged_within_round\": %b, \"convergence_lag_s\": %.6f }\n\
+       \  },\n"
+       replicas repl_queries repl_windows repl_depth repl_qps init_ok init_fail init_wall
+       init_conv kill_at_s errs errs_settled p99_base p99_kill failovers failover_s cr_ok
+       cr_fail cr_wall cr_conv cr_wall);
   Buffer.add_string b (Printf.sprintf "  \"metrics\": %s\n" (String.trim stats));
   Buffer.add_string b "}\n";
   let out = open_out "BENCH_net.json" in

@@ -302,7 +302,9 @@ let construct_cmd =
 
 let connect_opt_arg =
   let doc =
-    "Address of a running $(b,eppi serve --listen) daemon: a Unix-socket path or $(i,HOST:PORT)."
+    "Address of a running $(b,eppi serve --listen) daemon: a Unix-socket path or $(i,HOST:PORT).  \
+     A comma-separated list ($(i,A,B,C)) addresses a replica set: queries fail over to another \
+     replica when one dies."
   in
   Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
 
@@ -315,6 +317,22 @@ let with_client addr f =
       (Eppi_net.Addr.of_string addr)
   in
   Fun.protect ~finally:(fun () -> Eppi_net.Client.close client) (fun () -> f client)
+
+(* A comma in an address argument selects the cluster path: A,B,C is a
+   replica set, a single address keeps the plain client. *)
+let is_cluster addr = String.contains addr ','
+
+let replica_set_of_string ~what addrs =
+  match Eppi_cluster.Replica_set.parse addrs with
+  | Ok set -> set
+  | Error msg ->
+      Printf.eprintf "%s: bad replica set %S: %s\n" what addrs msg;
+      exit 2
+
+let with_cluster ~what addrs f =
+  let set = replica_set_of_string ~what addrs in
+  let client = Eppi_cluster.Client.create ~request_timeout:30.0 set in
+  Fun.protect ~finally:(fun () -> Eppi_cluster.Client.close client) (fun () -> f client)
 
 let query_cmd =
   let owners =
@@ -427,6 +445,31 @@ let query_cmd =
             end;
             print_reply (Eppi_serve.Serve.Providers (Eppi.Index.query index ~owner)))
           owners
+    | None, Some addr when is_cluster addr -> (
+        (* Replica set: same commands, failover-aware transport. *)
+        match replay_log with
+        | Some log ->
+            if owners <> [] then usage_error "--replay-log excludes --owner";
+            let workload = Eppi_net.Replay.load log in
+            let s =
+              with_cluster ~what:"query" addr (fun cluster ->
+                  Eppi_cluster.Client.replay ~depth cluster workload)
+            in
+            Printf.printf
+              "{\"requests\": %d, \"served\": %d, \"unknown\": %d, \"shed\": %d, \
+               \"providers_listed\": %d, \"failovers\": %d, \"wall_seconds\": %.6f, \
+               \"qps\": %.0f}\n"
+              s.requests s.served s.unknown s.shed s.providers_listed s.failovers s.wall_seconds
+              (float_of_int s.requests /. Float.max 1e-9 s.wall_seconds)
+        | None ->
+            if owners = [] then usage_error "--owner required";
+            let requests = List.map (fun owner -> Eppi_net.Wire.Query { owner }) owners in
+            with_cluster ~what:"query" addr (fun cluster ->
+                List.iter
+                  (function
+                    | Eppi_net.Wire.Reply { reply; _ } -> print_reply reply
+                    | other -> Eppi_net.Client.unexpected "query" other)
+                  (Eppi_cluster.Client.pipeline cluster requests)))
     | None, Some addr -> (
         match replay_log with
         | Some log ->
@@ -701,6 +744,15 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "stdio" ] ~doc)
   in
+  let peers =
+    let doc =
+      "Comma-separated replica set this daemon belongs to (with $(b,--listen)).  Descriptive, \
+       not connective: the daemon never dials its peers, it only echoes the set in \
+       cluster-status replies so clients and $(b,eppi top) can discover the other replicas \
+       from any one member."
+    in
+    Arg.(value & opt (some string) None & info [ "peers" ] ~docv:"ADDRS" ~doc)
+  in
   let replay_log =
     let doc =
       "Replay this request log (CSV or JSONL, see docs/SERVE.md) instead of the synthetic Zipf \
@@ -717,7 +769,7 @@ let serve_cmd =
     Arg.(value & opt (some file) None & info [ "roster" ] ~docv:"FILE" ~doc)
   in
   let run seed index_path queries shards domains cache zipf_exponent unknown_fraction rate burst
-      queue listen stdio replay_log roster linkage_seed trace =
+      queue listen stdio peers replay_log roster linkage_seed trace =
     let index = Eppi.Index.of_csv (read_file index_path) in
     let n = Eppi.Index.owners index in
     let admission =
@@ -754,11 +806,25 @@ let serve_cmd =
         Printf.eprintf "serve: --listen and --stdio are mutually exclusive\n";
         exit 2
     | Some addr, false ->
-        let config = { Eppi_net.Server.default_config with workers = max 1 domains } in
+        let peer_list =
+          match peers with
+          | None -> []
+          | Some addrs ->
+              (* Validate eagerly — a typo should fail startup, not every
+                 later Cluster_status consumer — but store the strings
+                 verbatim, as the operator wrote them. *)
+              ignore (replica_set_of_string ~what:"serve" addrs);
+              String.split_on_char ',' addrs |> List.map String.trim
+        in
+        let config =
+          { Eppi_net.Server.default_config with workers = max 1 domains; peers = peer_list }
+        in
         let server = Eppi_net.Server.create ~config engine in
-        Printf.eprintf "listening on %s (%d shards, %d worker domains, generation %d)\n" addr
+        Printf.eprintf "listening on %s (%d shards, %d worker domains, generation %d%s)\n" addr
           shards config.workers
-          (Eppi_serve.Serve.generation engine);
+          (Eppi_serve.Serve.generation engine)
+          (if peer_list = [] then ""
+           else Printf.sprintf ", replica set of %d" (List.length peer_list));
         with_trace trace (fun () -> Eppi_net.Server.serve server (Eppi_net.Addr.of_string addr));
         Printf.eprintf "daemon stopped; final metrics:\n";
         print_endline (Eppi_serve.Metrics.to_json (Eppi_serve.Serve.metrics engine))
@@ -792,7 +858,7 @@ let serve_cmd =
   let term =
     Term.(
       const run $ seed_arg $ index_arg $ queries $ shards $ domains $ cache $ zipf_exponent
-      $ unknown_fraction $ rate $ burst $ queue $ listen $ stdio $ replay_log $ roster
+      $ unknown_fraction $ rate $ burst $ queue $ listen $ stdio $ peers $ replay_log $ roster
       $ linkage_seed_arg $ trace_arg)
   in
   Cmd.v
@@ -815,33 +881,97 @@ let republish_cmd =
   let csv_arg =
     let doc =
       "Ship the index as the legacy CSV payload instead of the compact binary codec — for \
-       daemons that predate the binary republish frame."
+       daemons that predate the binary republish frame.  Single-daemon mode only."
     in
     Arg.(value & flag & info [ "csv" ] ~doc)
   in
-  let run addr index_path csv =
-    let index_csv = read_file index_path in
-    with_client addr (fun client ->
-        let result =
-          if csv then Eppi_net.Client.republish client ~index_csv
-          else
-            match Eppi.Index.of_csv index_csv with
-            | index -> Eppi_net.Client.republish_index client index
-            | exception Failure msg -> Error msg
-        in
-        match result with
-        | Ok generation -> Printf.printf "generation %d\n" generation
-        | Error msg ->
-            Printf.eprintf "republish rejected: %s\n" msg;
-            exit 1)
+  let cluster_arg =
+    let doc =
+      "Fan the republish out to a comma-separated replica set instead of one daemon: the index \
+       is encoded once and pushed to every replica concurrently, transient failures retry with \
+       jittered backoff, and the per-replica outcome is reported — a dead replica never blocks \
+       the others."
+    in
+    Arg.(value & opt (some string) None & info [ "cluster" ] ~docv:"ADDRS" ~doc)
   in
-  let term = Term.(const run $ connect_required_arg $ index_arg $ csv_arg) in
+  let require_arg =
+    let doc =
+      "With $(b,--cluster): exit non-zero unless at least $(docv) replicas installed the index \
+       (default: all of them)."
+    in
+    Arg.(value & opt (some int) None & info [ "require" ] ~docv:"K" ~doc)
+  in
+  let usage_error msg =
+    Printf.eprintf "republish: %s\n" msg;
+    exit 2
+  in
+  let run_cluster addrs index_path require =
+    let set = replica_set_of_string ~what:"republish" addrs in
+    let index =
+      match Eppi.Index.of_csv (read_file index_path) with
+      | index -> index
+      | exception Failure msg ->
+          Printf.eprintf "republish: bad index: %s\n" msg;
+          exit 1
+    in
+    let report = Eppi_cluster.Fanout.republish set index in
+    List.iter
+      (fun (r : Eppi_cluster.Fanout.replica_result) ->
+        match r.outcome with
+        | Ok generation ->
+            Printf.printf "%s: generation %d (%d attempt%s, %.3fs)\n"
+              (Eppi_net.Addr.to_string r.addr) generation r.attempts
+              (if r.attempts = 1 then "" else "s")
+              r.seconds
+        | Error msg ->
+            Printf.printf "%s: failed after %d attempt%s: %s\n"
+              (Eppi_net.Addr.to_string r.addr) r.attempts
+              (if r.attempts = 1 then "" else "s")
+              msg)
+      report.results;
+    Printf.printf "republished %d/%d replicas%s in %.3fs\n" report.succeeded
+      (Eppi_cluster.Replica_set.size set)
+      (match report.generation with
+      | Some g -> Printf.sprintf " at generation %d" g
+      | None -> "")
+      report.wall_seconds;
+    let require = Option.value ~default:(Eppi_cluster.Replica_set.size set) require in
+    if report.succeeded < require then exit 1
+  in
+  let run connect index_path csv cluster require =
+    match (connect, cluster) with
+    | Some _, Some _ | None, None -> usage_error "give exactly one of --connect or --cluster"
+    | None, Some addrs ->
+        if csv then usage_error "--csv is single-daemon only (fan-out ships the binary codec)";
+        run_cluster addrs index_path require
+    | Some addr, None -> (
+        if require <> None then usage_error "--require needs --cluster";
+        if is_cluster addr then usage_error "use --cluster (not --connect) for a replica set";
+        let index_csv = read_file index_path in
+        with_client addr (fun client ->
+            let result =
+              if csv then Eppi_net.Client.republish client ~index_csv
+              else
+                match Eppi.Index.of_csv index_csv with
+                | index -> Eppi_net.Client.republish_index client index
+                | exception Failure msg -> Error msg
+            in
+            match result with
+            | Ok generation -> Printf.printf "generation %d\n" generation
+            | Error msg ->
+                Printf.eprintf "republish rejected: %s\n" msg;
+                exit 1))
+  in
+  let term =
+    Term.(const run $ connect_opt_arg $ index_arg $ csv_arg $ cluster_arg $ require_arg)
+  in
   Cmd.v
     (Cmd.info "republish"
        ~doc:
          "Hot-swap the index of a running daemon: queries keep flowing, the new generation \
           takes effect atomically, per-shard caches invalidate.  The index travels as the \
-          compact binary codec unless $(b,--csv) asks for the legacy payload")
+          compact binary codec unless $(b,--csv) asks for the legacy payload.  \
+          $(b,--cluster A,B,C) fans the swap out to a whole replica set")
     term
 
 (* Seconds → a human-sized unit.  Telemetry spans ns..s; a fixed unit
@@ -896,21 +1026,21 @@ let stats_cmd =
         | Some interval ->
             let interval = if interval <= 0.0 then 1.0 else interval in
             let prev = ref None in
-            let tick = ref 0 in
-            let continue () = iterations <= 0 || !tick < iterations in
-            while continue () do
-              incr tick;
-              let raw = Eppi_net.Client.stats_json client in
-              (if json then print_endline raw
-               else
-                 match Json.parse raw with
-                 | Error e -> Printf.eprintf "stats: unparseable reply: %s\n" e
-                 | Ok cur ->
-                     print_endline (stats_delta_line ~dt:interval ?prev:!prev cur);
-                     prev := Some cur);
-              flush stdout;
-              if continue () then Unix.sleepf interval
-            done)
+            (* Absolute-deadline cadence: the time spent fetching and
+               printing no longer drifts the schedule. *)
+            Eppi_prelude.Clock.periodic ~sleep:Unix.sleepf ~interval
+              ?iterations:(if iterations <= 0 then None else Some iterations)
+              (fun _tick ->
+                let raw = Eppi_net.Client.stats_json client in
+                (if json then print_endline raw
+                 else
+                   match Json.parse raw with
+                   | Error e -> Printf.eprintf "stats: unparseable reply: %s\n" e
+                   | Ok cur ->
+                       print_endline (stats_delta_line ~dt:interval ?prev:!prev cur);
+                       prev := Some cur);
+                flush stdout;
+                true))
   in
   let term = Term.(const run $ connect_required_arg $ watch_arg $ json_arg $ iterations_arg) in
   Cmd.v
@@ -996,6 +1126,81 @@ let render_top v =
   | _ -> ());
   Buffer.contents b
 
+(* Probe one replica for the cluster top view: generation/swaps from
+   Cluster_status plus lifetime query count and p99 from the stats
+   snapshot, on one short-lived connection.  A dead replica is a row, not
+   an error. *)
+let probe_replica addr =
+  match Eppi_net.Client.connect ~retries:0 ~request_timeout:5.0 addr with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | client -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> Eppi_net.Client.close client)
+          (fun () -> (Eppi_net.Client.cluster_status client, Eppi_net.Client.stats_json client))
+      with
+      | probe -> Ok probe
+      | exception Eppi_net.Client.Protocol_error msg -> Error msg
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let render_cluster_top set =
+  let probes =
+    List.map (fun addr -> (addr, probe_replica addr)) (Eppi_cluster.Replica_set.addrs set)
+  in
+  let generations =
+    List.map
+      (function
+        | _, Ok ((s : Eppi_net.Wire.cluster_status), _) -> Some s.generation | _, Error _ -> None)
+      probes
+  in
+  let converged =
+    match generations with
+    | Some g :: rest when List.for_all (Option.equal Int.equal (Some g)) rest -> Some g
+    | _ -> None
+  in
+  let b = Buffer.create 512 in
+  Printf.bprintf b "eppi top — cluster of %d  %s\n\n" (List.length probes)
+    (match converged with
+    | Some g -> Printf.sprintf "converged at generation %d" g
+    | None -> "NOT converged");
+  Printf.bprintf b "replica                           gen  swaps   queries      p99\n";
+  List.iter
+    (fun (addr, probe) ->
+      let name = Eppi_net.Addr.to_string addr in
+      match probe with
+      | Error msg -> Printf.bprintf b "  %-30s down: %s\n" name msg
+      | Ok ((s : Eppi_net.Wire.cluster_status), stats_raw) ->
+          let queries, p99 =
+            match Json.parse stats_raw with
+            | Ok v ->
+                ( Option.value ~default:0 (Json.find_int v [ "queries" ]),
+                  Option.value ~default:0.0 (Json.find_num v [ "p99" ]) )
+            | Error _ -> (0, 0.0)
+          in
+          Printf.bprintf b "  %-30s %4d %6d %9d %8s\n" name s.generation s.swaps queries
+            (fmt_duration p99))
+    probes;
+  Buffer.contents b
+
+let cluster_top_json set =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (addr, probe) ->
+      if i > 0 then Buffer.add_string b ", ";
+      let name = String.concat "\\\"" (String.split_on_char '"' (Eppi_net.Addr.to_string addr)) in
+      match probe with
+      | Error msg ->
+          let msg = String.concat "\\\"" (String.split_on_char '"' msg) in
+          Printf.bprintf b "{\"addr\": \"%s\", \"up\": false, \"error\": \"%s\"}" name msg
+      | Ok ((s : Eppi_net.Wire.cluster_status), _) ->
+          Printf.bprintf b
+            "{\"addr\": \"%s\", \"up\": true, \"generation\": %d, \"swaps\": %d, \"peers\": %d}"
+            name s.generation s.swaps (List.length s.peers))
+    (List.map (fun addr -> (addr, probe_replica addr)) (Eppi_cluster.Replica_set.addrs set));
+  Buffer.add_char b ']';
+  Buffer.contents b
+
 let top_cmd =
   let interval_arg =
     let doc = "Seconds between refreshes." in
@@ -1013,32 +1218,43 @@ let top_cmd =
     let doc = "Stop after $(docv) refreshes (0 = run until interrupted)." in
     Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
   in
+  let watch ~interval ~iterations one =
+    (* Clear + home per refresh: a live top-style screen without a TUI
+       dep.  Absolute-deadline cadence — probe time does not drift it. *)
+    Eppi_prelude.Clock.periodic ~sleep:Unix.sleepf ~interval
+      ?iterations:(if iterations <= 0 then None else Some iterations)
+      (fun _tick ->
+        print_string "\027[2J\027[H";
+        one ();
+        flush stdout;
+        true)
+  in
   let run addr interval once json iterations =
-    with_client addr (fun client ->
-        let interval = if interval <= 0.0 then 1.0 else interval in
-        let one () =
-          let raw = Eppi_net.Client.telemetry_json client in
-          if json then print_endline raw
-          else
-            match Json.parse raw with
-            | Error e ->
-                Printf.eprintf "top: unparseable reply: %s\n" e;
-                exit 1
-            | Ok v -> print_string (render_top v)
-        in
-        if once || json then one ()
-        else begin
-          let tick = ref 0 in
-          let continue () = iterations <= 0 || !tick < iterations in
-          while continue () do
-            incr tick;
-            (* Clear + home: a live top-style refresh without a TUI dep. *)
-            print_string "\027[2J\027[H";
-            one ();
-            flush stdout;
-            if continue () then Unix.sleepf interval
-          done
-        end)
+    let interval = if interval <= 0.0 then 1.0 else interval in
+    if is_cluster addr then begin
+      (* Replica set: one aggregated row per replica, probed per refresh
+         over short-lived connections so a dead replica shows as "down"
+         instead of wedging the screen. *)
+      let set = replica_set_of_string ~what:"top" addr in
+      let one () =
+        if json then print_endline (cluster_top_json set)
+        else print_string (render_cluster_top set)
+      in
+      if once || json then one () else watch ~interval ~iterations one
+    end
+    else
+      with_client addr (fun client ->
+          let one () =
+            let raw = Eppi_net.Client.telemetry_json client in
+            if json then print_endline raw
+            else
+              match Json.parse raw with
+              | Error e ->
+                  Printf.eprintf "top: unparseable reply: %s\n" e;
+                  exit 1
+              | Ok v -> print_string (render_top v)
+          in
+          if once || json then one () else watch ~interval ~iterations one)
   in
   let term =
     Term.(const run $ connect_required_arg $ interval_arg $ once_arg $ json_arg $ iterations_arg)
@@ -1049,7 +1265,9 @@ let top_cmd =
          "Watch a running daemon's live telemetry: rolling-window p50/p99/throughput per \
           request class, the decode/dispatch/queue/execute/reorder/flush stage decomposition \
           with its conservation check, per-worker queue depth and busy time, and the \
-          slowest-request ring.  $(b,--json) dumps the raw snapshot for scripting")
+          slowest-request ring.  $(b,--json) dumps the raw snapshot for scripting.  With a \
+          comma-separated replica set ($(b,--connect A,B,C)): one row per replica — \
+          generation, swaps, query count, p99 — plus a convergence verdict")
     term
 
 let shutdown_cmd =

@@ -2,22 +2,39 @@ type t =
   | Unix_socket of string
   | Tcp of string * int
 
+type parse_error =
+  | Empty_address
+  | Bad_port of string
+  | Port_out_of_range of int
+
+let parse_error_to_string = function
+  | Empty_address -> "empty address"
+  | Bad_port "" -> "trailing colon with no port"
+  | Bad_port s -> Printf.sprintf "non-numeric port %S" s
+  | Port_out_of_range p -> Printf.sprintf "port %d outside [1, 65535]" p
+
 let to_string = function
   | Unix_socket path -> path
   | Tcp (host, port) -> Printf.sprintf "%s:%d" (if host = "" then "127.0.0.1" else host) port
 
-let of_string s =
-  if s = "" then invalid_arg "Addr.of_string: empty address";
-  if String.contains s '/' then Unix_socket s
+let parse s =
+  if s = "" then Error Empty_address
+  else if String.contains s '/' then Ok (Unix_socket s)
   else
     match String.rindex_opt s ':' with
-    | None -> Unix_socket s
+    | None -> Ok (Unix_socket s)
     | Some i -> (
         let host = String.sub s 0 i in
         let port = String.sub s (i + 1) (String.length s - i - 1) in
         match int_of_string_opt port with
-        | Some port when port > 0 && port < 65536 -> Tcp (host, port)
-        | _ -> invalid_arg (Printf.sprintf "Addr.of_string: bad port in %S" s))
+        | None -> Error (Bad_port port)
+        | Some p when p < 1 || p > 65535 -> Error (Port_out_of_range p)
+        | Some p -> Ok (Tcp (host, p)))
+
+let of_string s =
+  match parse s with
+  | Ok addr -> addr
+  | Error e -> invalid_arg (Printf.sprintf "Addr.of_string: %s in %S" (parse_error_to_string e) s)
 
 let sockaddr = function
   | Unix_socket path -> Unix.ADDR_UNIX path

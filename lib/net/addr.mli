@@ -9,13 +9,28 @@ type t =
   | Unix_socket of string  (** Filesystem path of the listening socket. *)
   | Tcp of string * int  (** Host (empty = loopback) and port. *)
 
+type parse_error =
+  | Empty_address  (** The empty string names nothing. *)
+  | Bad_port of string
+      (** The text after the last colon is not a number — includes the
+          trailing-colon case ([Bad_port ""]). *)
+  | Port_out_of_range of int  (** Numeric, but outside [1, 65535]. *)
+
+val parse_error_to_string : parse_error -> string
+
 val to_string : t -> string
 
-val of_string : string -> t
+val parse : string -> (t, parse_error) result
 (** CLI syntax: anything containing a [/] is a Unix-socket path; otherwise
     [host:port] (or [:port], binding loopback) is TCP.  A bare name with no
     [/] and no [:] is a Unix-socket path in the current directory.
-    @raise Invalid_argument on an empty string or a non-numeric port. *)
+    Rejections are typed: the empty string, a trailing colon or
+    non-numeric port ([Bad_port]), port 0 or above 65535
+    ([Port_out_of_range]). *)
+
+val of_string : string -> t
+(** {!parse}, raising on rejection — for call sites that validated
+    earlier.  @raise Invalid_argument naming the {!parse_error}. *)
 
 val sockaddr : t -> Unix.sockaddr
 (** Resolve to a connectable/bindable address.

@@ -1,4 +1,5 @@
 module Trace = Eppi_obs.Trace
+module Rng = Eppi_prelude.Rng
 
 type t = {
   mutable fd : Unix.file_descr;
@@ -12,6 +13,7 @@ type t = {
   max_reconnects : int;
   retry_delay : float;
   trace_context : bool;
+  rng : Rng.t;  (* jitters the reconnect backoff; seeded per client *)
 }
 
 (* Trace ids need only be unique within a trace session; folding the pid
@@ -30,6 +32,27 @@ exception Protocol_error of string
 exception Conn_lost of string
 
 let backoff_cap = 2.0
+
+(* The jittered reconnect schedule, pure so the bound is testable: the
+   k-th delay is the capped exponential [min (base * 2^(k-1)) cap] scaled
+   by [0.5 + u/2] with [u] uniform in [0, 1).  Full jitter would be
+   [u] alone; the half-floor keeps the schedule's back-off property (a
+   run of zeros cannot hammer a recovering server) while still spreading
+   N failed-over clients across half the window instead of a lockstep
+   thundering herd. *)
+let backoff_delay ~base ~attempt ~u =
+  if attempt < 1 then invalid_arg "Client.backoff_delay: attempt must be >= 1";
+  if not (u >= 0.0 && u < 1.0) then invalid_arg "Client.backoff_delay: u outside [0, 1)";
+  let full = Float.min (base *. (2.0 ** float_of_int (attempt - 1))) backoff_cap in
+  full *. (0.5 +. (0.5 *. u))
+
+(* Default backoff seeds: distinct per client within a process (the
+   counter) and across processes (the pid), so a fleet of clients that
+   lost the same server never shares a jitter stream. *)
+let client_counter = Atomic.make 0
+
+let default_backoff_seed () =
+  (Unix.getpid () lsl 20) lxor Atomic.fetch_and_add client_counter 1
 
 let ignore_sigpipe () =
   (* A server that dies between our write and its read turns the next write
@@ -56,9 +79,10 @@ let connect_fd ~retries ~retry_delay address =
   attempt retries
 
 let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload ?request_timeout
-    ?(reconnect = false) ?(max_reconnects = 5) ?(trace_context = true) address =
+    ?(reconnect = false) ?(max_reconnects = 5) ?(trace_context = true) ?backoff_seed address =
   ignore_sigpipe ();
   let fd = connect_fd ~retries ~retry_delay address in
+  let seed = match backoff_seed with Some s -> s | None -> default_backoff_seed () in
   {
     fd;
     decoder = Wire.Decoder.create ?max_payload ();
@@ -71,6 +95,7 @@ let connect ?(retries = 0) ?(retry_delay = 0.05) ?max_payload ?request_timeout
     max_reconnects;
     retry_delay;
     trace_context;
+    rng = Rng.create seed;
   }
 
 let close t =
@@ -84,7 +109,7 @@ let close t =
    — any half-received frame from the old connection is garbage. *)
 let reestablish t =
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
-  let rec attempt k delay =
+  let rec attempt k =
     if k > t.max_reconnects then false
     else
       match connect_fd ~retries:0 ~retry_delay:t.retry_delay t.address with
@@ -93,10 +118,10 @@ let reestablish t =
           t.decoder <- Wire.Decoder.create ?max_payload:t.max_payload ();
           true
       | exception Unix.Unix_error _ ->
-          Unix.sleepf delay;
-          attempt (k + 1) (Float.min (delay *. 2.0) backoff_cap)
+          Unix.sleepf (backoff_delay ~base:t.retry_delay ~attempt:k ~u:(Rng.float t.rng 1.0));
+          attempt (k + 1)
   in
-  attempt 1 t.retry_delay
+  attempt 1
 
 let write_all fd bytes off len =
   let sent = ref off in
@@ -293,6 +318,7 @@ let unexpected what (response : Wire.response) =
     | Server_error msg -> Printf.sprintf "server error: %s" msg
     | Fuzzy_reply _ -> "fuzzy reply"
     | Telemetry_json _ -> "telemetry"
+    | Cluster_status_reply _ -> "cluster status"
   in
   raise (Protocol_error (Printf.sprintf "%s answered with %s" what kind))
 
@@ -328,6 +354,11 @@ let telemetry_json t =
   match call t Wire.Telemetry with
   | Telemetry_json json -> json
   | other -> unexpected "telemetry" other
+
+let cluster_status t =
+  match call t Wire.Cluster_status with
+  | Cluster_status_reply status -> status
+  | other -> unexpected "cluster status" other
 
 let republish t ~index_csv =
   match call t (Wire.Republish { index_csv }) with

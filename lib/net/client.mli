@@ -37,6 +37,7 @@ val connect :
   ?reconnect:bool ->
   ?max_reconnects:int ->
   ?trace_context:bool ->
+  ?backoff_seed:int ->
   Addr.t ->
   t
 (** Connect, retrying a refused/absent endpoint [retries] times (default 0)
@@ -51,11 +52,13 @@ val connect :
 
     [reconnect] (default false) makes {!call_result}, {!call} and
     {!pipeline} transparently re-dial the same address when the connection
-    drops mid-exchange, with capped exponential backoff ([retry_delay],
-    doubling, capped at 2 s) and at most [max_reconnects] (default 5)
-    attempts, then re-send the unanswered request(s) on the fresh socket —
+    drops mid-exchange, with jittered capped exponential backoff (see
+    {!backoff_delay}) and at most [max_reconnects] (default 5) attempts,
+    then re-send the unanswered request(s) on the fresh socket —
     at-least-once semantics: a request whose response was lost in flight is
-    executed again.
+    executed again.  [backoff_seed] seeds the jitter stream; the default
+    mixes the pid with a process-global counter so clients that lost the
+    same server never reconnect in lockstep.
 
     [trace_context] (default true): while {!Eppi_obs.Trace} tracing is
     enabled, {!call_result}/{!call} wrap each request in a [Wire.Traced]
@@ -66,6 +69,17 @@ val connect :
     tag); with tracing disabled the wire is byte-identical either way.
     {!pipeline} never wraps.  @raise Unix.Unix_error once connect retries
     are exhausted. *)
+
+val backoff_delay : base:float -> attempt:int -> u:float -> float
+(** The reconnect schedule, exposed pure so its bound is testable:
+    attempt [k] (1-based) sleeps [min (base * 2^(k-1)) 2.0] scaled by
+    [0.5 + u/2] with [u] uniform in [0, 1) — always within
+    [[full/2, full)] of the capped exponential [full], so a fleet of
+    clients spreads over half the window instead of reconnecting in
+    lockstep, while a run of small draws can never collapse the delay to
+    zero and hammer a recovering server.
+    @raise Invalid_argument when [attempt < 1] or [u] is outside
+    [[0, 1)]. *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -113,6 +127,12 @@ val telemetry_json : t -> string
     rolling-window p50/p99/throughput per request class, per-stage
     histograms with their conservation check, the slow-request ring,
     per-worker counters and generation/trace info. *)
+
+val cluster_status : t -> Wire.cluster_status
+(** The daemon's replication observables: current index generation,
+    applied-swap count, and the replica set it was started with
+    ({!Server.config.peers}).  Works against any daemon; a standalone one
+    reports an empty peer list. *)
 
 val republish : t -> index_csv:string -> (int, string) result
 (** Install a new index on the server ({!Eppi.Index.to_csv} payload);

@@ -10,6 +10,7 @@ type config = {
   workers : int;
   max_inflight : int;
   telemetry : bool;
+  peers : string list;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     workers = 1;
     max_inflight = 1024;
     telemetry = true;
+    peers = [];
   }
 
 type t = {
@@ -55,6 +57,7 @@ let rec request_code = function
   | Wire.Republish_binary _ -> 8
   | Wire.Query_fuzzy _ -> 9
   | Wire.Telemetry -> 10
+  | Wire.Cluster_status -> 11
   | Wire.Traced { request; _ } -> request_code request
 
 (* Splice extra top-level fields into a flat JSON object string. *)
@@ -95,6 +98,16 @@ let telemetry_json t =
   in
   Telemetry.to_json ~extra t.telemetry ~now_ns:(Clock.monotonic_ns ())
 
+(* Reads only the published generation, merged metrics and static config —
+   safe from any domain, which is why the multicore mux answers it inline. *)
+let cluster_status t =
+  Wire.Cluster_status_reply
+    {
+      generation = Serve.generation t.engine;
+      swaps = (Serve.metrics t.engine).Eppi_serve.Metrics.swaps;
+      peers = t.config.peers;
+    }
+
 let rec handle_request t (request : Wire.request) : Wire.response =
   match request with
   | Query { owner } ->
@@ -118,6 +131,7 @@ let rec handle_request t (request : Wire.request) : Wire.response =
         { generation = Serve.generation t.engine; owners = Serve.audit t.engine ~provider }
   | Stats -> Stats_json (stats_json t)
   | Telemetry -> Telemetry_json (telemetry_json t)
+  | Cluster_status -> cluster_status t
   | Traced { request; _ } -> handle_request t request
   | Republish { index_csv } -> (
       match Eppi.Index.of_csv index_csv with
@@ -602,6 +616,7 @@ let run t listener =
             (* The store's single writer is this domain, so the read is
                consistent by construction. *)
             inline (Wire.Telemetry_json (telemetry_json t))
+        | Wire.Cluster_status -> inline (cluster_status t)
         | Wire.Ping -> inline Wire.Pong
         | Wire.Shutdown -> inline Wire.Shutting_down
         | Wire.Traced _ -> assert false (* peeled above; envelopes never nest *))

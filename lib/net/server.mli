@@ -72,12 +72,19 @@ type config = {
           [Telemetry] wire command still answers when off (with empty
           aggregates) — the switch exists mainly so the bench can measure
           the instrumentation's own overhead. *)
+  peers : string list;
+      (** The replica set this daemon belongs to, as address strings
+          ([serve --peers]).  Purely descriptive: the daemon never
+          contacts its peers (fan-out is driven by the coordinator,
+          {!Eppi_cluster}); the list is echoed in [Cluster_status]
+          replies so clients and operators can discover the set from any
+          one member.  Empty = standalone. *)
 }
 
 val default_config : config
 (** 64 connections, 300 s idle timeout, {!Wire.default_max_payload},
     8 MiB pending bound, 1 worker (inline), 1024 in-flight requests,
-    telemetry on. *)
+    telemetry on, no peers. *)
 
 type t
 

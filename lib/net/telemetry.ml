@@ -66,6 +66,7 @@ let kind_name = function
   | 8 -> "republish_binary"
   | 9 -> "fuzzy"
   | 10 -> "telemetry"
+  | 11 -> "cluster"
   | _ -> "other"
 
 type slow = {

@@ -34,6 +34,13 @@ type request =
          predates it rejects the tag as [Unknown_tag], so clients only
          wrap when the operator has turned tracing on.  Never nests. *)
   | Telemetry
+  | Cluster_status
+
+type cluster_status = {
+  generation : int;
+  swaps : int;
+  peers : string list;
+}
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -49,6 +56,7 @@ type response =
       result : Eppi_serve.Serve.fuzzy_reply;
     }
   | Telemetry_json of string
+  | Cluster_status_reply of cluster_status
 
 type frame =
   | Request of request
@@ -70,6 +78,7 @@ let tag_republish_binary = 0x08
 let tag_query_fuzzy = 0x09
 let tag_traced = 0x0A
 let tag_telemetry = 0x0B
+let tag_cluster_status = 0x0C
 let tag_reply = 0x11
 let tag_batch_reply = 0x12
 let tag_audit_reply = 0x13
@@ -80,6 +89,7 @@ let tag_shutting_down = 0x17
 let tag_server_error = 0x18
 let tag_fuzzy_reply = 0x19
 let tag_telemetry_json = 0x1A
+let tag_cluster_status_reply = 0x1B
 
 (* Probe limits: sane ceilings well above anything the CLI or bench
    generates, well below anything that could balloon a decode. *)
@@ -87,6 +97,12 @@ let max_fuzzy_k = 100_000
 let max_probe_keys = 64
 let max_probe_bits = 1 lsl 20
 let max_probe_hashes = 1024
+
+(* Replica-set bounds for Cluster_status replies: far above any sane
+   deployment, small enough that a hostile peer list cannot balloon a
+   decode. *)
+let max_peers = 64
+let max_peer_bytes = 256
 
 type error =
   | Bad_magic of int
@@ -222,6 +238,7 @@ let rec payload_of_request b = function
       Buffer.add_buffer b inner;
       tag_traced
   | Telemetry -> tag_telemetry
+  | Cluster_status -> tag_cluster_status
 
 let payload_of_response b = function
   | Reply { generation; reply } ->
@@ -273,6 +290,18 @@ let payload_of_response b = function
   | Telemetry_json json ->
       Buffer.add_string b json;
       tag_telemetry_json
+  | Cluster_status_reply { generation; swaps; peers } ->
+      if List.length peers > max_peers then invalid_arg "Wire: too many peers";
+      put_varint b generation;
+      put_varint b swaps;
+      put_varint b (List.length peers);
+      List.iter
+        (fun peer ->
+          if String.length peer > max_peer_bytes then invalid_arg "Wire: peer address too long";
+          put_varint b (String.length peer);
+          Buffer.add_string b peer)
+        peers;
+      tag_cluster_status_reply
 
 let add_frame b payload_of value =
   let body = Buffer.create 64 in
@@ -381,13 +410,33 @@ let rec parse_payload tag payload =
       let inner_tag = Char.code payload.[c.pos] in
       c.pos <- c.pos + 1;
       if inner_tag = tag_traced then raise (Corrupt_payload "nested traced frame");
-      if not (inner_tag >= tag_query && inner_tag <= tag_telemetry) then
+      if not (inner_tag >= tag_query && inner_tag <= tag_cluster_status) then
         raise (Corrupt_payload (Printf.sprintf "traced frame wraps tag 0x%02X" inner_tag));
       match parse_payload inner_tag (rest c) with
       | Request request -> Request (Traced { trace_id; request })
       | Response _ -> assert false (* the inner tag range admits requests only *)
     end
     else if tag = tag_telemetry then Request Telemetry
+    else if tag = tag_cluster_status then Request Cluster_status
+    else if tag = tag_cluster_status_reply then begin
+      let generation = get_varint c in
+      let swaps = get_varint c in
+      if swaps < 0 then raise (Corrupt_payload (Printf.sprintf "swap count %d" swaps));
+      let count = get_count c ~what:"peer" ~limit:max_peers in
+      let peers =
+        List.init count (fun _ ->
+            (* Each peer's bytes are all in this payload, so a length
+               beyond the remaining bytes is a lie, not a short read. *)
+            let len =
+              get_count c ~what:"peer byte"
+                ~limit:(min max_peer_bytes (String.length payload - c.pos))
+            in
+            let peer = String.sub c.payload c.pos len in
+            c.pos <- c.pos + len;
+            peer)
+      in
+      Response (Cluster_status_reply { generation; swaps; peers })
+    end
     else if tag = tag_telemetry_json then Response (Telemetry_json (rest c))
     else if tag = tag_reply then begin
       let generation = get_varint c in
@@ -449,7 +498,8 @@ let rec parse_payload tag payload =
   frame
 
 let known_tag tag =
-  (tag >= tag_query && tag <= tag_telemetry) || (tag >= tag_reply && tag <= tag_telemetry_json)
+  (tag >= tag_query && tag <= tag_cluster_status)
+  || (tag >= tag_reply && tag <= tag_cluster_status_reply)
 
 (* ---- the incremental decoder ---- *)
 

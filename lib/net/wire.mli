@@ -56,6 +56,20 @@ type request =
           p50/p99/throughput per request class, per-stage pipeline
           histograms with their conservation check, slow-request ring,
           per-worker counters, generation/swap and trace-drop info. *)
+  | Cluster_status
+      (** Replication introspection: the daemon's current index
+          generation, applied-swap count and configured replica set
+          ({!Server.config.peers}) — the observables a republish fan-out
+          driver compares across replicas to decide the cluster has
+          converged. *)
+
+type cluster_status = {
+  generation : int;  (** The replica's current index generation. *)
+  swaps : int;  (** Republish swaps its shards have observed so far. *)
+  peers : string list;
+      (** The replica set the daemon was started with ([serve --peers]),
+          verbatim; empty for a standalone daemon. *)
+}
 
 type response =
   | Reply of { generation : int; reply : Eppi_serve.Serve.reply }
@@ -73,6 +87,10 @@ type response =
       (** Candidate scores travel as basis-point varints (the resolver
           quantizes scores to 1e-4, so the encoding is lossless). *)
   | Telemetry_json of string  (** Reply to {!request.Telemetry}. *)
+  | Cluster_status_reply of cluster_status
+      (** Reply to {!request.Cluster_status}.  Peers travel as
+          length-prefixed strings, bounded (64 peers of 256 bytes) so a
+          hostile reply cannot balloon the decode. *)
 
 type frame =
   | Request of request

@@ -1,3 +1,26 @@
 external monotonic_ns : unit -> int = "eppi_prelude_monotonic_ns" [@@noalloc]
 
 let seconds () = float_of_int (monotonic_ns ()) *. 1e-9
+
+let periodic ?(now = seconds) ~sleep ~interval ?iterations f =
+  if interval <= 0.0 then invalid_arg "Clock.periodic: non-positive interval";
+  (match iterations with
+  | Some n when n < 1 -> invalid_arg "Clock.periodic: non-positive iterations"
+  | _ -> ());
+  let within tick = match iterations with None -> true | Some n -> tick <= n in
+  let t0 = now () in
+  let tick = ref 1 in
+  let keep_going = ref true in
+  while !keep_going && within !tick do
+    keep_going := f !tick;
+    incr tick;
+    if !keep_going && within !tick then begin
+      (* Absolute deadline from t0, not [sleep interval] after the work:
+         each tick's cost is absorbed by its own sleep instead of
+         accumulating as drift, and an overrunning tick skips the sleep
+         entirely rather than pushing every later tick back. *)
+      let deadline = t0 +. (float_of_int (!tick - 1) *. interval) in
+      let remaining = deadline -. now () in
+      if remaining > 0.0 then sleep remaining
+    end
+  done

@@ -157,6 +157,68 @@ test ! -e "$NET_SOCK"
 rm -rf "$NET_DIR"
 trap - EXIT
 
+# A ~5 s smoke of the replication layer (docs/SERVE.md, "Replication"):
+# three daemons sharing a --peers list form a replica set; a cluster
+# republish fans the binary payload to all three, cluster-addressed
+# queries keep answering through transparent failover while one replica
+# is killed, a second fan-out with --require 2 succeeds on the
+# survivors, and `top --json` over the set shows the survivors
+# generation-converged with the dead replica reported down, not erroring.
+echo "== cluster smoke =="
+CLU_DIR=$(mktemp -d /tmp/eppi_cluster_smoke.XXXXXX)
+trap 'rm -rf "$CLU_DIR"' EXIT
+"$EPPI" generate --owners 80 --providers 24 --seed 5 -o "$CLU_DIR/net.csv" >/dev/null
+"$EPPI" construct -d "$CLU_DIR/net.csv" -o "$CLU_DIR/index1.csv" 2>/dev/null
+"$EPPI" construct -d "$CLU_DIR/net.csv" --seed 9 --policy basic -o "$CLU_DIR/index2.csv" 2>/dev/null
+CLU_PEERS="$CLU_DIR/a.sock,$CLU_DIR/b.sock,$CLU_DIR/c.sock"
+for r in a b c; do
+  "$EPPI" serve -i "$CLU_DIR/index1.csv" --listen "$CLU_DIR/$r.sock" --shards 2 --domains 2 \
+    --peers "$CLU_PEERS" >"$CLU_DIR/$r.json" 2>"$CLU_DIR/$r.log" &
+done
+for r in a b c; do
+  i=0
+  while [ ! -S "$CLU_DIR/$r.sock" ] && [ "$i" -lt 50 ]; do sleep 0.1; i=$((i + 1)); done
+  test -S "$CLU_DIR/$r.sock"
+done
+"$EPPI" republish --cluster "$CLU_PEERS" -i "$CLU_DIR/index2.csv" >"$CLU_DIR/repub1.txt"
+grep -q "republished 3/3 replicas at generation 2" "$CLU_DIR/repub1.txt"
+seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$CLU_PEERS" >"$CLU_DIR/replies1.txt"
+test "$(wc -l < "$CLU_DIR/replies1.txt")" -eq 50
+"$EPPI" shutdown --connect "$CLU_DIR/a.sock" 2>/dev/null
+# The replica set still lists the dead daemon: queries must fail over
+# transparently and the fan-out must report honest partial success.
+seq 0 49 | sed 's/^/--owner /' | xargs "$EPPI" query --connect "$CLU_PEERS" >"$CLU_DIR/replies2.txt"
+test "$(wc -l < "$CLU_DIR/replies2.txt")" -eq 50
+"$EPPI" republish --cluster "$CLU_PEERS" --require 2 -i "$CLU_DIR/index1.csv" >"$CLU_DIR/repub2.txt"
+grep -q "republished 2/3 replicas at generation 3" "$CLU_DIR/repub2.txt"
+"$EPPI" top --connect "$CLU_PEERS" --json >"$CLU_DIR/top.json"
+if command -v python3 >/dev/null 2>&1; then
+  CLU_TOP="$CLU_DIR/top.json" python3 - <<'EOF'
+import json, os
+with open(os.environ["CLU_TOP"]) as f:
+    rows = json.load(f)
+if len(rows) != 3:
+    raise SystemExit(f"cluster: top --json should list 3 replicas, got {len(rows)}")
+down = [r for r in rows if not r["up"]]
+up = [r for r in rows if r["up"]]
+if len(down) != 1 or not down[0]["addr"].endswith("a.sock"):
+    raise SystemExit(f"cluster: expected exactly the killed replica down: {rows}")
+gens = {r["generation"] for r in up}
+if gens != {3}:
+    raise SystemExit(f"cluster: survivors not generation-converged: {rows}")
+if any(r["peers"] != 3 for r in up):
+    raise SystemExit(f"cluster: replicas should echo a 3-member peer list: {rows}")
+print(f"cluster top ok: 1 down, survivors converged at generation {gens.pop()}")
+EOF
+fi
+"$EPPI" shutdown --connect "$CLU_DIR/b.sock" 2>/dev/null
+"$EPPI" shutdown --connect "$CLU_DIR/c.sock" 2>/dev/null
+wait
+test ! -e "$CLU_DIR/b.sock"
+test ! -e "$CLU_DIR/c.sock"
+rm -rf "$CLU_DIR"
+trap - EXIT
+
 # A ~5 s smoke of the network bench: tiny index, short replay, two pipeline
 # depths, a 1-vs-2 domain sweep (with its reply-equality check), CSV and
 # binary republishes under load; then check the emitted JSON.
@@ -169,7 +231,8 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 with open("BENCH_net.json") as f:
     data = json.load(f)
-for key in ("depth_runs", "domain_runs", "payload", "swap", "swap_csv", "cores", "metrics"):
+for key in ("depth_runs", "domain_runs", "payload", "swap", "swap_csv", "cores",
+            "replication", "metrics"):
     if key not in data:
         raise SystemExit(f"BENCH_net.json missing {key!r}")
 if len(data["depth_runs"]) < 2:
@@ -181,7 +244,24 @@ if data["payload"]["ratio"] <= 1.0:
 csv_swaps = data["swap_csv"]["count"]
 if data["swap"]["final_generation"] != data["swap"]["count"] + csv_swaps + 1:
     raise SystemExit(f"BENCH_net.json: generation accounting off: {data['swap']}")
-print("BENCH_net.json well-formed")
+repl = data["replication"]
+init = repl["initial_republish"]
+if init["succeeded"] != repl["replicas"] or not init["converged_within_round"]:
+    raise SystemExit(f"BENCH_net.json: initial fan-out incomplete: {init}")
+kill = repl["kill"]
+if kill["errors_after_settle"] != 0:
+    raise SystemExit(f"BENCH_net.json: errors persisted after failover settled: {kill}")
+if kill["failovers"] < 1:
+    raise SystemExit(f"BENCH_net.json: replica kill produced no failover: {kill}")
+for key in ("p99_baseline_s", "p99_kill_window_s", "failover_latency_s"):
+    if kill[key] <= 0.0:
+        raise SystemExit(f"BENCH_net.json: {key} not recorded: {kill}")
+cr = repl["cluster_republish"]
+if (cr["succeeded"] != repl["replicas"] - 1 or cr["failed"] != 1
+        or not cr["converged_within_round"]):
+    raise SystemExit(f"BENCH_net.json: post-kill fan-out off: {cr}")
+print("BENCH_net.json well-formed (replication: converged, zero settled errors, "
+      f"{kill['failovers']} failover(s))")
 EOF
 fi
 rm -f BENCH_net.json

@@ -82,12 +82,14 @@ let sample_frames =
       Ping;
       Shutdown;
       Telemetry;
+      Cluster_status;
       (* Trace envelopes: ids at both ends of the varint range, wrapping
          payload-free and payload-heavy inner requests alike. *)
       Traced { trace_id = 0; request = Query { owner = 42 } };
       Traced { trace_id = 0x7FFF_FFFF; request = Batch [| 1; 2; 300 |] };
       Traced { trace_id = 1; request = Query_fuzzy { probe = sample_probe; k = 3 } };
       Traced { trace_id = 9; request = Telemetry };
+      Traced { trace_id = 2; request = Cluster_status };
     ]
   @ List.map
       (fun r -> Response r)
@@ -129,6 +131,10 @@ let sample_frames =
         Fuzzy_reply { generation = 3; result = Serve.Fuzzy_shed };
         Telemetry_json "{\"requests\": 12, \"conservation\": {\"exact\": true}}";
         Telemetry_json "";
+        Cluster_status_reply { generation = 1; swaps = 0; peers = [] };
+        Cluster_status_reply
+          { generation = 42; swaps = 17; peers = [ "/tmp/a.sock"; "host:9001"; ":9002" ] };
+        Cluster_status_reply { generation = 0; swaps = 0; peers = [ "" ] };
         Pong;
         Shutting_down;
         Server_error "republish: bad csv";
@@ -232,10 +238,10 @@ let test_codec_errors () =
   expect_error "unknown reply kind"
     (header ~tag:0x11 ~len:2 ^ "\x02\x09")
     (function Wire.Corrupt msg -> contains msg "reply kind" | _ -> false);
-  (* The telemetry tags sit at the top of each range; the next tag up
-     must still be unknown. *)
-  expect_error "request-range hole is unknown" "\xE5\x01\x0C" (function
-    | Wire.Unknown_tag 0x0C -> true
+  (* The cluster-status tags sit at the top of each range; the next tag
+     up must still be unknown. *)
+  expect_error "request-range hole is unknown" "\xE5\x01\x0D" (function
+    | Wire.Unknown_tag 0x0D -> true
     | _ -> false);
   (* Traced (0x0A) envelopes: zigzag varint trace id, one inner tag byte,
      then the inner request's payload — each constraint has a hostile
@@ -304,7 +310,24 @@ let test_codec_errors () =
   (* A candidate claiming 10001 basis points: scores live in [0, 1]. *)
   expect_error "candidate score over one"
     (header ~tag:0x19 ~len:7 ^ "\x02\x00\x02\x00\xA2\x9C\x01")
-    (function Wire.Corrupt msg -> contains msg "score" | _ -> false)
+    (function Wire.Corrupt msg -> contains msg "score" | _ -> false);
+  (* Cluster status (0x0C request, 0x1B reply): the request is
+     payload-free, the reply is generation, swaps, then length-prefixed
+     peers — negative counters and ballooned peer lists are lies. *)
+  expect_error "cluster status request with a payload"
+    (header ~tag:0x0C ~len:1 ^ "\x00")
+    (function Wire.Corrupt msg -> contains msg "trailing" | _ -> false);
+  expect_error "negative swap count"
+    (header ~tag:0x1B ~len:2 ^ "\x02\x01")
+    (function Wire.Corrupt msg -> contains msg "swap" | _ -> false);
+  (* 65 peers declared: one past the bound. *)
+  expect_error "peer count over limit"
+    (header ~tag:0x1B ~len:4 ^ "\x02\x00\x82\x01")
+    (function Wire.Corrupt msg -> contains msg "peer count" | _ -> false);
+  (* One peer of declared length 10 with zero bytes behind it. *)
+  expect_error "peer length exceeding payload"
+    (header ~tag:0x1B ~len:4 ^ "\x02\x00\x02\x14")
+    (function Wire.Corrupt msg -> contains msg "peer byte" | _ -> false)
 
 let test_codec_poisoned_decoder () =
   let d = Wire.Decoder.create () in
@@ -314,18 +337,86 @@ let test_codec_poisoned_decoder () =
   check_bool "poison is sticky" true (Wire.Decoder.next d = Error (Wire.Bad_magic 0))
 
 let test_addr () =
-  check_bool "absolute path" true (Addr.of_string "/tmp/x.sock" = Addr.Unix_socket "/tmp/x.sock");
-  check_bool "bare name is a socket path" true (Addr.of_string "eppi.sock" = Addr.Unix_socket "eppi.sock");
-  check_bool "host:port" true (Addr.of_string "127.0.0.1:8080" = Addr.Tcp ("127.0.0.1", 8080));
-  check_bool "bare port" true (Addr.of_string ":9000" = Addr.Tcp ("", 9000));
+  (* Accepted syntax, table-driven: input -> parsed form. *)
+  List.iter
+    (fun (input, expected) ->
+      match Addr.parse input with
+      | Ok addr -> check_bool (Printf.sprintf "parse %S" input) true (addr = expected)
+      | Error e ->
+          Alcotest.fail
+            (Printf.sprintf "parse %S rejected: %s" input (Addr.parse_error_to_string e)))
+    [
+      ("/tmp/x.sock", Addr.Unix_socket "/tmp/x.sock");
+      ("eppi.sock", Addr.Unix_socket "eppi.sock");
+      ("127.0.0.1:8080", Addr.Tcp ("127.0.0.1", 8080));
+      ("example.com:1", Addr.Tcp ("example.com", 1));
+      ("host:65535", Addr.Tcp ("host", 65535));
+      (":9000", Addr.Tcp ("", 9000));
+      (* A slash anywhere wins: this is a path even though it has a colon. *)
+      ("/run/eppi:9000", Addr.Unix_socket "/run/eppi:9000");
+    ];
+  (* Rejections are typed, not stringly: each row names its error. *)
+  List.iter
+    (fun (input, expected) ->
+      match Addr.parse input with
+      | Error e -> check_bool (Printf.sprintf "reject %S" input) true (e = expected)
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parse %S must be rejected" input))
+    [
+      ("", Addr.Empty_address);
+      ("host:", Addr.Bad_port "");
+      ("host:http", Addr.Bad_port "http");
+      ("host:12x", Addr.Bad_port "12x");
+      ("host:0", Addr.Port_out_of_range 0);
+      ("host:-1", Addr.Port_out_of_range (-1));
+      ("host:65536", Addr.Port_out_of_range 65536);
+      ("host:999999", Addr.Port_out_of_range 999999);
+    ];
   Alcotest.(check string) "default host printed" "127.0.0.1:9000" (Addr.to_string (Addr.Tcp ("", 9000)));
   Alcotest.(check string) "path printed" "/a/b.sock" (Addr.to_string (Addr.Unix_socket "/a/b.sock"));
+  (* of_string is parse-or-raise, naming the typed error. *)
+  check_bool "of_string accepts" true (Addr.of_string ":9000" = Addr.Tcp ("", 9000));
   (match Addr.of_string "host:0" with
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument msg -> check_bool "raise names range" true (contains msg "65535")
   | _ -> Alcotest.fail "port 0 must be rejected");
   match Addr.of_string "" with
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument msg -> check_bool "raise names empty" true (contains msg "empty")
   | _ -> Alcotest.fail "empty address must be rejected"
+
+(* The reconnect schedule (exposed pure): jitter must stay inside
+   [full/2, full) of the capped exponential, monotone in [u], and capped
+   at 2 s however deep the attempt count goes. *)
+let test_backoff_delay () =
+  let cap = 2.0 in
+  let full ~base ~attempt = Float.min (base *. (2.0 ** float_of_int (attempt - 1))) cap in
+  List.iter
+    (fun (base, attempt, u) ->
+      let d = Client.backoff_delay ~base ~attempt ~u in
+      let f = full ~base ~attempt in
+      check_bool
+        (Printf.sprintf "base %g attempt %d u %g in [full/2, full)" base attempt u)
+        true
+        (d >= (f /. 2.0) -. 1e-12 && d < f))
+    [
+      (0.05, 1, 0.0);
+      (0.05, 1, 0.999);
+      (0.05, 3, 0.5);
+      (0.05, 10, 0.0);
+      (0.05, 10, 0.999);
+      (1.5, 2, 0.25);
+      (0.001, 7, 0.75);
+    ];
+  (* Deterministic endpoints: u = 0 is exactly half the full delay. *)
+  check_bool "u=0 is half" true (Client.backoff_delay ~base:0.1 ~attempt:1 ~u:0.0 = 0.05);
+  (* Deep attempts saturate at the cap: delay lives in [1, 2). *)
+  let deep = Client.backoff_delay ~base:0.05 ~attempt:60 ~u:0.999 in
+  check_bool "deep attempt capped below 2 s" true (deep < cap);
+  check_bool "deep attempt at least cap/2" true (deep >= cap /. 2.0);
+  (match Client.backoff_delay ~base:0.05 ~attempt:0 ~u:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "attempt 0 must be rejected");
+  match Client.backoff_delay ~base:0.05 ~attempt:1 ~u:1.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "u = 1 must be rejected"
 
 
 (* ---------- Index codec ---------- *)
@@ -483,12 +574,12 @@ let sock_path () =
 (* Start a daemon over [index] in its own domain, run [f addr engine]
    against it, then shut it down (if [f] has not already) and join. *)
 let with_server ?(shards = 1) ?(workers = 1)
-    ?(max_inflight = Server.default_config.max_inflight) ?resolver index f =
+    ?(max_inflight = Server.default_config.max_inflight) ?(peers = []) ?resolver index f =
   let path = sock_path () in
   let addr = Addr.Unix_socket path in
   let engine = Serve.create ~config:{ Serve.default_config with shards } ?resolver index in
   let server =
-    Server.create ~config:{ Server.default_config with workers; max_inflight } engine
+    Server.create ~config:{ Server.default_config with workers; max_inflight; peers } engine
   in
   let listener = Server.listen addr in
   let daemon = Domain.spawn (fun () -> Server.run server listener) in
@@ -585,6 +676,33 @@ let test_daemon_republish () =
           let json = Client.stats_json c in
           check_bool "stats carries generation" true (contains json "\"generation\": 2");
           check_bool "stats counts swaps" true (contains json "\"swaps\"")))
+
+(* Cluster_status is answered inline by the mux: generation tracks the
+   number of applied republishes, swaps counts them, and peers echoes the
+   daemon's configured replica set verbatim. *)
+let test_daemon_cluster_status () =
+  let n = 20 and m = 9 in
+  let index1 = test_index ~n ~m in
+  let index2 = test_index_v2 ~n:25 ~m in
+  let peers = [ "/tmp/a.sock"; "other:9001" ] in
+  with_server ~peers index1 (fun addr _engine ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let status = Client.cluster_status c in
+          check_int "initial generation" 1 status.Wire.generation;
+          check_int "no swaps yet" 0 status.Wire.swaps;
+          check_bool "peers echoed" true (status.Wire.peers = peers);
+          (match Client.republish c ~index_csv:(Eppi.Index.to_csv index2) with
+          | Ok generation -> check_int "republish generation" 2 generation
+          | Error e -> Alcotest.fail e);
+          (* The shard records the swap when it next serves, not at publish. *)
+          ignore (Client.query c ~owner:4);
+          let status = Client.cluster_status c in
+          check_int "post-swap generation" 2 status.Wire.generation;
+          check_int "one swap recorded" 1 status.Wire.swaps;
+          check_bool "peers stable across swap" true (status.Wire.peers = peers)))
 
 let daemon_pipeline ~shards ~workers () =
   let n = 30 and m = 9 in
@@ -1329,6 +1447,7 @@ let qcheck_tests =
         Gen.return Wire.Ping;
         Gen.return Wire.Shutdown;
         Gen.return Wire.Telemetry;
+        Gen.return Wire.Cluster_status;
       ]
   in
   (* Any plain request may arrive inside a trace envelope; the envelope
@@ -1377,6 +1496,12 @@ let qcheck_tests =
         Gen.return Wire.Pong;
         Gen.return Wire.Shutting_down;
         Gen.map (fun s -> Wire.Server_error s) Gen.(small_string ~gen:printable);
+        Gen.map
+          (fun (generation, swaps, peers) ->
+            Wire.Cluster_status_reply { generation; swaps; peers })
+          Gen.(
+            triple nat nat
+              (list_size (int_range 0 8) (small_string ~gen:printable)));
       ]
   in
   let gen_frame =
@@ -1440,6 +1565,8 @@ let () =
           Alcotest.test_case "query, batch, audit, stats" `Quick
             (daemon_basics ~shards:1 ~workers:1);
           Alcotest.test_case "hot-swap republish" `Quick test_daemon_republish;
+          Alcotest.test_case "cluster status over the wire" `Quick
+            test_daemon_cluster_status;
           Alcotest.test_case "pipelined mixed requests" `Quick
             (daemon_pipeline ~shards:1 ~workers:1);
           Alcotest.test_case "hot swap under concurrent load" `Quick
@@ -1482,6 +1609,7 @@ let () =
         ] );
       ( "client robustness",
         [
+          Alcotest.test_case "backoff jitter stays in bound" `Quick test_backoff_delay;
           Alcotest.test_case "request timeout" `Quick test_client_request_timeout;
           Alcotest.test_case "transparent reconnect across restart" `Quick
             test_client_reconnects_across_restart;

@@ -524,6 +524,79 @@ let qcheck_tests =
         Stats.quantile a 0.25 <= Stats.quantile a 0.75);
   ]
 
+(* ---------- Clock.periodic ---------- *)
+
+(* A fake clock drives everything: [sleep] advances time exactly, the
+   body charges its own work, and the recorded (tick, start) pairs expose
+   the cadence.  Work and interval are chosen dyadic so the arithmetic is
+   exact in floating point. *)
+let fake_clock () =
+  let t = ref 0.0 in
+  let sleeps = ref [] in
+  let now () = !t in
+  let sleep d =
+    sleeps := d :: !sleeps;
+    t := !t +. d
+  in
+  (t, now, sleep, fun () -> List.rev !sleeps)
+
+let test_periodic_absorbs_work () =
+  let t, now, sleep, sleeps = fake_clock () in
+  let starts = ref [] in
+  Clock.periodic ~now ~sleep ~interval:1.0 ~iterations:4 (fun tick ->
+      starts := (tick, !t) :: !starts;
+      t := !t +. 0.25;
+      true);
+  check_bool "ticks fire on the absolute grid" true
+    (List.rev !starts = [ (1, 0.0); (2, 1.0); (3, 2.0); (4, 3.0) ]);
+  check_bool "each sleep is only the residual" true (sleeps () = [ 0.75; 0.75; 0.75 ])
+
+let test_periodic_overrun_skips_sleep () =
+  let t, now, sleep, sleeps = fake_clock () in
+  let starts = ref [] in
+  Clock.periodic ~now ~sleep ~interval:1.0 ~iterations:3 (fun tick ->
+      starts := (tick, !t) :: !starts;
+      t := !t +. 1.5;
+      true);
+  check_bool "overrunning ticks fire back to back" true
+    (List.rev !starts = [ (1, 0.0); (2, 1.5); (3, 3.0) ]);
+  check_bool "no sleeps past the deadline" true (sleeps () = [])
+
+let test_periodic_reconverges_after_overrun () =
+  let t, now, sleep, sleeps = fake_clock () in
+  let work = [| 1.25; 0.25; 0.25 |] in
+  let starts = ref [] in
+  Clock.periodic ~now ~sleep ~interval:1.0 ~iterations:3 (fun tick ->
+      starts := (tick, !t) :: !starts;
+      t := !t +. work.(tick - 1);
+      true);
+  (* One slow tick delays its successor but the deficit does not
+     accumulate: tick 3 is back on the absolute grid. *)
+  check_bool "cadence reconverges" true
+    (List.rev !starts = [ (1, 0.0); (2, 1.25); (3, 2.0) ]);
+  check_bool "single catch-up residual" true (sleeps () = [ 0.5 ])
+
+let test_periodic_stops_and_bounds () =
+  let _, now, sleep, sleeps = fake_clock () in
+  let calls = ref 0 in
+  Clock.periodic ~now ~sleep ~interval:1.0 (fun tick ->
+      incr calls;
+      tick < 2);
+  check_int "stops when the body declines" 2 !calls;
+  check_bool "no sleep after the last tick" true (sleeps () = [ 1.0 ]);
+  let _, now, sleep, sleeps = fake_clock () in
+  let calls = ref 0 in
+  Clock.periodic ~now ~sleep ~interval:1.0 ~iterations:1 (fun _ ->
+      incr calls;
+      true);
+  check_int "iterations bound the ticks" 1 !calls;
+  check_bool "a single tick never sleeps" true (sleeps () = []);
+  Alcotest.check_raises "zero interval" (Invalid_argument "Clock.periodic: non-positive interval")
+    (fun () -> Clock.periodic ~now ~sleep ~interval:0.0 (fun _ -> false));
+  Alcotest.check_raises "zero iterations"
+    (Invalid_argument "Clock.periodic: non-positive iterations") (fun () ->
+      Clock.periodic ~now ~sleep ~interval:1.0 ~iterations:0 (fun _ -> false))
+
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
   Alcotest.run "prelude"
@@ -602,6 +675,15 @@ let () =
           Alcotest.test_case "values" `Quick test_json_values;
           Alcotest.test_case "malformed rejected" `Quick test_json_errors;
           Alcotest.test_case "path lookup" `Quick test_json_lookup;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "periodic absorbs work time" `Quick test_periodic_absorbs_work;
+          Alcotest.test_case "periodic overrun skips sleep" `Quick
+            test_periodic_overrun_skips_sleep;
+          Alcotest.test_case "periodic reconverges after overrun" `Quick
+            test_periodic_reconverges_after_overrun;
+          Alcotest.test_case "periodic stop and bounds" `Quick test_periodic_stops_and_bounds;
         ] );
       ("properties", qsuite);
     ]

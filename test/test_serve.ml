@@ -523,6 +523,38 @@ let test_workload_request_logs () =
   | exception Failure msg -> check_bool "jsonl error names the line" true (contains msg "line 2")
   | _ -> Alcotest.fail "jsonl without owner must fail"
 
+(* Two capture files from different daemons, each timestamped: replaying
+   the union means merging rows by timestamp, and the reader's last-field
+   rule lets the merged file parse without stripping the leading columns. *)
+let test_workload_merged_logs () =
+  let log_a = "ts,client,owner\n10,a,3\n14,a,1\n18,a,4\n" in
+  let log_b = "ts,client,owner\n11,b,7\n13,b,2\n19,b,9\n" in
+  check_bool "log a alone" true (Workload.of_csv_log log_a = [| 3; 1; 4 |]);
+  check_bool "log b alone" true (Workload.of_csv_log log_b = [| 7; 2; 9 |]);
+  let rows text =
+    String.split_on_char '\n' text
+    |> List.filteri (fun i _ -> i > 0)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let ts row = int_of_string (List.hd (String.split_on_char ',' row)) in
+  let merged_rows =
+    List.stable_sort (fun x y -> compare (ts x) (ts y)) (rows log_a @ rows log_b)
+  in
+  let merged = "ts,client,owner\n" ^ String.concat "\n" merged_rows ^ "\n" in
+  check_bool "merged by timestamp" true
+    (Workload.of_csv_log merged = [| 3; 7; 2; 1; 4; 9 |]);
+  (* Recovery: blanks and comments a merge tool interleaves are skipped
+     without aborting the replay... *)
+  let noisy = "ts,client,owner\n10,a,3\n# daemon b joins here\n\n11,b,7\n" in
+  check_bool "comments and blanks skipped" true (Workload.of_csv_log noisy = [| 3; 7 |]);
+  (* ...but a truly garbled row aborts, naming the merged file's line and
+     the offending field, so the capture can be fixed at the source. *)
+  match Workload.of_csv_log "ts,client,owner\n10,a,3\n11,b,oops\n12,a,4\n" with
+  | exception Failure msg ->
+      check_bool "bad row names the merged line" true (contains msg "line 3");
+      check_bool "bad row names the field" true (contains msg "oops")
+  | _ -> Alcotest.fail "garbled merged row must fail"
+
 let test_engine_republish () =
   let index1 = test_index ~n:20 ~m:12 in
   (* Bigger replacement: owner 22 exists only after the swap. *)
@@ -663,6 +695,7 @@ let () =
           Alcotest.test_case "zipf shape" `Quick test_workload_zipf;
           Alcotest.test_case "unknown fraction" `Quick test_workload_unknowns;
           Alcotest.test_case "request logs" `Quick test_workload_request_logs;
+          Alcotest.test_case "merged timestamped logs" `Quick test_workload_merged_logs;
         ] );
       ( "engine",
         [
